@@ -1,0 +1,311 @@
+//! Criterion benches, one group per paper artifact.
+//!
+//! These measure the cost of the building blocks behind each experiment at
+//! reduced sizes (full-size tables come from the `tables` binary — see
+//! `EXPERIMENTS.md`). Groups:
+//!
+//! * `code_metrics` (E1) — the source analyzer itself.
+//! * `randtree_join` / `randtree_rejoin` (E2/E3) — whole-scenario runs per
+//!   arm.
+//! * `gossip_strategies` (E4) — a dissemination run per strategy.
+//! * `dissem_strategies` / `tracker_bias` (E5/E6) — a swarm run per
+//!   strategy / tracker policy.
+//! * `paxos_proposer` (E7) — a consensus run per regime.
+//! * `prediction_depth` (E8) — BFS vs consequence prediction per depth.
+//! * `resolver_latency` (E10) — a single choice resolution per resolver.
+
+use cb_bench::codemetrics;
+use cb_bench::models::Flood;
+use cb_core::choice::{ChoiceRequest, NullEvaluator, OptionDesc, Prediction, Resolver};
+use cb_core::objective::ObjectiveSet;
+use cb_core::predict::{ModelEvaluator, PredictConfig};
+use cb_core::resolve::{
+    BanditPolicy, CachedResolver, LearnedResolver, LookaheadResolver, RandomResolver,
+};
+use cb_dissem::{run_swarm, BlockStrategy, SwarmConfig, TrackerPolicy};
+use cb_gossip::{run_gossip, GossipConfig, PeerStrategy};
+use cb_mck::explore::ExploreConfig;
+use cb_paxos::{run_paxos, PaxosConfig, ProposerRegime};
+use cb_randtree::{run_failure_rejoin, run_join, ScenarioConfig, Setup};
+use cb_simnet::rng::SimRng;
+use cb_simnet::time::SimDuration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn small_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_code_metrics(c: &mut Criterion) {
+    c.bench_function("code_metrics/analyze_both", |b| {
+        b.iter(|| {
+            let (base, choice) = codemetrics::e1_metrics();
+            black_box((base.loc, choice.ifs_per_handler()))
+        })
+    });
+}
+
+fn bench_randtree(c: &mut Criterion) {
+    let mut g = small_group(c, "randtree_join");
+    for setup in Setup::ALL {
+        g.bench_function(setup.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ScenarioConfig {
+                    nodes: 9,
+                    seed,
+                    ..Default::default()
+                };
+                black_box(run_join(&cfg, setup).after_join.max_depth)
+            })
+        });
+    }
+    g.finish();
+    let mut g = small_group(c, "randtree_rejoin");
+    for setup in Setup::ALL {
+        g.bench_function(setup.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ScenarioConfig {
+                    nodes: 9,
+                    seed,
+                    ..Default::default()
+                };
+                black_box(
+                    run_failure_rejoin(&cfg, setup)
+                        .after_rejoin
+                        .map(|s| s.max_depth),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut g = small_group(c, "gossip_strategies");
+    for strategy in [
+        PeerStrategy::Restricted,
+        PeerStrategy::FreeRandom,
+        PeerStrategy::Resolved,
+    ] {
+        g.bench_function(strategy.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = GossipConfig {
+                    nodes: 16,
+                    rumors: 3,
+                    horizon: SimDuration::from_secs(20),
+                    seed,
+                    ..Default::default()
+                };
+                black_box(run_gossip(&cfg, strategy).coverage)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dissem(c: &mut Criterion) {
+    let mut g = small_group(c, "dissem_strategies");
+    for strategy in [
+        BlockStrategy::Random,
+        BlockStrategy::RarestRandom,
+        BlockStrategy::Resolved,
+    ] {
+        g.bench_function(strategy.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = SwarmConfig {
+                    peers: 10,
+                    blocks: 16,
+                    degree: 4,
+                    horizon: SimDuration::from_secs(120),
+                    seed,
+                    ..Default::default()
+                };
+                black_box(run_swarm(&cfg, strategy).completed)
+            })
+        });
+    }
+    g.finish();
+    let mut g = small_group(c, "tracker_bias");
+    for policy in [
+        TrackerPolicy::Random,
+        TrackerPolicy::LocalityBiased {
+            local_fraction: 0.8,
+        },
+    ] {
+        g.bench_function(policy.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = SwarmConfig {
+                    peers: 12,
+                    blocks: 16,
+                    degree: 4,
+                    tracker: policy,
+                    horizon: SimDuration::from_secs(120),
+                    seed,
+                    ..Default::default()
+                };
+                black_box(run_swarm(&cfg, BlockStrategy::RarestRandom).transit_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_paxos(c: &mut Criterion) {
+    let mut g = small_group(c, "paxos_proposer");
+    for regime in [
+        ProposerRegime::FixedLeader,
+        ProposerRegime::RoundRobin,
+        ProposerRegime::Resolved,
+    ] {
+        g.bench_function(regime.label(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = PaxosConfig {
+                    clients: 4,
+                    commands_per_client: 10,
+                    horizon: SimDuration::from_secs(60),
+                    seed,
+                    ..Default::default()
+                };
+                black_box(run_paxos(&cfg, regime).committed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prediction_depth");
+    let sys = Flood { n: 8, fanout: 2 };
+    for depth in [2usize, 4, 6] {
+        let cfg = ExploreConfig {
+            max_depth: depth,
+            max_states: 2_000_000,
+            ..Default::default()
+        };
+        g.bench_function(format!("bfs/depth{depth}"), |b| {
+            b.iter(|| black_box(cb_mck::explore::bfs(&sys, &[], &cfg).states_visited))
+        });
+        g.bench_function(format!("consequence/depth{depth}"), |b| {
+            b.iter(|| {
+                black_box(
+                    cb_mck::consequence::predict(&sys, &[], &cfg)
+                        .report
+                        .states_visited,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A drifting counter; option index sets the per-step increment.
+#[derive(Clone)]
+struct DriftSys {
+    bias: i64,
+}
+
+impl cb_mck::system::TransitionSystem for DriftSys {
+    type State = i64;
+    type Action = i64;
+    fn initial(&self) -> i64 {
+        0
+    }
+    fn actions(&self, s: &i64) -> Vec<i64> {
+        vec![s + self.bias]
+    }
+    fn step(&self, _s: &i64, a: &i64) -> i64 {
+        *a
+    }
+}
+
+fn bench_resolvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolver_latency");
+    let options: Vec<OptionDesc> = (0..4).map(OptionDesc::key).collect();
+    let req = ChoiceRequest::new("bench", &options);
+    g.bench_function("random", |b| {
+        let mut r = RandomResolver::new(1);
+        b.iter(|| black_box(r.resolve(&req, &mut NullEvaluator)))
+    });
+    g.bench_function("learned_ucb1", |b| {
+        let mut r = LearnedResolver::new(BanditPolicy::Ucb1 { c: 1.0 }, 1);
+        b.iter(|| black_box(r.resolve(&req, &mut NullEvaluator)))
+    });
+    let objectives: ObjectiveSet<i64> =
+        ObjectiveSet::new().maximize("value", 1.0, |s: &i64| *s as f64);
+    g.bench_function("lookahead_depth4", |b| {
+        let mut r = LookaheadResolver::new();
+        let mut rng = SimRng::seed_from(1);
+        b.iter_batched(
+            || rng.fork(),
+            |fork| {
+                let mut eval = ModelEvaluator::new(
+                    |i| DriftSys { bias: i as i64 },
+                    &objectives,
+                    PredictConfig {
+                        depth: 4,
+                        walks: 8,
+                        ..Default::default()
+                    },
+                    fork,
+                );
+                black_box(r.resolve(&req, &mut eval))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cached_lookahead", |b| {
+        let mut r = CachedResolver::new(LookaheadResolver::new(), 1024);
+        let mut rng = SimRng::seed_from(1);
+        b.iter_batched(
+            || rng.fork(),
+            |fork| {
+                let mut eval = ModelEvaluator::new(
+                    |i| DriftSys { bias: i as i64 },
+                    &objectives,
+                    PredictConfig {
+                        depth: 4,
+                        walks: 8,
+                        ..Default::default()
+                    },
+                    fork,
+                );
+                black_box(r.resolve(&req, &mut eval))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let _ = Prediction::unknown();
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_code_metrics,
+    bench_randtree,
+    bench_gossip,
+    bench_dissem,
+    bench_paxos,
+    bench_prediction,
+    bench_resolvers
+);
+criterion_main!(benches);

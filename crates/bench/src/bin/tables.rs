@@ -1,0 +1,76 @@
+//! Regenerates the paper's tables. Usage:
+//!
+//! ```text
+//! tables [--quick] [--exp e2] [--json DIR]
+//! ```
+//!
+//! With no arguments, runs every experiment at paper scale and prints the
+//! tables. `--quick` shrinks sizes for a fast smoke run; `--exp eN`
+//! selects one experiment; `--json DIR` additionally writes one JSON file
+//! per table into DIR.
+
+use cb_bench::experiments::{self, Scale};
+use cb_bench::Table;
+
+/// An experiment entry: id plus its runner.
+type Runner = (&'static str, fn(Scale) -> Table);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::paper();
+    let mut only: Option<String> = None;
+    let mut json_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--exp" => {
+                i += 1;
+                only = Some(args.get(i).expect("--exp needs an argument").to_lowercase());
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).expect("--json needs a directory").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tables [--quick] [--exp eN] [--json DIR]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let runners: Vec<Runner> = vec![
+        ("e1", experiments::e1),
+        ("e2", experiments::e2),
+        ("e3", experiments::e3),
+        ("e4", experiments::e4),
+        ("e5", experiments::e5),
+        ("e6", experiments::e6),
+        ("e7", experiments::e7),
+        ("e8", experiments::e8),
+        ("e10", experiments::e10),
+        ("a1", experiments::a1),
+        ("a2", experiments::a2),
+    ];
+    for (id, run) in runners {
+        if let Some(sel) = &only {
+            if sel != id {
+                continue;
+            }
+        }
+        let start = std::time::Instant::now();
+        let table = run(scale);
+        println!("{table}");
+        println!("   ({:.1}s)\n", start.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{id}.json");
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&table.to_json()).expect("json"),
+            )
+            .expect("write json");
+        }
+    }
+}

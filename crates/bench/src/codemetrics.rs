@@ -1,0 +1,239 @@
+//! Source-code complexity metrics (experiment E1).
+//!
+//! The paper's §4 quantifies the programming-model claim with two numbers:
+//! lines of code (487 → 280, a 43% reduction) and *if-else statements per
+//! handler* (1.94 → 0.28). We apply the same methodology to our own two
+//! RandTree implementations: the analyzer counts effective lines and
+//! branching over the marked handler regions (and the whole
+//! implementation, tests stripped) of `cb-randtree`'s `baseline.rs` and
+//! `choice.rs`, embedded at compile time.
+
+/// The baseline RandTree source, embedded verbatim.
+pub const BASELINE_SRC: &str = include_str!("../../randtree/src/baseline.rs");
+
+/// The choice-exposed RandTree source, embedded verbatim.
+pub const CHOICE_SRC: &str = include_str!("../../randtree/src/choice.rs");
+
+/// Code metrics of one implementation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodeMetrics {
+    /// Effective (non-blank, non-comment) lines of the implementation,
+    /// tests excluded.
+    pub loc: usize,
+    /// Effective lines in the marked handler region.
+    pub handler_loc: usize,
+    /// Number of handler functions in the marked region plus the Service
+    /// trait handlers.
+    pub handlers: usize,
+    /// `if` statements (including each `else if`) in the handler region and
+    /// Service handlers.
+    pub ifs: usize,
+    /// Statements (`;` plus block openings) in the implementation, tests
+    /// excluded — a formatting-invariant size proxy.
+    pub statements: usize,
+}
+
+impl CodeMetrics {
+    /// The paper's complexity metric: if-else statements per handler.
+    pub fn ifs_per_handler(&self) -> f64 {
+        if self.handlers == 0 {
+            0.0
+        } else {
+            self.ifs as f64 / self.handlers as f64
+        }
+    }
+}
+
+/// Drops everything from the `#[cfg(test)]` marker on.
+fn strip_tests(src: &str) -> &str {
+    match src.find("#[cfg(test)]") {
+        Some(i) => &src[..i],
+        None => src,
+    }
+}
+
+/// True for lines that count toward LoC: non-blank, not pure comments.
+fn is_effective(line: &str) -> bool {
+    let t = line.trim();
+    !t.is_empty() && !t.starts_with("//") && !t.starts_with("/*") && !t.starts_with('*')
+}
+
+/// Effective lines in `src`.
+pub fn effective_loc(src: &str) -> usize {
+    src.lines().filter(|l| is_effective(l)).count()
+}
+
+/// Statements in `src`: semicolons plus block openings on effective lines.
+/// Invariant under rustfmt reflowing, unlike raw line counts.
+pub fn statement_count(src: &str) -> usize {
+    src.lines()
+        .filter(|l| is_effective(l))
+        .map(|l| l.matches(';').count() + l.matches('{').count())
+        .sum()
+}
+
+/// The text between the `[handlers:begin]` / `[handlers:end]` markers.
+///
+/// # Panics
+///
+/// Panics when the markers are missing — the experiment depends on them.
+pub fn handler_region(src: &str) -> &str {
+    // Match the marker comment lines, not mentions in the module docs.
+    let begin = src
+        .find("// [handlers:begin]")
+        .expect("missing [handlers:begin] marker");
+    let end = src
+        .find("// [handlers:end]")
+        .expect("missing [handlers:end] marker");
+    &src[begin..end]
+}
+
+/// The body of `impl Service for …` (trait handlers also count as
+/// handlers: they dispatch messages and timers).
+fn service_impl_region(src: &str) -> &str {
+    let begin = src.find("impl Service for").expect("missing Service impl");
+    // The impl ends at the next top-level `}` — approximate by the test
+    // marker or end of file, since the impl is last before tests.
+    let rest = &src[begin..];
+    match rest.find("#[cfg(test)]") {
+        Some(i) => &rest[..i],
+        None => rest,
+    }
+}
+
+/// Counts `if` keyword occurrences (each `else if` counts once, via its
+/// `if`) in effective lines.
+pub fn count_ifs(region: &str) -> usize {
+    region
+        .lines()
+        .filter(|l| is_effective(l))
+        .map(|l| {
+            // Token-ish scan: count occurrences of `if` bounded by
+            // non-identifier characters.
+            let bytes = l.as_bytes();
+            let mut n = 0;
+            let mut i = 0;
+            while i + 2 <= bytes.len() {
+                if &bytes[i..i + 2] == b"if"
+                    && (i == 0 || !bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'_')
+                    && (i + 2 == bytes.len()
+                        || !bytes[i + 2].is_ascii_alphanumeric() && bytes[i + 2] != b'_')
+                {
+                    n += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            n
+        })
+        .sum()
+}
+
+/// Counts function definitions in a region.
+pub fn count_fns(region: &str) -> usize {
+    region
+        .lines()
+        .filter(|l| is_effective(l))
+        .filter(|l| l.trim_start().starts_with("fn ") || l.contains(" fn "))
+        .count()
+}
+
+/// Counts event-handler callbacks (`fn on_*`) in a region.
+fn count_event_handlers(region: &str) -> usize {
+    region
+        .lines()
+        .filter(|l| is_effective(l))
+        .filter(|l| {
+            let t = l.trim_start();
+            t.starts_with("fn on_") || t.contains(" fn on_")
+        })
+        .count()
+}
+
+/// Analyzes one implementation source.
+pub fn analyze(src: &str) -> CodeMetrics {
+    let body = strip_tests(src);
+    let handlers_region = handler_region(body);
+    let service_region = service_impl_region(body);
+    // Handlers are the marked policy/handler functions plus the Service
+    // event callbacks (`on_*`); checkpoint/neighbors accessors are not
+    // handlers.
+    let handlers = count_fns(handlers_region) + count_event_handlers(service_region);
+    let ifs = count_ifs(handlers_region) + count_ifs(service_region);
+    CodeMetrics {
+        loc: effective_loc(body),
+        handler_loc: effective_loc(handlers_region),
+        handlers,
+        ifs,
+        statements: statement_count(body),
+    }
+}
+
+/// The E1 table: baseline vs choice metrics.
+pub fn e1_metrics() -> (CodeMetrics, CodeMetrics) {
+    (analyze(BASELINE_SRC), analyze(CHOICE_SRC))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_loc_skips_comments_and_blanks() {
+        let src = "// comment\n\nlet x = 1; // trailing is fine\n/* block */\n * doc\n";
+        assert_eq!(effective_loc(src), 1);
+    }
+
+    #[test]
+    fn count_ifs_is_token_aware() {
+        assert_eq!(count_ifs("if a { } else if b { }"), 2);
+        assert_eq!(count_ifs("verify(x); life; modifier"), 0);
+        assert_eq!(count_ifs("if let Some(x) = y {"), 1);
+        assert_eq!(count_ifs("// if inside comment"), 0);
+    }
+
+    #[test]
+    fn both_sources_have_markers() {
+        let _ = handler_region(BASELINE_SRC);
+        let _ = handler_region(CHOICE_SRC);
+    }
+
+    #[test]
+    fn choice_version_is_substantially_simpler() {
+        let (base, choice) = e1_metrics();
+        // The headline claims of E1, asserted as invariants of this repo:
+        // fewer lines, and far fewer if-else per handler.
+        assert!(
+            choice.loc < base.loc,
+            "choice LoC {} not below baseline {}",
+            choice.loc,
+            base.loc
+        );
+        assert!(
+            choice.ifs_per_handler() < base.ifs_per_handler() / 2.0,
+            "complexity: choice {:.2} vs baseline {:.2}",
+            choice.ifs_per_handler(),
+            base.ifs_per_handler()
+        );
+        assert!(base.handlers > 0 && choice.handlers > 0);
+    }
+
+    #[test]
+    fn statement_count_ignores_formatting() {
+        let one_line = "foo(a, b); if x { y(); }";
+        let reflowed = "foo(
+    a,
+    b,
+);
+if x {
+    y();
+}";
+        assert_eq!(statement_count(one_line), statement_count(reflowed));
+    }
+
+    #[test]
+    fn strip_tests_removes_test_module() {
+        assert!(!strip_tests(BASELINE_SRC).contains("mod tests"));
+    }
+}

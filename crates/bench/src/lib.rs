@@ -1,0 +1,17 @@
+//! # cb-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (and the
+//! quantified §3.1 claims) over the crates of this workspace. The
+//! `tables` binary prints them; the Criterion benches measure the
+//! underlying building blocks. See `EXPERIMENTS.md` at the repository root
+//! for the paper-vs-measured record and `DESIGN.md` for the experiment
+//! index.
+
+pub mod codemetrics;
+pub mod experiments;
+pub mod models;
+pub mod steeringlab;
+pub mod table;
+
+pub use experiments::{all, Scale};
+pub use table::Table;

@@ -1,0 +1,144 @@
+//! Synthetic transition systems used by the prediction benchmarks (E8).
+
+use cb_mck::system::TransitionSystem;
+use std::collections::BTreeSet;
+
+/// A flooding broadcast over `n` nodes arranged in a ring with `fanout`
+/// forward neighbors: node 0 starts with the datum; delivering it to a new
+/// node enables that node's forwards (a causal chain), while deliveries to
+/// *different* nodes are independent events whose interleavings blow up an
+/// exhaustive search. This is the shape consequence prediction was designed
+/// to exploit.
+#[derive(Clone, Debug)]
+pub struct Flood {
+    /// Number of nodes.
+    pub n: usize,
+    /// Forward neighbors per node (ring successors).
+    pub fanout: usize,
+}
+
+/// Flood state: who has the datum, and which (from, to) sends are pending.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct FloodState {
+    /// Receipt flags per node.
+    pub received: Vec<bool>,
+    /// Pending deliveries, kept sorted for determinism.
+    pub pending: BTreeSet<(u16, u16)>,
+}
+
+/// One delivery event.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct Deliver(pub u16, pub u16);
+
+impl Flood {
+    fn forwards(&self, node: u16) -> Vec<(u16, u16)> {
+        (1..=self.fanout as u16)
+            .map(|k| (node, (node + k) % self.n as u16))
+            .collect()
+    }
+}
+
+impl TransitionSystem for Flood {
+    type State = FloodState;
+    type Action = Deliver;
+
+    fn initial(&self) -> FloodState {
+        let mut received = vec![false; self.n];
+        received[0] = true;
+        FloodState {
+            received,
+            pending: self.forwards(0).into_iter().collect(),
+        }
+    }
+
+    fn actions(&self, s: &FloodState) -> Vec<Deliver> {
+        s.pending.iter().map(|&(f, t)| Deliver(f, t)).collect()
+    }
+
+    fn step(&self, s: &FloodState, a: &Deliver) -> FloodState {
+        let mut next = s.clone();
+        next.pending.remove(&(a.0, a.1));
+        if !next.received[a.1 as usize] {
+            next.received[a.1 as usize] = true;
+            for fw in self.forwards(a.1) {
+                next.pending.insert(fw);
+            }
+        }
+        next
+    }
+
+    fn locus(&self, a: &Deliver) -> usize {
+        a.1 as usize
+    }
+}
+
+/// Fraction of nodes that have received the datum.
+pub fn flood_coverage(s: &FloodState) -> f64 {
+    s.received.iter().filter(|&&r| r).count() as f64 / s.received.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_mck::explore::{bfs, ExploreConfig};
+    use cb_mck::props::Property;
+
+    #[test]
+    fn initial_state_has_source_and_its_sends() {
+        let sys = Flood { n: 6, fanout: 2 };
+        let s = sys.initial();
+        assert!(s.received[0]);
+        assert_eq!(s.pending.len(), 2);
+        assert_eq!(flood_coverage(&s), 1.0 / 6.0);
+    }
+
+    #[test]
+    fn delivery_spreads_and_enables_forwards() {
+        let sys = Flood { n: 6, fanout: 2 };
+        let s0 = sys.initial();
+        let s1 = sys.step(&s0, &Deliver(0, 1));
+        assert!(s1.received[1]);
+        assert!(s1.pending.contains(&(1, 2)));
+        assert!(s1.pending.contains(&(1, 3)));
+        // Re-delivery to an already-infected node enables nothing new.
+        let s2 = sys.step(&s1, &Deliver(0, 2));
+        let s3 = sys.step(&s2, &Deliver(1, 2));
+        assert!(s3.received[2]);
+    }
+
+    #[test]
+    fn full_coverage_is_reachable_within_depth() {
+        let sys = Flood { n: 5, fanout: 2 };
+        let props = [Property::safety("not everyone has it", |s: &FloodState| {
+            flood_coverage(s) < 1.0
+        })];
+        let r = bfs(
+            &sys,
+            &props,
+            &ExploreConfig {
+                max_depth: 8,
+                max_states: 200_000,
+                ..Default::default()
+            },
+        );
+        assert!(!r.safe(), "full coverage must be reachable");
+    }
+
+    #[test]
+    fn consequence_prunes_flood_interleavings() {
+        let sys = Flood { n: 8, fanout: 2 };
+        let cfg = ExploreConfig {
+            max_depth: 6,
+            max_states: 1_000_000,
+            ..Default::default()
+        };
+        let full = bfs(&sys, &[], &cfg);
+        let chains = cb_mck::consequence::predict(&sys, &[], &cfg);
+        assert!(
+            chains.report.states_visited * 2 < full.states_visited,
+            "consequence {} vs bfs {}",
+            chains.report.states_visited,
+            full.states_visited
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text and JSON rendering of experiment tables.
+
+use std::fmt;
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "E2".
+    pub id: &'static str,
+    /// Title shown above the table.
+    pub title: String,
+    /// What the paper reported, for side-by-side reading.
+    pub paper: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        paper: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            paper: paper.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// The table as JSON (one object per row, keyed by header).
+    pub fn to_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut obj = serde_json::Map::new();
+                for (h, v) in self.headers.iter().zip(r) {
+                    obj.insert(h.clone(), serde_json::Value::String(v.clone()));
+                }
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        serde_json::json!({
+            "experiment": self.id,
+            "title": self.title,
+            "paper": self.paper,
+            "rows": rows,
+        })
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        writeln!(f, "   paper: {}", self.paper)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "   {}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "   {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "   {}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", "n/a", &["name", "value"]);
+        t.push(vec!["a".into(), "1".into()]);
+        t.push(vec!["longer".into(), "2".into()]);
+        let text = format!("{t}");
+        assert!(text.contains("E0"));
+        assert!(text.contains("longer"));
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = Table::new("E9", "j", "p", &["k"]);
+        t.push(vec!["v".into()]);
+        let j = t.to_json();
+        assert_eq!(j["experiment"], "E9");
+        assert_eq!(j["rows"][0]["k"], "v");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("E9", "j", "p", &["a", "b"]);
+        t.push(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Exposed choices: the heart of the programming model.
+//!
+//! Instead of burying "which peer do I pick?" inside a message handler, the
+//! service *exposes* the decision: it names the choice point, lists the
+//! options (with optional feature vectors and a scenario context), and asks
+//! the runtime to resolve it (paper §3.1). Everything a resolver — random,
+//! heuristic, predictive, or learned — needs to know about a decision is in
+//! the [`ChoiceRequest`]; what the runtime decided and why is recorded as a
+//! [`DecisionRecord`] for later inspection and learning feedback.
+
+use cb_simnet::time::SimTime;
+use std::fmt;
+
+/// Identifies a choice point in the service's code, e.g.
+/// `"randtree.forward-join"`. Static strings keep request construction
+/// allocation-free on the hot path.
+pub type ChoiceId = &'static str;
+
+/// A discretized scenario context, used by learned resolvers to generalize
+/// across "similar scenarios" (paper §3.4). Services derive it from whatever
+/// coarse state matters: load level, churn regime, round phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ContextKey(pub u64);
+
+/// One selectable alternative at a choice point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptionDesc {
+    /// Application-level identity of the option (e.g. a peer's `NodeId.0`,
+    /// a block index, a handler index).
+    pub key: u64,
+    /// Optional features for heuristic/learned resolvers, e.g.
+    /// `[estimated latency ms, tree depth, load]`. May be empty.
+    pub features: Vec<f64>,
+}
+
+impl OptionDesc {
+    /// An option with no features.
+    pub fn key(key: u64) -> Self {
+        OptionDesc {
+            key,
+            features: Vec::new(),
+        }
+    }
+
+    /// An option with features.
+    pub fn with_features(key: u64, features: Vec<f64>) -> Self {
+        OptionDesc { key, features }
+    }
+}
+
+/// A choice the service asks the runtime to resolve.
+#[derive(Clone, Debug)]
+pub struct ChoiceRequest<'a> {
+    /// Which choice point this is.
+    pub id: ChoiceId,
+    /// The alternatives, in the service's preference-neutral order.
+    pub options: &'a [OptionDesc],
+    /// Scenario context for learned resolution.
+    pub context: ContextKey,
+}
+
+impl<'a> ChoiceRequest<'a> {
+    /// Builds a request with the default (empty) context.
+    pub fn new(id: ChoiceId, options: &'a [OptionDesc]) -> Self {
+        ChoiceRequest {
+            id,
+            options,
+            context: ContextKey::default(),
+        }
+    }
+
+    /// Sets the scenario context.
+    pub fn in_context(mut self, context: ContextKey) -> Self {
+        self.context = context;
+        self
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// True when there is nothing to choose from.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+}
+
+/// What a predictive evaluation of one option concluded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Predicted objective value if this option is chosen (higher is
+    /// better).
+    pub objective: f64,
+    /// Number of safety violations predicted in the explored future.
+    pub violations: u64,
+    /// How much future was examined (states or walks), for cost accounting.
+    pub states_explored: u64,
+}
+
+impl Prediction {
+    /// A neutral prediction (no information).
+    pub fn unknown() -> Self {
+        Prediction {
+            objective: 0.0,
+            violations: 0,
+            states_explored: 0,
+        }
+    }
+
+    /// Orders predictions: fewer predicted violations first (safety
+    /// dominates), then higher objective.
+    pub fn better_than(&self, other: &Prediction) -> bool {
+        match self.violations.cmp(&other.violations) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.objective > other.objective,
+        }
+    }
+}
+
+/// Evaluates the future of individual options at a choice point.
+///
+/// Predictive resolvers call [`OptionEvaluator::evaluate`]; cheap resolvers
+/// never do, so the (possibly expensive) prediction machinery only runs when
+/// the strategy wants it.
+pub trait OptionEvaluator {
+    /// Predicts the outcome of picking option `index`.
+    fn evaluate(&mut self, index: usize) -> Prediction;
+}
+
+/// An evaluator with no predictive model: every option looks the same.
+pub struct NullEvaluator;
+
+impl OptionEvaluator for NullEvaluator {
+    fn evaluate(&mut self, _index: usize) -> Prediction {
+        Prediction::unknown()
+    }
+}
+
+/// An evaluator backed by a closure (used by services that evaluate options
+/// with app-specific logic, and pervasively by tests).
+pub struct FnEvaluator<F: FnMut(usize) -> Prediction>(pub F);
+
+impl<F: FnMut(usize) -> Prediction> OptionEvaluator for FnEvaluator<F> {
+    fn evaluate(&mut self, index: usize) -> Prediction {
+        (self.0)(index)
+    }
+}
+
+/// A resolver turns a [`ChoiceRequest`] into the index of the chosen option.
+///
+/// Implementations must return an index `< request.len()`; the runtime
+/// asserts this. The [`feedback`](Resolver::feedback) channel closes the
+/// loop for learned resolvers: the service (or the runtime's objective
+/// machinery) reports the realized reward of a past decision.
+pub trait Resolver {
+    /// Resolves the request. `eval` predicts option futures on demand.
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize;
+
+    /// Reports the realized reward of having picked `option_key` at this
+    /// choice point in this context. Default: ignored.
+    fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
+        let _ = (id, context, option_key, reward);
+    }
+
+    /// A short name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The prediction backing the most recent decision, when the resolver
+    /// produced one (predictive resolvers override this; others return
+    /// `None`). The runtime copies it into the decision log.
+    fn last_prediction(&self) -> Option<Prediction> {
+        None
+    }
+}
+
+/// One resolved decision, kept in the runtime's decision log.
+#[derive(Clone, Debug)]
+pub struct DecisionRecord {
+    /// When the decision was made.
+    pub at: SimTime,
+    /// Which choice point.
+    pub id: ChoiceId,
+    /// Scenario context at decision time.
+    pub context: ContextKey,
+    /// Keys of the options that were available.
+    pub option_keys: Vec<u64>,
+    /// Index of the chosen option.
+    pub chosen: usize,
+    /// Prediction for the chosen option, when the resolver produced one.
+    pub prediction: Option<Prediction>,
+}
+
+impl DecisionRecord {
+    /// Key of the chosen option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is malformed (chosen out of range), which the
+    /// runtime prevents.
+    pub fn chosen_key(&self) -> u64 {
+        self.option_keys[self.chosen]
+    }
+}
+
+impl fmt::Display for DecisionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: chose {} of {:?}",
+            self.at,
+            self.id,
+            self.chosen_key(),
+            self.option_keys
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_desc_builders() {
+        let a = OptionDesc::key(7);
+        assert!(a.features.is_empty());
+        let b = OptionDesc::with_features(8, vec![1.0, 2.0]);
+        assert_eq!(b.features, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn request_context_builder() {
+        let opts = [OptionDesc::key(1), OptionDesc::key(2)];
+        let req = ChoiceRequest::new("x", &opts).in_context(ContextKey(9));
+        assert_eq!(req.len(), 2);
+        assert!(!req.is_empty());
+        assert_eq!(req.context, ContextKey(9));
+    }
+
+    #[test]
+    fn prediction_ordering_safety_dominates() {
+        let safe_bad = Prediction {
+            objective: -5.0,
+            violations: 0,
+            states_explored: 1,
+        };
+        let unsafe_good = Prediction {
+            objective: 100.0,
+            violations: 1,
+            states_explored: 1,
+        };
+        assert!(safe_bad.better_than(&unsafe_good));
+        assert!(!unsafe_good.better_than(&safe_bad));
+        let better_obj = Prediction {
+            objective: 1.0,
+            violations: 0,
+            states_explored: 1,
+        };
+        assert!(better_obj.better_than(&safe_bad));
+    }
+
+    #[test]
+    fn fn_evaluator_delegates() {
+        let mut eval = FnEvaluator(|i| Prediction {
+            objective: i as f64,
+            violations: 0,
+            states_explored: 1,
+        });
+        assert_eq!(eval.evaluate(3).objective, 3.0);
+        assert_eq!(NullEvaluator.evaluate(3), Prediction::unknown());
+    }
+
+    #[test]
+    fn decision_record_chosen_key_and_display() {
+        let rec = DecisionRecord {
+            at: SimTime::from_millis(5),
+            id: "pick",
+            context: ContextKey(0),
+            option_keys: vec![10, 20, 30],
+            chosen: 2,
+            prediction: None,
+        };
+        assert_eq!(rec.chosen_key(), 30);
+        let text = format!("{rec}");
+        assert!(text.contains("pick"), "{text}");
+        assert!(text.contains("30"), "{text}");
+    }
+}

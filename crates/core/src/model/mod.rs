@@ -1,0 +1,16 @@
+//! The predictive system model (paper §3.3).
+//!
+//! Two halves, both owned by the runtime rather than the application:
+//!
+//! * [`net`] — the network model: per-peer latency/bandwidth/loss estimates
+//!   built from passive observation and probes, each with a confidence that
+//!   decays as the estimate ages.
+//! * [`state`] — the state model: neighbors' checkpoints (stamped,
+//!   staleness-bounded) plus the *generic node* abstraction for the parts
+//!   of the system no checkpoint covers.
+
+pub mod net;
+pub mod state;
+
+pub use net::{LinkEstimate, NetworkModel};
+pub use state::{NodeView, Snapshot, Stamped, StateModel};

@@ -1,0 +1,315 @@
+//! The state model: neighbor checkpoints and generic nodes.
+//!
+//! Paper §3.3: each node keeps a model of *system-wide* state built from
+//! checkpoints its neighbors ship periodically. Two realities shape the
+//! design. First, information is partial — nodes outside the collected
+//! neighborhood appear as **generic (dummy) nodes** whose state is
+//! deliberately under-specified, so predictions can account for unknown
+//! participants without pretending to know them. Second, information is
+//! stale — every checkpoint is stamped with its collection time, and the
+//! consumer decides how much staleness it tolerates.
+
+use cb_simnet::time::{SimDuration, SimTime};
+use cb_simnet::topology::NodeId;
+use std::collections::BTreeMap;
+
+/// A checkpoint of one node's service state, stamped with when it was taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stamped<C> {
+    /// The checkpointed state.
+    pub state: C,
+    /// When the owner took the checkpoint (its local simulated time).
+    pub taken_at: SimTime,
+}
+
+/// What the model knows about one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeView<'a, C> {
+    /// A checkpoint exists; it may be stale.
+    Known(&'a Stamped<C>),
+    /// No checkpoint: the node is modelled as a generic (dummy) node whose
+    /// state is under-specified.
+    Generic,
+}
+
+impl<'a, C> NodeView<'a, C> {
+    /// True when this is a generic (unknown) node.
+    pub fn is_generic(&self) -> bool {
+        matches!(self, NodeView::Generic)
+    }
+}
+
+/// A consistent cut of the neighborhood: the newest mutually compatible set
+/// of checkpoints the runtime has assembled.
+#[derive(Clone, Debug)]
+pub struct Snapshot<C> {
+    /// When the snapshot was assembled.
+    pub at: SimTime,
+    /// Checkpoints by node, in id order.
+    pub nodes: BTreeMap<NodeId, Stamped<C>>,
+}
+
+impl<C> Snapshot<C> {
+    /// Nodes present in the snapshot.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Age of the oldest checkpoint relative to the snapshot time.
+    pub fn max_staleness(&self) -> SimDuration {
+        self.nodes
+            .values()
+            .map(|s| self.at.saturating_since(s.taken_at))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// The runtime's store of neighbor checkpoints.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::model::state::StateModel;
+/// use cb_simnet::time::{SimDuration, SimTime};
+/// use cb_simnet::topology::NodeId;
+///
+/// let mut model: StateModel<u32> = StateModel::new(SimDuration::from_secs(30));
+/// model.update(NodeId(1), 42, SimTime::from_secs(1), SimTime::from_secs(1));
+/// assert!(!model.view(NodeId(1)).is_generic());
+/// assert!(model.view(NodeId(2)).is_generic());
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateModel<C> {
+    neighbors: BTreeMap<NodeId, Stamped<C>>,
+    /// Checkpoints older than this are treated as generic at snapshot time.
+    max_staleness: SimDuration,
+    updates: u64,
+}
+
+impl<C: Clone> StateModel<C> {
+    /// Creates an empty model tolerating the given checkpoint staleness.
+    pub fn new(max_staleness: SimDuration) -> Self {
+        StateModel {
+            neighbors: BTreeMap::new(),
+            max_staleness,
+            updates: 0,
+        }
+    }
+
+    /// Stores (or refreshes) a neighbor's checkpoint.
+    ///
+    /// `taken_at` is when the checkpoint was produced at its owner;
+    /// `received_at` is the local arrival time. Checkpoints never move
+    /// backwards: an older `taken_at` than the stored one is ignored.
+    pub fn update(&mut self, peer: NodeId, state: C, taken_at: SimTime, received_at: SimTime) {
+        let _ = received_at;
+        match self.neighbors.get(&peer) {
+            Some(existing) if existing.taken_at > taken_at => {}
+            _ => {
+                self.neighbors.insert(peer, Stamped { state, taken_at });
+                self.updates += 1;
+            }
+        }
+    }
+
+    /// Forgets a neighbor (e.g. after its crash was detected).
+    pub fn remove(&mut self, peer: NodeId) {
+        self.neighbors.remove(&peer);
+    }
+
+    /// What the model knows about `peer` right now, ignoring staleness.
+    pub fn view(&self, peer: NodeId) -> NodeView<'_, C> {
+        match self.neighbors.get(&peer) {
+            Some(s) => NodeView::Known(s),
+            None => NodeView::Generic,
+        }
+    }
+
+    /// Neighbors with stored checkpoints, in id order.
+    pub fn known(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors.keys().copied()
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when no checkpoint is stored.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Total checkpoint updates accepted.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Assembles the freshest consistent snapshot at `now`: all checkpoints
+    /// no older than the staleness bound. Returns `None` when nothing
+    /// usable exists.
+    pub fn snapshot(&self, now: SimTime) -> Option<Snapshot<C>> {
+        let nodes: BTreeMap<NodeId, Stamped<C>> = self
+            .neighbors
+            .iter()
+            .filter(|(_, s)| now.saturating_since(s.taken_at) <= self.max_staleness)
+            .map(|(&n, s)| (n, s.clone()))
+            .collect();
+        if nodes.is_empty() {
+            None
+        } else {
+            Some(Snapshot { at: now, nodes })
+        }
+    }
+
+    /// Like [`StateModel::snapshot`] but also inserts the local node's own
+    /// current state, which is always fresh.
+    pub fn snapshot_with_self(&self, me: NodeId, my_state: C, now: SimTime) -> Snapshot<C> {
+        let mut snap = self.snapshot(now).unwrap_or(Snapshot {
+            at: now,
+            nodes: BTreeMap::new(),
+        });
+        snap.nodes.insert(
+            me,
+            Stamped {
+                state: my_state,
+                taken_at: now,
+            },
+        );
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> StateModel<String> {
+        StateModel::new(SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn update_and_view() {
+        let mut m = model();
+        m.update(
+            NodeId(1),
+            "a".into(),
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+        );
+        match m.view(NodeId(1)) {
+            NodeView::Known(s) => assert_eq!(s.state, "a"),
+            NodeView::Generic => panic!("should be known"),
+        }
+        assert!(m.view(NodeId(5)).is_generic());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.updates(), 1);
+    }
+
+    #[test]
+    fn stale_update_ignored_fresh_accepted() {
+        let mut m = model();
+        m.update(
+            NodeId(1),
+            "new".into(),
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+        );
+        m.update(
+            NodeId(1),
+            "old".into(),
+            SimTime::from_secs(5),
+            SimTime::from_secs(11),
+        );
+        match m.view(NodeId(1)) {
+            NodeView::Known(s) => assert_eq!(s.state, "new"),
+            NodeView::Generic => panic!(),
+        }
+        m.update(
+            NodeId(1),
+            "newer".into(),
+            SimTime::from_secs(20),
+            SimTime::from_secs(20),
+        );
+        match m.view(NodeId(1)) {
+            NodeView::Known(s) => assert_eq!(s.state, "newer"),
+            NodeView::Generic => panic!(),
+        }
+        assert_eq!(m.updates(), 2);
+    }
+
+    #[test]
+    fn snapshot_filters_stale_checkpoints() {
+        let mut m = model();
+        m.update(
+            NodeId(1),
+            "fresh".into(),
+            SimTime::from_secs(100),
+            SimTime::from_secs(100),
+        );
+        m.update(
+            NodeId(2),
+            "stale".into(),
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+        );
+        let snap = m
+            .snapshot(SimTime::from_secs(110))
+            .expect("snapshot exists");
+        assert_eq!(snap.members().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(snap.max_staleness(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn snapshot_none_when_everything_stale() {
+        let mut m = model();
+        m.update(
+            NodeId(1),
+            "x".into(),
+            SimTime::from_secs(0),
+            SimTime::from_secs(0),
+        );
+        assert!(m.snapshot(SimTime::from_secs(1000)).is_none());
+    }
+
+    #[test]
+    fn snapshot_with_self_always_has_me() {
+        let m = model();
+        let snap = m.snapshot_with_self(NodeId(0), "me".into(), SimTime::from_secs(1));
+        assert_eq!(snap.nodes.len(), 1);
+        assert_eq!(snap.nodes[&NodeId(0)].state, "me");
+        assert_eq!(snap.max_staleness(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn remove_makes_generic() {
+        let mut m = model();
+        m.update(
+            NodeId(3),
+            "x".into(),
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+        );
+        m.remove(NodeId(3));
+        assert!(m.view(NodeId(3)).is_generic());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn known_iterates_in_id_order() {
+        let mut m = model();
+        for id in [5u32, 1, 3] {
+            m.update(
+                NodeId(id),
+                "x".into(),
+                SimTime::from_secs(1),
+                SimTime::from_secs(1),
+            );
+        }
+        assert_eq!(
+            m.known().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(3), NodeId(5)]
+        );
+    }
+}

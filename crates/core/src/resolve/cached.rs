@@ -1,0 +1,226 @@
+//! The cached resolver: keep expensive prediction off the critical path.
+//!
+//! Paper §3.4: "a useful design decision is removing complex mechanisms for
+//! making the choices from the critical path, using choices based on
+//! previous similar scenarios as a fast alternative, and updating the
+//! choices as more information becomes available." This wrapper memoizes an
+//! inner (expensive) resolver's decision per (choice point, context,
+//! option-set) and refreshes it every `refresh_every` uses — the refresh
+//! standing in for the background recomputation a multi-core deployment
+//! would run concurrently.
+
+use crate::choice::{ChoiceId, ChoiceRequest, ContextKey, OptionEvaluator, Resolver};
+use cb_mck::hash::fingerprint;
+use std::collections::BTreeMap;
+
+type CacheKey = (ChoiceId, ContextKey, u64);
+
+struct CacheEntry {
+    /// The chosen option's key (not index: option order may vary between
+    /// requests with the same set).
+    chosen_key: u64,
+    /// Uses since the last refresh.
+    uses: u64,
+}
+
+/// Wraps a resolver and serves cached decisions, recomputing periodically.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::choice::{ChoiceRequest, NullEvaluator, OptionDesc, Prediction, FnEvaluator, Resolver};
+/// use cb_core::resolve::cached::CachedResolver;
+/// use cb_core::resolve::lookahead::LookaheadResolver;
+///
+/// let mut r = CachedResolver::new(LookaheadResolver::new(), 100);
+/// let opts = [OptionDesc::key(0), OptionDesc::key(1)];
+/// let req = ChoiceRequest::new("x", &opts);
+/// let mut evals = 0u32;
+/// for _ in 0..50 {
+///     let mut eval = FnEvaluator(|i| { evals += 1; Prediction { objective: i as f64, violations: 0, states_explored: 1 } });
+///     r.resolve(&req, &mut eval);
+/// }
+/// // Only the first call evaluated (2 options); 49 were served from cache.
+/// assert_eq!(evals, 2);
+/// ```
+pub struct CachedResolver<R: Resolver> {
+    inner: R,
+    refresh_every: u64,
+    cache: BTreeMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<R: Resolver> CachedResolver<R> {
+    /// Wraps `inner`, recomputing each cached decision after
+    /// `refresh_every` cache hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refresh_every` is zero.
+    pub fn new(inner: R, refresh_every: u64) -> Self {
+        assert!(refresh_every > 0, "refresh interval must be positive");
+        CachedResolver {
+            inner,
+            refresh_every,
+            cache: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (inner resolutions) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops all cached decisions (e.g. after a detected regime change).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Access to the wrapped resolver.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    fn option_set_hash(request: &ChoiceRequest<'_>) -> u64 {
+        let mut keys: Vec<u64> = request.options.iter().map(|o| o.key).collect();
+        keys.sort_unstable();
+        fingerprint(&keys)
+    }
+}
+
+impl<R: Resolver> Resolver for CachedResolver<R> {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        let key = (request.id, request.context, Self::option_set_hash(request));
+        if let Some(entry) = self.cache.get_mut(&key) {
+            if entry.uses < self.refresh_every {
+                entry.uses += 1;
+                // The cached key must still be present (same option-set hash
+                // guarantees it barring hash collisions).
+                if let Some(idx) = request
+                    .options
+                    .iter()
+                    .position(|o| o.key == entry.chosen_key)
+                {
+                    self.hits += 1;
+                    return idx;
+                }
+            }
+        }
+        self.misses += 1;
+        let idx = self.inner.resolve(request, eval);
+        assert!(
+            idx < request.len(),
+            "inner resolver returned out-of-range index"
+        );
+        self.cache.insert(
+            key,
+            CacheEntry {
+                chosen_key: request.options[idx].key,
+                uses: 0,
+            },
+        );
+        idx
+    }
+
+    fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
+        self.inner.feedback(id, context, option_key, reward);
+    }
+
+    fn name(&self) -> &'static str {
+        "cached"
+    }
+
+    fn last_prediction(&self) -> Option<crate::choice::Prediction> {
+        self.inner.last_prediction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{NullEvaluator, OptionDesc};
+    use crate::resolve::random::RandomResolver;
+
+    fn opts(keys: &[u64]) -> Vec<OptionDesc> {
+        keys.iter().map(|&k| OptionDesc::key(k)).collect()
+    }
+
+    #[test]
+    fn caches_until_refresh() {
+        let mut r = CachedResolver::new(RandomResolver::new(1), 5);
+        let o = opts(&[10, 20, 30]);
+        let req = ChoiceRequest::new("c", &o);
+        let first = r.resolve(&req, &mut NullEvaluator);
+        for _ in 0..5 {
+            assert_eq!(r.resolve(&req, &mut NullEvaluator), first);
+        }
+        assert_eq!(r.misses(), 1);
+        assert_eq!(r.hits(), 5);
+        // Sixth reuse triggers a refresh.
+        let _ = r.resolve(&req, &mut NullEvaluator);
+        assert_eq!(r.misses(), 2);
+    }
+
+    #[test]
+    fn cache_keyed_by_option_set_not_order() {
+        let mut r = CachedResolver::new(RandomResolver::new(3), 100);
+        let a = opts(&[1, 2, 3]);
+        let b = opts(&[3, 2, 1]);
+        let pick_a = r.resolve(&ChoiceRequest::new("c", &a), &mut NullEvaluator);
+        let pick_b = r.resolve(&ChoiceRequest::new("c", &b), &mut NullEvaluator);
+        // Same decision by key, found at a different index.
+        assert_eq!(a[pick_a].key, b[pick_b].key);
+        assert_eq!(r.misses(), 1);
+    }
+
+    #[test]
+    fn different_option_sets_miss() {
+        let mut r = CachedResolver::new(RandomResolver::new(3), 100);
+        let a = opts(&[1, 2]);
+        let b = opts(&[1, 2, 3]);
+        r.resolve(&ChoiceRequest::new("c", &a), &mut NullEvaluator);
+        r.resolve(&ChoiceRequest::new("c", &b), &mut NullEvaluator);
+        assert_eq!(r.misses(), 2);
+    }
+
+    #[test]
+    fn different_contexts_miss() {
+        let mut r = CachedResolver::new(RandomResolver::new(3), 100);
+        let o = opts(&[1, 2]);
+        r.resolve(
+            &ChoiceRequest::new("c", &o).in_context(ContextKey(1)),
+            &mut NullEvaluator,
+        );
+        r.resolve(
+            &ChoiceRequest::new("c", &o).in_context(ContextKey(2)),
+            &mut NullEvaluator,
+        );
+        assert_eq!(r.misses(), 2);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut r = CachedResolver::new(RandomResolver::new(3), 100);
+        let o = opts(&[1, 2]);
+        let req = ChoiceRequest::new("c", &o);
+        r.resolve(&req, &mut NullEvaluator);
+        r.invalidate();
+        r.resolve(&req, &mut NullEvaluator);
+        assert_eq!(r.misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh interval")]
+    fn zero_refresh_rejected() {
+        let _ = CachedResolver::new(RandomResolver::new(0), 0);
+    }
+}

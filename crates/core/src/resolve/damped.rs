@@ -1,0 +1,285 @@
+//! The damped resolver: hysteresis against emergent flapping.
+//!
+//! Paper §3.4 closes with "another challenge is the design of the execution
+//! steering module that avoids unwanted interaction and coupling among the
+//! system participants (e.g., emergent behavior)". The classic failure mode
+//! is synchronized flapping: every node's resolver simultaneously discovers
+//! the same "best" target, herds onto it, degrades it, and simultaneously
+//! herds away again. This wrapper adds hysteresis: once a choice point has
+//! settled on an option, it switches only when the inner resolver has
+//! preferred a *different* option for `patience` consecutive resolutions —
+//! breaking the synchronized-response feedback loop at the cost of slower
+//! adaptation.
+
+use crate::choice::{ChoiceId, ChoiceRequest, ContextKey, OptionEvaluator, Resolver};
+use std::collections::BTreeMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Held {
+    /// The currently held option key.
+    key: u64,
+    /// Consecutive inner preferences for some other option.
+    dissent: u32,
+    /// The dissenting option key (dissent resets if it changes).
+    dissent_key: u64,
+}
+
+/// Wraps a resolver with switch hysteresis.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::choice::{ChoiceRequest, NullEvaluator, OptionDesc, Resolver};
+/// use cb_core::resolve::damped::DampedResolver;
+/// use cb_core::resolve::heuristic::HeuristicResolver;
+///
+/// // The inner resolver flips preference with the first feature.
+/// let inner = HeuristicResolver::new("f0", |o| o.features[0]);
+/// let mut r = DampedResolver::new(inner, 3);
+/// let hot = [OptionDesc::with_features(1, vec![1.0]), OptionDesc::with_features(2, vec![0.0])];
+/// let req = ChoiceRequest::new("t", &hot);
+/// assert_eq!(r.resolve(&req, &mut NullEvaluator), 0); // settles on key 1
+/// // A transient flip of the features does NOT move the held choice…
+/// let flipped = [OptionDesc::with_features(1, vec![0.0]), OptionDesc::with_features(2, vec![1.0])];
+/// let req2 = ChoiceRequest::new("t", &flipped);
+/// assert_eq!(r.resolve(&req2, &mut NullEvaluator), 0);
+/// assert_eq!(r.resolve(&req2, &mut NullEvaluator), 0);
+/// // …until the inner preference persists for `patience` rounds.
+/// assert_eq!(r.resolve(&req2, &mut NullEvaluator), 1);
+/// ```
+pub struct DampedResolver<R: Resolver> {
+    inner: R,
+    patience: u32,
+    held: BTreeMap<(ChoiceId, ContextKey), Held>,
+    /// Switches actually performed.
+    pub switches: u64,
+    /// Inner preferences suppressed by hysteresis.
+    pub suppressed: u64,
+}
+
+impl<R: Resolver> DampedResolver<R> {
+    /// Wraps `inner`; a switch needs `patience` consecutive dissenting
+    /// resolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience` is zero (that would be no damping at all).
+    pub fn new(inner: R, patience: u32) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        DampedResolver {
+            inner,
+            patience,
+            held: BTreeMap::new(),
+            switches: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Access to the wrapped resolver.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Forgets all held choices (e.g. after a topology change).
+    pub fn reset(&mut self) {
+        self.held.clear();
+    }
+}
+
+impl<R: Resolver> Resolver for DampedResolver<R> {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        let inner_idx = self.inner.resolve(request, eval);
+        assert!(
+            inner_idx < request.len(),
+            "inner resolver returned out-of-range index"
+        );
+        let inner_key = request.options[inner_idx].key;
+        let slot = (request.id, request.context);
+        let Some(held) = self.held.get_mut(&slot) else {
+            self.held.insert(
+                slot,
+                Held {
+                    key: inner_key,
+                    dissent: 0,
+                    dissent_key: inner_key,
+                },
+            );
+            return inner_idx;
+        };
+        // The held option may have disappeared from the option set.
+        let Some(held_idx) = request.options.iter().position(|o| o.key == held.key) else {
+            *held = Held {
+                key: inner_key,
+                dissent: 0,
+                dissent_key: inner_key,
+            };
+            self.switches += 1;
+            return inner_idx;
+        };
+        if inner_key == held.key {
+            held.dissent = 0;
+            return held_idx;
+        }
+        if inner_key == held.dissent_key {
+            held.dissent += 1;
+        } else {
+            held.dissent_key = inner_key;
+            held.dissent = 1;
+        }
+        if held.dissent >= self.patience {
+            *held = Held {
+                key: inner_key,
+                dissent: 0,
+                dissent_key: inner_key,
+            };
+            self.switches += 1;
+            inner_idx
+        } else {
+            self.suppressed += 1;
+            held_idx
+        }
+    }
+
+    fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
+        self.inner.feedback(id, context, option_key, reward);
+    }
+
+    fn name(&self) -> &'static str {
+        "damped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{NullEvaluator, OptionDesc};
+    use crate::resolve::heuristic::HeuristicResolver;
+
+    fn prefer_first() -> HeuristicResolver<impl FnMut(&OptionDesc) -> f64> {
+        HeuristicResolver::new("f0", |o: &OptionDesc| {
+            o.features.first().copied().unwrap_or(0.0)
+        })
+    }
+
+    fn options(scores: [f64; 3]) -> Vec<OptionDesc> {
+        (0..3)
+            .map(|i| OptionDesc::with_features(i as u64, vec![scores[i]]))
+            .collect()
+    }
+
+    #[test]
+    fn settles_then_suppresses_transient_flips() {
+        let mut r = DampedResolver::new(prefer_first(), 3);
+        let stable = options([1.0, 0.0, 0.0]);
+        let req = ChoiceRequest::new("t", &stable);
+        assert_eq!(r.resolve(&req, &mut NullEvaluator), 0);
+        // One transient round preferring option 2: suppressed.
+        let transient = options([0.0, 0.0, 1.0]);
+        let req2 = ChoiceRequest::new("t", &transient);
+        assert_eq!(r.resolve(&req2, &mut NullEvaluator), 0);
+        assert_eq!(r.suppressed, 1);
+        // Back to stable: dissent resets.
+        assert_eq!(r.resolve(&req, &mut NullEvaluator), 0);
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn persistent_dissent_eventually_switches() {
+        let mut r = DampedResolver::new(prefer_first(), 3);
+        let a = options([1.0, 0.0, 0.0]);
+        let b = options([0.0, 1.0, 0.0]);
+        let req_a = ChoiceRequest::new("t", &a);
+        let req_b = ChoiceRequest::new("t", &b);
+        assert_eq!(r.resolve(&req_a, &mut NullEvaluator), 0);
+        assert_eq!(r.resolve(&req_b, &mut NullEvaluator), 0);
+        assert_eq!(r.resolve(&req_b, &mut NullEvaluator), 0);
+        assert_eq!(
+            r.resolve(&req_b, &mut NullEvaluator),
+            1,
+            "third dissent switches"
+        );
+        assert_eq!(r.switches, 1);
+        assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn dissent_must_be_consistent() {
+        let mut r = DampedResolver::new(prefer_first(), 2);
+        let a = options([1.0, 0.0, 0.0]);
+        let b = options([0.0, 1.0, 0.0]);
+        let c = options([0.0, 0.0, 1.0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &a), &mut NullEvaluator),
+            0
+        );
+        // Alternating dissent between two different options never reaches
+        // patience.
+        for _ in 0..4 {
+            assert_eq!(
+                r.resolve(&ChoiceRequest::new("t", &b), &mut NullEvaluator),
+                0
+            );
+            assert_eq!(
+                r.resolve(&ChoiceRequest::new("t", &c), &mut NullEvaluator),
+                0
+            );
+        }
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn vanished_held_option_switches_immediately() {
+        let mut r = DampedResolver::new(prefer_first(), 5);
+        let full = options([1.0, 0.0, 0.0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &full), &mut NullEvaluator),
+            0
+        );
+        // Option key 0 disappears (peer left).
+        let shrunk = vec![
+            OptionDesc::with_features(1, vec![0.2]),
+            OptionDesc::with_features(2, vec![0.9]),
+        ];
+        let idx = r.resolve(&ChoiceRequest::new("t", &shrunk), &mut NullEvaluator);
+        assert_eq!(shrunk[idx].key, 2);
+        assert_eq!(r.switches, 1);
+    }
+
+    #[test]
+    fn contexts_are_held_independently() {
+        let mut r = DampedResolver::new(prefer_first(), 2);
+        let a = options([1.0, 0.0, 0.0]);
+        let b = options([0.0, 1.0, 0.0]);
+        let ra = ChoiceRequest::new("t", &a).in_context(ContextKey(1));
+        let rb = ChoiceRequest::new("t", &b).in_context(ContextKey(2));
+        assert_eq!(r.resolve(&ra, &mut NullEvaluator), 0);
+        assert_eq!(r.resolve(&rb, &mut NullEvaluator), 1);
+        // Each context holds its own choice.
+        assert_eq!(r.resolve(&ra, &mut NullEvaluator), 0);
+        assert_eq!(r.resolve(&rb, &mut NullEvaluator), 1);
+    }
+
+    #[test]
+    fn reset_forgets_held_choices() {
+        let mut r = DampedResolver::new(prefer_first(), 3);
+        let a = options([1.0, 0.0, 0.0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &a), &mut NullEvaluator),
+            0
+        );
+        r.reset();
+        let b = options([0.0, 1.0, 0.0]);
+        // After reset, the new preference lands immediately.
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &b), &mut NullEvaluator),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        let _ = DampedResolver::new(prefer_first(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The heuristic resolver: score options by their features.
+//!
+//! Stands in for the hand-tuned adaptive mechanisms the paper criticizes in
+//! §3.1 (BulletPrime's rarest-random, BitTorrent's strategy switch): a fixed
+//! function of the option features, with no model of the future. It is both
+//! a baseline and a useful production fallback when prediction is
+//! unavailable.
+
+use crate::choice::{ChoiceRequest, OptionDesc, OptionEvaluator, Resolver};
+
+/// Resolves choices by maximizing a scoring function over option features.
+///
+/// Ties break toward the earliest option, keeping resolution deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::choice::{ChoiceRequest, NullEvaluator, OptionDesc, Resolver};
+/// use cb_core::resolve::heuristic::HeuristicResolver;
+///
+/// // Prefer the lowest first feature (say, estimated latency).
+/// let mut r = HeuristicResolver::new("lowest-latency", |o| {
+///     -o.features.first().copied().unwrap_or(f64::INFINITY)
+/// });
+/// let opts = [
+///     OptionDesc::with_features(10, vec![80.0]),
+///     OptionDesc::with_features(11, vec![20.0]),
+/// ];
+/// let idx = r.resolve(&ChoiceRequest::new("peer", &opts), &mut NullEvaluator);
+/// assert_eq!(idx, 1);
+/// ```
+pub struct HeuristicResolver<F: FnMut(&OptionDesc) -> f64> {
+    label: &'static str,
+    score: F,
+}
+
+impl<F: FnMut(&OptionDesc) -> f64> HeuristicResolver<F> {
+    /// Creates a resolver that picks the option maximizing `score`.
+    pub fn new(label: &'static str, score: F) -> Self {
+        HeuristicResolver { label, score }
+    }
+}
+
+impl<F: FnMut(&OptionDesc) -> f64> Resolver for HeuristicResolver<F> {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, _eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, opt) in request.options.iter().enumerate() {
+            let s = (self.score)(opt);
+            if s > best_score {
+                best = i;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// A heuristic over a linear combination of features: picks the option
+/// maximizing `weights · features` (missing features count as 0).
+pub fn linear(label: &'static str, weights: Vec<f64>) -> impl Resolver {
+    HeuristicResolver::new(label, move |opt: &OptionDesc| {
+        weights
+            .iter()
+            .zip(opt.features.iter())
+            .map(|(w, f)| w * f)
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::NullEvaluator;
+
+    #[test]
+    fn picks_argmax() {
+        let opts = [
+            OptionDesc::with_features(0, vec![1.0]),
+            OptionDesc::with_features(1, vec![5.0]),
+            OptionDesc::with_features(2, vec![3.0]),
+        ];
+        let mut r = HeuristicResolver::new("max-f0", |o| o.features[0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &opts), &mut NullEvaluator),
+            1
+        );
+    }
+
+    #[test]
+    fn ties_break_to_first() {
+        let opts = [OptionDesc::key(0), OptionDesc::key(1), OptionDesc::key(2)];
+        let mut r = HeuristicResolver::new("flat", |_| 1.0);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &opts), &mut NullEvaluator),
+            0
+        );
+    }
+
+    #[test]
+    fn linear_combination() {
+        let opts = [
+            OptionDesc::with_features(0, vec![1.0, 10.0]),
+            OptionDesc::with_features(1, vec![4.0, 1.0]),
+        ];
+        // Weight the first feature heavily negative: prefer option 0.
+        let mut r = linear("lin", vec![-10.0, 1.0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &opts), &mut NullEvaluator),
+            0
+        );
+    }
+
+    #[test]
+    fn missing_features_score_zero_in_linear() {
+        let opts = [OptionDesc::key(0), OptionDesc::with_features(1, vec![2.0])];
+        let mut r = linear("lin", vec![1.0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &opts), &mut NullEvaluator),
+            1
+        );
+    }
+
+    #[test]
+    fn nan_scores_never_win() {
+        let opts = [
+            OptionDesc::with_features(0, vec![f64::NAN]),
+            OptionDesc::with_features(1, vec![0.5]),
+        ];
+        let mut r = HeuristicResolver::new("nan", |o| o.features[0]);
+        assert_eq!(
+            r.resolve(&ChoiceRequest::new("t", &opts), &mut NullEvaluator),
+            1
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! The learned resolver: contextual multi-armed bandits.
+//!
+//! Paper §3.4 calls for "using choices based on previous similar scenarios
+//! as a fast alternative" to running full prediction on the critical path.
+//! This resolver is that alternative: it treats each (choice point,
+//! scenario context) pair as a bandit whose arms are the option keys,
+//! learns arm values from realized rewards delivered through
+//! [`Resolver::feedback`], and resolves in O(options) with no model at all.
+//!
+//! Three classic policies are provided — ε-greedy, UCB1, and EXP3 — because
+//! which one wins is itself workload-dependent (the E10 experiment compares
+//! them).
+
+use crate::choice::{ChoiceId, ChoiceRequest, ContextKey, OptionDesc, OptionEvaluator, Resolver};
+use cb_simnet::rng::SimRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The bandit algorithm a [`LearnedResolver`] runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BanditPolicy {
+    /// With probability `epsilon` explore uniformly; otherwise exploit the
+    /// best empirical mean.
+    EpsilonGreedy {
+        /// Exploration probability in `[0, 1]`.
+        epsilon: f64,
+    },
+    /// Upper confidence bound: pick `argmax mean + c * sqrt(ln N / n)`.
+    /// Deterministic given history; unpulled arms are tried first.
+    Ucb1 {
+        /// Exploration constant (√2 is the textbook value).
+        c: f64,
+    },
+    /// Exponential-weight algorithm for adversarial (non-stationary)
+    /// rewards. Expects rewards in `[0, 1]`.
+    Exp3 {
+        /// Exploration mix-in `γ` in `(0, 1]`.
+        gamma: f64,
+    },
+}
+
+/// Per-arm statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ArmStats {
+    /// Times this arm was chosen.
+    pub pulls: u64,
+    /// Empirical mean reward.
+    pub mean: f64,
+    /// EXP3 log-weight (kept in log space for numeric safety).
+    log_weight: f64,
+    /// Probability with which the arm was last selected (EXP3 importance
+    /// weighting).
+    last_prob: f64,
+}
+
+type ArmKey = (ChoiceId, ContextKey, u64);
+
+/// A shared feature-prior function.
+type Prior = Arc<dyn Fn(&OptionDesc) -> f64 + Send + Sync>;
+
+/// A contextual bandit over exposed choices.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::choice::{ChoiceRequest, ContextKey, NullEvaluator, OptionDesc, Resolver};
+/// use cb_core::resolve::learned::{BanditPolicy, LearnedResolver};
+///
+/// let mut r = LearnedResolver::new(BanditPolicy::EpsilonGreedy { epsilon: 0.1 }, 7);
+/// let opts = [OptionDesc::key(0), OptionDesc::key(1)];
+/// let req = ChoiceRequest::new("peer", &opts);
+/// // Teach it that option 1 pays off.
+/// for _ in 0..50 {
+///     let i = r.resolve(&req, &mut NullEvaluator);
+///     r.feedback("peer", ContextKey::default(), i as u64, if i == 1 { 1.0 } else { 0.0 });
+/// }
+/// let exploit: Vec<usize> = (0..20).map(|_| r.resolve(&req, &mut NullEvaluator)).collect();
+/// assert!(exploit.iter().filter(|&&i| i == 1).count() >= 15);
+/// ```
+pub struct LearnedResolver {
+    policy: BanditPolicy,
+    arms: BTreeMap<ArmKey, ArmStats>,
+    /// Total pulls per (choice, context), for UCB1's `ln N`.
+    totals: BTreeMap<(ChoiceId, ContextKey), u64>,
+    rng: SimRng,
+    /// Optional feature prior: a pseudo-reward for unexplored arms,
+    /// blended with the empirical mean at `prior_weight` pseudo-pulls.
+    prior: Option<Prior>,
+    prior_weight: f64,
+}
+
+impl LearnedResolver {
+    /// Creates a resolver with the given policy and RNG seed.
+    pub fn new(policy: BanditPolicy, seed: u64) -> Self {
+        LearnedResolver {
+            policy,
+            arms: BTreeMap::new(),
+            totals: BTreeMap::new(),
+            rng: SimRng::seed_from(seed),
+            prior: None,
+            prior_weight: 0.0,
+        }
+    }
+
+    /// Installs a feature prior: `prior(option)` estimates the reward of an
+    /// arm from its features, and counts as `weight` pseudo-pulls when
+    /// blending with observed rewards. This warm-starts new arms (e.g. from
+    /// the network model's latency estimate) instead of forcing blind
+    /// exploration of each one.
+    pub fn with_prior(
+        mut self,
+        prior: impl Fn(&OptionDesc) -> f64 + Send + Sync + 'static,
+        weight: f64,
+    ) -> Self {
+        assert!(weight > 0.0, "prior weight must be positive");
+        self.prior = Some(Arc::new(prior));
+        self.prior_weight = weight;
+        self
+    }
+
+    /// The blended value of an arm: feature prior (if any) plus empirical
+    /// mean, weighted by pseudo- and real pulls.
+    fn arm_value(&self, req: &ChoiceRequest<'_>, opt: &OptionDesc) -> (f64, f64) {
+        let (mean, pulls) = self
+            .arms
+            .get(&(req.id, req.context, opt.key))
+            .map_or((0.0, 0.0), |a| (a.mean, a.pulls as f64));
+        match &self.prior {
+            Some(p) => {
+                let w = self.prior_weight;
+                (((p)(opt) * w + mean * pulls) / (w + pulls), pulls + w)
+            }
+            None => {
+                if pulls == 0.0 {
+                    (f64::INFINITY, 0.0) // optimism for unseen arms
+                } else {
+                    (mean, pulls)
+                }
+            }
+        }
+    }
+
+    /// Statistics for one arm, if it has ever been seen.
+    pub fn arm(&self, id: ChoiceId, context: ContextKey, key: u64) -> Option<&ArmStats> {
+        self.arms.get(&(id, context, key))
+    }
+
+    /// Total decisions made at a choice point in a context.
+    pub fn pulls(&self, id: ChoiceId, context: ContextKey) -> u64 {
+        self.totals.get(&(id, context)).copied().unwrap_or(0)
+    }
+
+    fn select_epsilon_greedy(&mut self, req: &ChoiceRequest<'_>, epsilon: f64) -> usize {
+        if self.rng.gen_bool(epsilon) {
+            return self.rng.gen_index(req.len());
+        }
+        let mut best = 0;
+        let mut best_mean = f64::NEG_INFINITY;
+        for (i, opt) in req.options.iter().enumerate() {
+            let (mean, _) = self.arm_value(req, opt);
+            if mean > best_mean {
+                best = i;
+                best_mean = mean;
+            }
+        }
+        best
+    }
+
+    fn select_ucb1(&mut self, req: &ChoiceRequest<'_>, c: f64) -> usize {
+        let total = self.pulls(req.id, req.context).max(1) as f64;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, opt) in req.options.iter().enumerate() {
+            let (mean, effective_pulls) = self.arm_value(req, opt);
+            let score = if effective_pulls == 0.0 {
+                f64::INFINITY // force one pull of every arm
+            } else {
+                mean + c * (total.ln().max(0.0) / effective_pulls).sqrt()
+            };
+            if score > best_score {
+                best = i;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    fn select_exp3(&mut self, req: &ChoiceRequest<'_>, gamma: f64) -> usize {
+        let k = req.len() as f64;
+        // Normalized weights in log space to avoid overflow.
+        let logs: Vec<f64> = req
+            .options
+            .iter()
+            .map(|o| {
+                self.arms
+                    .get(&(req.id, req.context, o.key))
+                    .map_or(0.0, |a| a.log_weight)
+            })
+            .collect();
+        let max_log = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logs.iter().map(|l| (l - max_log).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let probs: Vec<f64> = exps
+            .iter()
+            .map(|e| (1.0 - gamma) * e / sum + gamma / k)
+            .collect();
+        let mut x = self.rng.gen_f64();
+        let mut pick = req.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if x < p {
+                pick = i;
+                break;
+            }
+            x -= p;
+        }
+        // Remember the selection probability for importance weighting.
+        let key = (req.id, req.context, req.options[pick].key);
+        self.arms.entry(key).or_default().last_prob = probs[pick];
+        pick
+    }
+}
+
+impl Resolver for LearnedResolver {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, _eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        let pick = match self.policy {
+            BanditPolicy::EpsilonGreedy { epsilon } => self.select_epsilon_greedy(request, epsilon),
+            BanditPolicy::Ucb1 { c } => self.select_ucb1(request, c),
+            BanditPolicy::Exp3 { gamma } => self.select_exp3(request, gamma),
+        };
+        *self
+            .totals
+            .entry((request.id, request.context))
+            .or_insert(0) += 1;
+        pick
+    }
+
+    fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
+        let arm = self.arms.entry((id, context, option_key)).or_default();
+        arm.pulls += 1;
+        arm.mean += (reward - arm.mean) / arm.pulls as f64;
+        if let BanditPolicy::Exp3 { gamma } = self.policy {
+            // Importance-weighted reward estimate; clamp keeps a pathological
+            // probability from blowing up the weight.
+            let p = if arm.last_prob > 0.0 {
+                arm.last_prob
+            } else {
+                1.0
+            };
+            let xhat = (reward / p).clamp(-50.0, 50.0);
+            arm.log_weight += gamma * xhat / 16.0; // /K with K unknowable here; 16 is a safe cap
+            arm.log_weight = arm.log_weight.clamp(-200.0, 200.0);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.policy {
+            BanditPolicy::EpsilonGreedy { .. } => "learned-egreedy",
+            BanditPolicy::Ucb1 { .. } => "learned-ucb1",
+            BanditPolicy::Exp3 { .. } => "learned-exp3",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{NullEvaluator, OptionDesc};
+
+    /// Trains a resolver on a 3-arm bandit where arm 2 pays 1.0 and the
+    /// rest pay 0.2; returns the exploitation rate of arm 2 afterwards.
+    fn train_and_measure(policy: BanditPolicy, rounds: usize) -> f64 {
+        let mut r = LearnedResolver::new(policy, 42);
+        let opts: Vec<OptionDesc> = (0..3).map(OptionDesc::key).collect();
+        let req = ChoiceRequest::new("bandit", &opts);
+        for _ in 0..rounds {
+            let i = r.resolve(&req, &mut NullEvaluator);
+            let reward = if i == 2 { 1.0 } else { 0.2 };
+            r.feedback("bandit", ContextKey::default(), i as u64, reward);
+        }
+        let hits = (0..200)
+            .filter(|_| {
+                let i = r.resolve(&req, &mut NullEvaluator);
+                r.feedback(
+                    "bandit",
+                    ContextKey::default(),
+                    i as u64,
+                    if i == 2 { 1.0 } else { 0.2 },
+                );
+                i == 2
+            })
+            .count();
+        hits as f64 / 200.0
+    }
+
+    #[test]
+    fn epsilon_greedy_learns_best_arm() {
+        let rate = train_and_measure(BanditPolicy::EpsilonGreedy { epsilon: 0.1 }, 300);
+        assert!(rate > 0.8, "exploit rate {rate}");
+    }
+
+    #[test]
+    fn ucb1_learns_best_arm() {
+        let rate = train_and_measure(
+            BanditPolicy::Ucb1 {
+                c: std::f64::consts::SQRT_2,
+            },
+            300,
+        );
+        assert!(rate > 0.7, "exploit rate {rate}");
+    }
+
+    #[test]
+    fn exp3_learns_best_arm() {
+        let rate = train_and_measure(BanditPolicy::Exp3 { gamma: 0.15 }, 600);
+        assert!(rate > 0.5, "exploit rate {rate}");
+    }
+
+    #[test]
+    fn ucb1_tries_every_arm_first() {
+        let mut r = LearnedResolver::new(BanditPolicy::Ucb1 { c: 1.0 }, 1);
+        let opts: Vec<OptionDesc> = (0..4).map(OptionDesc::key).collect();
+        let req = ChoiceRequest::new("b", &opts);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let i = r.resolve(&req, &mut NullEvaluator);
+            seen.insert(i);
+            r.feedback("b", ContextKey::default(), i as u64, 0.5);
+        }
+        assert_eq!(seen.len(), 4, "UCB1 must pull each arm once first");
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mut r = LearnedResolver::new(BanditPolicy::EpsilonGreedy { epsilon: 0.0 }, 5);
+        let opts: Vec<OptionDesc> = (0..2).map(OptionDesc::key).collect();
+        let ctx_a = ContextKey(1);
+        let ctx_b = ContextKey(2);
+        // In context A arm 0 is good; in context B arm 1 is good.
+        for _ in 0..30 {
+            let req = ChoiceRequest::new("c", &opts).in_context(ctx_a);
+            let i = r.resolve(&req, &mut NullEvaluator);
+            r.feedback("c", ctx_a, i as u64, if i == 0 { 1.0 } else { 0.0 });
+            let req = ChoiceRequest::new("c", &opts).in_context(ctx_b);
+            let i = r.resolve(&req, &mut NullEvaluator);
+            r.feedback("c", ctx_b, i as u64, if i == 1 { 1.0 } else { 0.0 });
+        }
+        let req_a = ChoiceRequest::new("c", &opts).in_context(ctx_a);
+        let req_b = ChoiceRequest::new("c", &opts).in_context(ctx_b);
+        assert_eq!(r.resolve(&req_a, &mut NullEvaluator), 0);
+        assert_eq!(r.resolve(&req_b, &mut NullEvaluator), 1);
+    }
+
+    #[test]
+    fn arm_stats_track_mean() {
+        let mut r = LearnedResolver::new(BanditPolicy::EpsilonGreedy { epsilon: 0.0 }, 5);
+        r.feedback("m", ContextKey::default(), 7, 1.0);
+        r.feedback("m", ContextKey::default(), 7, 0.0);
+        let arm = r.arm("m", ContextKey::default(), 7).expect("arm exists");
+        assert_eq!(arm.pulls, 2);
+        assert!((arm.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulls_counted_per_context() {
+        let mut r = LearnedResolver::new(BanditPolicy::EpsilonGreedy { epsilon: 0.5 }, 5);
+        let opts: Vec<OptionDesc> = (0..2).map(OptionDesc::key).collect();
+        let req = ChoiceRequest::new("p", &opts);
+        for _ in 0..10 {
+            r.resolve(&req, &mut NullEvaluator);
+        }
+        assert_eq!(r.pulls("p", ContextKey::default()), 10);
+        assert_eq!(r.pulls("p", ContextKey(3)), 0);
+    }
+}

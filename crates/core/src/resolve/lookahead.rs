@@ -1,0 +1,164 @@
+//! The predictive ("Choice-CrystalBall") resolver.
+//!
+//! For every option it asks the evaluator — which runs consequence
+//! prediction / weighted walks over the predictive system model — what the
+//! future looks like if that option is chosen, then picks by the paper's
+//! rule: first minimize predicted safety violations, then maximize the
+//! predicted objective (§3.4). This is the resolver the case study's
+//! Choice-CrystalBall setup uses.
+
+use crate::choice::{ChoiceRequest, OptionEvaluator, Prediction, Resolver};
+
+/// Resolves choices by evaluating every option's predicted future.
+///
+/// Ties (identical predictions) break toward the earliest option, so
+/// resolution is deterministic given a deterministic evaluator.
+pub struct LookaheadResolver {
+    /// Evaluations performed, for cost accounting.
+    evaluations: u64,
+    /// The prediction backing the most recent decision.
+    last_prediction: Option<Prediction>,
+}
+
+impl LookaheadResolver {
+    /// Creates the resolver.
+    pub fn new() -> Self {
+        LookaheadResolver {
+            evaluations: 0,
+            last_prediction: None,
+        }
+    }
+
+    /// Total option evaluations requested so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// The prediction that backed the most recent decision.
+    pub fn last_prediction(&self) -> Option<Prediction> {
+        self.last_prediction
+    }
+}
+
+impl Default for LookaheadResolver {
+    fn default() -> Self {
+        LookaheadResolver::new()
+    }
+}
+
+impl Resolver for LookaheadResolver {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        if request.len() == 1 {
+            // Nothing to decide; skip the (possibly expensive) evaluation.
+            self.last_prediction = None;
+            return 0;
+        }
+        let mut best = 0;
+        let mut best_pred = eval.evaluate(0);
+        self.evaluations += 1;
+        for i in 1..request.len() {
+            let pred = eval.evaluate(i);
+            self.evaluations += 1;
+            if pred.better_than(&best_pred) {
+                best = i;
+                best_pred = pred;
+            }
+        }
+        self.last_prediction = Some(best_pred);
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "crystalball"
+    }
+
+    fn last_prediction(&self) -> Option<Prediction> {
+        self.last_prediction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{FnEvaluator, OptionDesc};
+
+    fn opts(n: u64) -> Vec<OptionDesc> {
+        (0..n).map(OptionDesc::key).collect()
+    }
+
+    #[test]
+    fn picks_highest_objective_when_all_safe() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        let mut r = LookaheadResolver::new();
+        let mut eval = FnEvaluator(|i| Prediction {
+            objective: [1.0, 9.0, 4.0, 9.0][i],
+            violations: 0,
+            states_explored: 10,
+        });
+        // Index 1 and 3 tie at 9.0; the earliest wins.
+        assert_eq!(r.resolve(&req, &mut eval), 1);
+        assert_eq!(r.evaluations(), 4);
+        assert_eq!(r.last_prediction().unwrap().objective, 9.0);
+    }
+
+    #[test]
+    fn safety_dominates_objective() {
+        let o = opts(3);
+        let req = ChoiceRequest::new("t", &o);
+        let mut r = LookaheadResolver::new();
+        let mut eval = FnEvaluator(|i| match i {
+            0 => Prediction {
+                objective: 100.0,
+                violations: 2,
+                states_explored: 1,
+            },
+            1 => Prediction {
+                objective: -5.0,
+                violations: 0,
+                states_explored: 1,
+            },
+            _ => Prediction {
+                objective: 50.0,
+                violations: 1,
+                states_explored: 1,
+            },
+        });
+        assert_eq!(r.resolve(&req, &mut eval), 1);
+    }
+
+    #[test]
+    fn single_option_skips_evaluation() {
+        let o = opts(1);
+        let req = ChoiceRequest::new("t", &o);
+        let mut r = LookaheadResolver::new();
+        let mut eval = FnEvaluator(|_| panic!("must not evaluate a 1-option choice"));
+        assert_eq!(r.resolve(&req, &mut eval), 0);
+        assert_eq!(r.evaluations(), 0);
+        assert!(r.last_prediction().is_none());
+    }
+
+    #[test]
+    fn fewer_violations_beat_more_even_with_worse_objective() {
+        let o = opts(2);
+        let req = ChoiceRequest::new("t", &o);
+        let mut r = LookaheadResolver::new();
+        let mut eval = FnEvaluator(|i| {
+            if i == 0 {
+                Prediction {
+                    objective: 10.0,
+                    violations: 3,
+                    states_explored: 1,
+                }
+            } else {
+                Prediction {
+                    objective: 0.0,
+                    violations: 2,
+                    states_explored: 1,
+                }
+            }
+        });
+        assert_eq!(r.resolve(&req, &mut eval), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Choice-resolution strategies.
+//!
+//! Every resolver implements [`crate::choice::Resolver`]; the experiments
+//! compare them directly:
+//!
+//! * [`random`] — uniform choice, the "Choice-Random" control arm.
+//! * [`heuristic`] — a fixed score over option features, the stand-in for
+//!   hand-tuned adaptive mechanisms.
+//! * [`lookahead`] — consequence prediction per option, the
+//!   "Choice-CrystalBall" arm.
+//! * [`learned`] — contextual bandits (ε-greedy / UCB1 / EXP3) fed by
+//!   realized rewards: the fast learned alternative of §3.4.
+//! * [`cached`] — memoizes any inner resolver to keep expensive prediction
+//!   off the critical path.
+//! * [`precomputed`] — offline decision tables (§3.4's "precompute the
+//!   impact of actions before the system is deployed").
+//! * [`damped`] — switch hysteresis against synchronized flapping (§3.4's
+//!   emergent-behavior concern).
+
+pub mod cached;
+pub mod damped;
+pub mod heuristic;
+pub mod learned;
+pub mod lookahead;
+pub mod precomputed;
+pub mod random;
+
+pub use cached::CachedResolver;
+pub use damped::DampedResolver;
+pub use heuristic::HeuristicResolver;
+pub use learned::{ArmStats, BanditPolicy, LearnedResolver};
+pub use lookahead::LookaheadResolver;
+pub use precomputed::{precompute_table, PrecomputedResolver};
+pub use random::RandomResolver;

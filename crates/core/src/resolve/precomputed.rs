@@ -1,0 +1,212 @@
+//! The precomputed resolver: offline analysis, online table lookup.
+//!
+//! Paper §3.4: "A useful way to speed up all these analyses is to
+//! precompute the impact of actions on system behaviors before the system
+//! is deployed. Such off-line computations can be performed using any of
+//! the currently existing approaches for static analysis." This resolver is
+//! the deployment half of that idea: a table built *before* the run — by
+//! exhaustive exploration, scenario sweeps, or any offline pipeline — maps
+//! (choice point, context) to the preferred option key; resolution is a map
+//! lookup, with a configurable fallback for scenarios the table misses.
+
+use crate::choice::{ChoiceId, ChoiceRequest, ContextKey, OptionEvaluator, Resolver};
+use std::collections::BTreeMap;
+
+/// A decision table plus a fallback resolver.
+///
+/// # Examples
+///
+/// ```
+/// use cb_core::choice::{ChoiceRequest, ContextKey, NullEvaluator, OptionDesc, Resolver};
+/// use cb_core::resolve::precomputed::PrecomputedResolver;
+/// use cb_core::resolve::random::RandomResolver;
+///
+/// let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+/// // Offline analysis concluded: in context 7, option key 42 is best.
+/// r.insert("route", ContextKey(7), 42);
+///
+/// let opts = [OptionDesc::key(10), OptionDesc::key(42)];
+/// let req = ChoiceRequest::new("route", &opts).in_context(ContextKey(7));
+/// assert_eq!(r.resolve(&req, &mut NullEvaluator), 1);
+/// ```
+pub struct PrecomputedResolver<R: Resolver> {
+    table: BTreeMap<(ChoiceId, ContextKey), u64>,
+    fallback: R,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that fell through to the fallback (no entry, or the
+    /// precomputed key was not among the offered options).
+    pub misses: u64,
+}
+
+impl<R: Resolver> PrecomputedResolver<R> {
+    /// Creates an empty table over the given fallback.
+    pub fn new(fallback: R) -> Self {
+        PrecomputedResolver {
+            table: BTreeMap::new(),
+            fallback,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records an offline conclusion: at `id` in `context`, prefer the
+    /// option with `key`.
+    pub fn insert(&mut self, id: ChoiceId, context: ContextKey, key: u64) {
+        self.table.insert((id, context), key);
+    }
+
+    /// Bulk-loads a table (e.g. deserialized from an offline sweep).
+    pub fn load(&mut self, entries: impl IntoIterator<Item = (ChoiceId, ContextKey, u64)>) {
+        for (id, ctx, key) in entries {
+            self.insert(id, ctx, key);
+        }
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no entry has been loaded.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl<R: Resolver> Resolver for PrecomputedResolver<R> {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        if let Some(&key) = self.table.get(&(request.id, request.context)) {
+            if let Some(idx) = request.options.iter().position(|o| o.key == key) {
+                self.hits += 1;
+                return idx;
+            }
+        }
+        self.misses += 1;
+        self.fallback.resolve(request, eval)
+    }
+
+    fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
+        self.fallback.feedback(id, context, option_key, reward);
+    }
+
+    fn name(&self) -> &'static str {
+        "precomputed"
+    }
+}
+
+/// Builds a decision table offline by exhaustively evaluating every option
+/// of every listed scenario with a (typically expensive) evaluator and
+/// keeping the best per (choice, context) — the "off-line computation"
+/// of §3.4 in its simplest form.
+pub fn precompute_table(
+    scenarios: &[(ChoiceId, ContextKey, Vec<crate::choice::OptionDesc>)],
+    eval: &mut dyn OptionEvaluator,
+) -> Vec<(ChoiceId, ContextKey, u64)> {
+    let mut out = Vec::with_capacity(scenarios.len());
+    for (id, ctx, options) in scenarios {
+        if options.is_empty() {
+            continue;
+        }
+        let mut best = 0;
+        let mut best_pred = eval.evaluate(0);
+        for i in 1..options.len() {
+            let p = eval.evaluate(i);
+            if p.better_than(&best_pred) {
+                best = i;
+                best_pred = p;
+            }
+        }
+        out.push((*id, *ctx, options[best].key));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{FnEvaluator, NullEvaluator, OptionDesc, Prediction};
+    use crate::resolve::random::RandomResolver;
+
+    fn opts() -> Vec<OptionDesc> {
+        vec![
+            OptionDesc::key(10),
+            OptionDesc::key(20),
+            OptionDesc::key(30),
+        ]
+    }
+
+    #[test]
+    fn table_hit_returns_the_precomputed_option() {
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.insert("x", ContextKey(1), 20);
+        let o = opts();
+        let req = ChoiceRequest::new("x", &o).in_context(ContextKey(1));
+        for _ in 0..5 {
+            assert_eq!(r.resolve(&req, &mut NullEvaluator), 1);
+        }
+        assert_eq!(r.hits, 5);
+        assert_eq!(r.misses, 0);
+    }
+
+    #[test]
+    fn unknown_context_falls_back() {
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.insert("x", ContextKey(1), 20);
+        let o = opts();
+        let req = ChoiceRequest::new("x", &o).in_context(ContextKey(99));
+        let idx = r.resolve(&req, &mut NullEvaluator);
+        assert!(idx < 3);
+        assert_eq!(r.misses, 1);
+    }
+
+    #[test]
+    fn stale_table_entry_falls_back() {
+        // The precomputed key is no longer among the offered options (the
+        // peer left, the block completed, …): fall through gracefully.
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.insert("x", ContextKey(1), 999);
+        let o = opts();
+        let req = ChoiceRequest::new("x", &o).in_context(ContextKey(1));
+        let idx = r.resolve(&req, &mut NullEvaluator);
+        assert!(idx < 3);
+        assert_eq!(r.misses, 1);
+    }
+
+    #[test]
+    fn offline_precompute_then_cheap_online_lookup() {
+        // Offline: an expensive evaluator scores options; key 30 wins in
+        // every scenario.
+        let scenarios = vec![
+            ("x", ContextKey(0), opts()),
+            ("x", ContextKey(1), opts()),
+            ("y", ContextKey(0), opts()),
+        ];
+        let mut expensive = FnEvaluator(|i| Prediction {
+            objective: [1.0, 2.0, 9.0][i],
+            violations: 0,
+            states_explored: 1_000_000,
+        });
+        let table = precompute_table(&scenarios, &mut expensive);
+        assert_eq!(table.len(), 3);
+        assert!(table.iter().all(|&(_, _, key)| key == 30));
+        // Online: no evaluation at all.
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.load(table);
+        let o = opts();
+        let req = ChoiceRequest::new("y", &o).in_context(ContextKey(0));
+        let mut panicking = FnEvaluator(|_| panic!("online path must not evaluate"));
+        assert_eq!(r.resolve(&req, &mut panicking), 2);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        assert!(r.is_empty());
+        r.insert("a", ContextKey(0), 1);
+        r.insert("a", ContextKey(0), 2); // overwrite
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.name(), "precomputed");
+    }
+}

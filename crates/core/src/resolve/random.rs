@@ -1,0 +1,80 @@
+//! The random resolver: uniform choice, no model.
+//!
+//! This is the strategy most deployed systems hard-code (RandTree's random
+//! forwarding, BitTorrent's random first blocks). Exposed as a resolver it
+//! becomes the paper's "Choice-Random" setup — the control arm every
+//! experiment compares against.
+
+use crate::choice::{ChoiceRequest, OptionEvaluator, Resolver};
+use cb_simnet::rng::SimRng;
+
+/// Resolves every choice uniformly at random.
+pub struct RandomResolver {
+    rng: SimRng,
+}
+
+impl RandomResolver {
+    /// Creates a resolver with its own seeded stream.
+    pub fn new(seed: u64) -> Self {
+        RandomResolver {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Creates a resolver forked from an existing stream.
+    pub fn from_rng(rng: &mut SimRng) -> Self {
+        RandomResolver { rng: rng.fork() }
+    }
+}
+
+impl Resolver for RandomResolver {
+    fn resolve(&mut self, request: &ChoiceRequest<'_>, _eval: &mut dyn OptionEvaluator) -> usize {
+        assert!(!request.is_empty(), "cannot resolve an empty choice");
+        self.rng.gen_index(request.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choice::{NullEvaluator, OptionDesc};
+
+    #[test]
+    fn stays_in_range_and_covers_options() {
+        let opts: Vec<OptionDesc> = (0..5).map(OptionDesc::key).collect();
+        let req = ChoiceRequest::new("t", &opts);
+        let mut r = RandomResolver::new(1);
+        let mut hit = [false; 5];
+        for _ in 0..200 {
+            let i = r.resolve(&req, &mut NullEvaluator);
+            assert!(i < 5);
+            hit[i] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "not all options chosen: {hit:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts: Vec<OptionDesc> = (0..8).map(OptionDesc::key).collect();
+        let req = ChoiceRequest::new("t", &opts);
+        let picks = |seed| {
+            let mut r = RandomResolver::new(seed);
+            (0..20)
+                .map(|_| r.resolve(&req, &mut NullEvaluator))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty choice")]
+    fn empty_request_panics() {
+        let req = ChoiceRequest::new("t", &[]);
+        RandomResolver::new(0).resolve(&req, &mut NullEvaluator);
+    }
+}

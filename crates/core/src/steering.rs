@@ -1,0 +1,304 @@
+//! Execution steering: event filters that avert predicted inconsistencies.
+//!
+//! When prediction finds that an incoming message would drive the system
+//! into a safety violation (paper §2), the runtime installs an **event
+//! filter**. CrystalBall's corrective action — the one that is universally
+//! possible in any TCP-based system — is to *drop the offending message and
+//! break the connection with its sender*; the sender observes an ordinary
+//! connection failure and takes its normal recovery path. Steering is only
+//! engaged when it is itself predicted safe (no new violations on the
+//! steered path); the runtime performs that check before installation.
+
+use cb_simnet::time::SimTime;
+use cb_simnet::topology::NodeId;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a triggered filter does to the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterAction {
+    /// Silently drop the message.
+    Drop,
+    /// Drop the message and break the TCP connection with the sender, so
+    /// the sender's failure handling kicks in (CrystalBall's default).
+    DropAndBreak,
+}
+
+/// A shared message predicate.
+type MsgPredicate<M> = Arc<dyn Fn(&M) -> bool + Send + Sync>;
+
+/// A predicate over incoming messages plus the action to take on match.
+pub struct EventFilter<M> {
+    /// Human-readable reason (usually the predicted violation's property).
+    pub reason: String,
+    /// Sender the filter applies to, or `None` for any sender.
+    pub from: Option<NodeId>,
+    /// Message predicate; `None` matches every message from `from`.
+    matches: Option<MsgPredicate<M>>,
+    /// Action on match.
+    pub action: FilterAction,
+    /// Filter expires after this many matches (None = until removed).
+    pub budget: Option<u32>,
+    /// When the filter was installed.
+    pub installed_at: SimTime,
+}
+
+impl<M> Clone for EventFilter<M> {
+    fn clone(&self) -> Self {
+        EventFilter {
+            reason: self.reason.clone(),
+            from: self.from,
+            matches: self.matches.clone(),
+            action: self.action,
+            budget: self.budget,
+            installed_at: self.installed_at,
+        }
+    }
+}
+
+impl<M> fmt::Debug for EventFilter<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventFilter")
+            .field("reason", &self.reason)
+            .field("from", &self.from)
+            .field("action", &self.action)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl<M> EventFilter<M> {
+    /// A filter on every message from one sender.
+    pub fn from_sender(
+        reason: impl Into<String>,
+        from: NodeId,
+        action: FilterAction,
+        installed_at: SimTime,
+    ) -> Self {
+        EventFilter {
+            reason: reason.into(),
+            from: Some(from),
+            matches: None,
+            action,
+            budget: Some(1),
+            installed_at,
+        }
+    }
+
+    /// A filter with a message predicate.
+    pub fn matching(
+        reason: impl Into<String>,
+        from: Option<NodeId>,
+        pred: impl Fn(&M) -> bool + Send + Sync + 'static,
+        action: FilterAction,
+        installed_at: SimTime,
+    ) -> Self {
+        EventFilter {
+            reason: reason.into(),
+            from,
+            matches: Some(Arc::new(pred)),
+            action,
+            budget: Some(1),
+            installed_at,
+        }
+    }
+
+    /// Makes the filter permanent (no match budget).
+    pub fn permanent(mut self) -> Self {
+        self.budget = None;
+        self
+    }
+
+    /// Sets how many matches the filter absorbs before expiring.
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    fn matches(&self, from: NodeId, msg: &M) -> bool {
+        if let Some(f) = self.from {
+            if f != from {
+                return false;
+            }
+        }
+        match &self.matches {
+            Some(pred) => pred(msg),
+            None => true,
+        }
+    }
+}
+
+/// The per-node steering module: installed filters plus accounting.
+#[derive(Debug)]
+pub struct Steering<M> {
+    filters: Vec<EventFilter<M>>,
+    /// Messages dropped by filters.
+    pub dropped: u64,
+    /// Connections broken by filters.
+    pub breaks: u64,
+}
+
+impl<M> Default for Steering<M> {
+    fn default() -> Self {
+        Steering {
+            filters: Vec::new(),
+            dropped: 0,
+            breaks: 0,
+        }
+    }
+}
+
+impl<M> Steering<M> {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Steering::default()
+    }
+
+    /// Installs a filter.
+    pub fn install(&mut self, filter: EventFilter<M>) {
+        self.filters.push(filter);
+    }
+
+    /// Number of live filters.
+    pub fn active(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Removes every filter naming `reason`.
+    pub fn remove_by_reason(&mut self, reason: &str) {
+        self.filters.retain(|f| f.reason != reason);
+    }
+
+    /// Checks an incoming message against the filters. On a match the
+    /// filter's budget is consumed (expired filters are removed) and the
+    /// action is returned; the runtime then drops the message and possibly
+    /// breaks the connection.
+    pub fn check(&mut self, from: NodeId, msg: &M) -> Option<FilterAction> {
+        let mut hit: Option<(usize, FilterAction)> = None;
+        for (i, f) in self.filters.iter().enumerate() {
+            if f.matches(from, msg) {
+                hit = Some((i, f.action));
+                break;
+            }
+        }
+        let (i, action) = hit?;
+        self.dropped += 1;
+        if action == FilterAction::DropAndBreak {
+            self.breaks += 1;
+        }
+        if let Some(b) = &mut self.filters[i].budget {
+            *b -= 1;
+            if *b == 0 {
+                self.filters.remove(i);
+            }
+        }
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn sender_filter_matches_only_that_sender() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("pred", NodeId(3), FilterAction::DropAndBreak, t0())
+                .with_budget(10),
+        );
+        assert_eq!(s.check(NodeId(2), &1), None);
+        assert_eq!(s.check(NodeId(3), &1), Some(FilterAction::DropAndBreak));
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.breaks, 1);
+    }
+
+    #[test]
+    fn predicate_filter_matches_content() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(EventFilter::matching(
+            "bad payload",
+            None,
+            |m: &u32| *m == 99,
+            FilterAction::Drop,
+            t0(),
+        ));
+        assert_eq!(s.check(NodeId(1), &5), None);
+        assert_eq!(s.check(NodeId(1), &99), Some(FilterAction::Drop));
+        assert_eq!(s.breaks, 0);
+    }
+
+    #[test]
+    fn budget_expires_filter() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("x", NodeId(1), FilterAction::Drop, t0()).with_budget(2),
+        );
+        assert!(s.check(NodeId(1), &0).is_some());
+        assert!(s.check(NodeId(1), &0).is_some());
+        assert_eq!(s.active(), 0);
+        assert!(s.check(NodeId(1), &0).is_none());
+    }
+
+    #[test]
+    fn default_sender_filter_is_one_shot() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(EventFilter::from_sender(
+            "x",
+            NodeId(1),
+            FilterAction::Drop,
+            t0(),
+        ));
+        assert!(s.check(NodeId(1), &0).is_some());
+        assert!(s.check(NodeId(1), &0).is_none());
+    }
+
+    #[test]
+    fn permanent_filter_never_expires() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(EventFilter::from_sender("x", NodeId(1), FilterAction::Drop, t0()).permanent());
+        for _ in 0..10 {
+            assert!(s.check(NodeId(1), &0).is_some());
+        }
+        assert_eq!(s.dropped, 10);
+        assert_eq!(s.active(), 1);
+    }
+
+    #[test]
+    fn remove_by_reason() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(EventFilter::from_sender(
+            "a",
+            NodeId(1),
+            FilterAction::Drop,
+            t0(),
+        ));
+        s.install(EventFilter::from_sender(
+            "b",
+            NodeId(2),
+            FilterAction::Drop,
+            t0(),
+        ));
+        s.remove_by_reason("a");
+        assert_eq!(s.active(), 1);
+        assert!(s.check(NodeId(1), &0).is_none());
+        assert!(s.check(NodeId(2), &0).is_some());
+    }
+
+    #[test]
+    fn first_matching_filter_wins() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("first", NodeId(1), FilterAction::Drop, t0()).permanent(),
+        );
+        s.install(
+            EventFilter::from_sender("second", NodeId(1), FilterAction::DropAndBreak, t0())
+                .permanent(),
+        );
+        assert_eq!(s.check(NodeId(1), &0), Some(FilterAction::Drop));
+    }
+}

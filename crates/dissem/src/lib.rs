@@ -1,0 +1,16 @@
+//! # cb-dissem — swarming content distribution with exposed choices
+//!
+//! The BulletPrime / BitTorrent example of §3.1 as a running system: peers
+//! swap blocks over the simulated Internet, file maps feed the state model,
+//! and two choices are exposed instead of hard-coded — *which block to
+//! request* (random vs rarest-random vs runtime-resolved) and, at setup
+//! time, *which peers the tracker hands out* (random vs locality-biased,
+//! the P4P experiment).
+
+pub mod scenario;
+pub mod swarm;
+pub mod tracker;
+
+pub use scenario::{run_swarm, seed_serialization_floor_secs, SwarmConfig, SwarmOutcome};
+pub use swarm::{BlockStrategy, SwarmCheckpoint, SwarmMsg, SwarmNode, BLOCK_BYTES};
+pub use tracker::{assign_neighbors, TrackerPolicy};

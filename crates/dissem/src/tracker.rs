@@ -1,0 +1,172 @@
+//! The tracker: neighbor assignment, random or locality-biased.
+//!
+//! BitTorrent peers "connect to a random subset of the existing
+//! participants … chosen via an external interface, i.e., a remote
+//! tracker"; §3.1 notes that because the choice was exposed at the tracker,
+//! biasing it to reduce ISP transit cost (P4P) was straightforward. The
+//! tracker here is a setup-time component: it hands each peer its neighbor
+//! set before the swarm starts, either uniformly at random or biased toward
+//! the peer's own domain (ISP).
+
+use cb_simnet::rng::SimRng;
+use cb_simnet::topology::{NodeId, Topology};
+
+/// Tracker peer-assignment policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrackerPolicy {
+    /// Uniformly random neighbors.
+    Random,
+    /// Prefer same-domain neighbors, filling the remainder randomly
+    /// (P4P-style locality bias).
+    LocalityBiased {
+        /// Fraction of the neighbor set drawn from the peer's own domain
+        /// (as far as the domain has members), in `[0, 1]`.
+        local_fraction: f64,
+    },
+}
+
+impl TrackerPolicy {
+    /// Label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackerPolicy::Random => "Random tracker",
+            TrackerPolicy::LocalityBiased { .. } => "Locality-biased tracker",
+        }
+    }
+}
+
+/// Assigns `degree` neighbors to every one of the first `n` hosts.
+///
+/// The seed (node 0) is always included in each peer's set so the swarm can
+/// bootstrap. Assignments are symmetric-free (directed): A having B does
+/// not imply B has A, matching tracker behavior.
+///
+/// # Panics
+///
+/// Panics if `degree + 1 >= n`.
+pub fn assign_neighbors(
+    topo: &Topology,
+    n: usize,
+    degree: usize,
+    policy: TrackerPolicy,
+    rng: &mut SimRng,
+) -> Vec<Vec<NodeId>> {
+    assert!(degree + 1 < n, "degree {degree} too large for swarm of {n}");
+    let mut result = Vec::with_capacity(n);
+    for me in 0..n as u32 {
+        let me = NodeId(me);
+        let mut neighbors: Vec<NodeId> = Vec::with_capacity(degree + 1);
+        if me != NodeId(0) {
+            neighbors.push(NodeId(0));
+        }
+        let mut pool_local: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|&p| p != me && !neighbors.contains(&p) && topo.domain(p) == topo.domain(me))
+            .collect();
+        let mut pool_any: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|&p| p != me && !neighbors.contains(&p))
+            .collect();
+        rng.shuffle(&mut pool_local);
+        rng.shuffle(&mut pool_any);
+        let want_local = match policy {
+            TrackerPolicy::Random => 0,
+            TrackerPolicy::LocalityBiased { local_fraction } => {
+                ((degree as f64) * local_fraction).round() as usize
+            }
+        };
+        for p in pool_local.into_iter().take(want_local) {
+            if neighbors.len() <= degree {
+                neighbors.push(p);
+            }
+        }
+        for p in pool_any {
+            if neighbors.len() > degree {
+                break;
+            }
+            if !neighbors.contains(&p) {
+                neighbors.push(p);
+            }
+        }
+        result.push(neighbors);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_simnet::time::SimDuration;
+
+    fn four_domain_topo() -> Topology {
+        // Dumbbell gives two domains; for four use transit-stub.
+        let cfg = cb_simnet::topology::TransitStubConfig {
+            transit_routers: 4,
+            stubs_per_transit: 1,
+            hosts_per_stub: 6,
+            ..Default::default()
+        };
+        Topology::transit_stub(&cfg, &mut SimRng::seed_from(9))
+    }
+
+    #[test]
+    fn everyone_gets_degree_neighbors_including_seed() {
+        let topo = four_domain_topo();
+        let mut rng = SimRng::seed_from(1);
+        let assign = assign_neighbors(&topo, 24, 6, TrackerPolicy::Random, &mut rng);
+        assert_eq!(assign.len(), 24);
+        for (i, nbrs) in assign.iter().enumerate() {
+            assert!(nbrs.len() >= 6, "node {i} has only {}", nbrs.len());
+            assert!(!nbrs.contains(&NodeId(i as u32)), "node {i} lists itself");
+            if i != 0 {
+                assert!(nbrs.contains(&NodeId(0)), "node {i} lacks the seed");
+            }
+            let mut uniq = nbrs.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), nbrs.len(), "node {i} has duplicates");
+        }
+    }
+
+    #[test]
+    fn locality_bias_raises_same_domain_share() {
+        let topo = four_domain_topo();
+        let count_local = |assign: &[Vec<NodeId>]| -> usize {
+            assign
+                .iter()
+                .enumerate()
+                .flat_map(|(i, nbrs)| {
+                    let me = NodeId(i as u32);
+                    let topo = &topo;
+                    nbrs.iter()
+                        .filter(move |&&p| topo.domain(p) == topo.domain(me))
+                })
+                .count()
+        };
+        let mut rng = SimRng::seed_from(2);
+        let random = assign_neighbors(&topo, 24, 6, TrackerPolicy::Random, &mut rng);
+        let biased = assign_neighbors(
+            &topo,
+            24,
+            6,
+            TrackerPolicy::LocalityBiased {
+                local_fraction: 0.8,
+            },
+            &mut rng,
+        );
+        assert!(
+            count_local(&biased) > count_local(&random) * 2,
+            "bias ineffective: {} vs {}",
+            count_local(&biased),
+            count_local(&random)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_degree_panics() {
+        let topo = Topology::star(4, SimDuration::from_millis(1), 1_000_000);
+        let mut rng = SimRng::seed_from(3);
+        let _ = assign_neighbors(&topo, 4, 4, TrackerPolicy::Random, &mut rng);
+    }
+}

@@ -1,0 +1,16 @@
+//! # cb-gossip — epidemic dissemination with an exposed peer choice
+//!
+//! The paper's first §3.1 example rebuilt as an experiment: push gossip
+//! where the per-round partner selection is either hard-coded (BAR-style
+//! restricted schedule, classic free-random over views) or exposed to the
+//! runtime and resolved by a learned bandit over network-model features.
+//! Byzantine view pollution and slow-uplink cohorts supply the adversarial
+//! and heterogeneous settings the claims are about.
+
+pub mod scenario;
+pub mod service;
+
+pub use scenario::{run_gossip, GossipConfig, GossipOutcome};
+pub use service::{
+    GossipCheckpoint, GossipMsg, GossipNode, PeerStrategy, ROUND_TIMER, RUMOR_BYTES,
+};

@@ -1,0 +1,363 @@
+//! Consequence prediction: causal-chain exploration.
+//!
+//! CrystalBall's key insight (paper §2) is that most of the interleaving
+//! blow-up in plain BFS is noise: what matters for "what happens if this
+//! action executes next" is the **chain of events the action causes**, not
+//! arbitrary interleavings with unrelated events. Consequence prediction
+//! therefore explores, from each enabled action, only the actions *newly
+//! enabled* by the previous step — a causally related chain — which is what
+//! makes it "fast enough to look several levels of state space into the
+//! future" on a live node.
+//!
+//! The trade-off is completeness: chains miss violations that require two
+//! independent events to interleave. The `prediction_depth` bench (E8)
+//! quantifies exactly this pruning against [`crate::explore::bfs`].
+
+use crate::explore::{ExplorationReport, ExploreConfig};
+use crate::hash::fingerprint;
+use crate::props::{Property, PropertyKind, Violation};
+use crate::system::TransitionSystem;
+use std::collections::HashSet;
+
+/// Report of a consequence-prediction run: the usual exploration report plus
+/// chain accounting.
+#[derive(Clone, Debug)]
+pub struct ConsequenceReport<A> {
+    /// The underlying exploration report.
+    pub report: ExplorationReport<A>,
+    /// Number of root chains (actions enabled in the initial state).
+    pub chains_started: u64,
+    /// Chains that ended because no new actions were enabled.
+    pub chains_exhausted: u64,
+}
+
+impl<A> ConsequenceReport<A> {
+    /// True when no safety property was violated along any chain.
+    pub fn safe(&self) -> bool {
+        self.report.safe()
+    }
+}
+
+struct ChainFrame<T: TransitionSystem> {
+    state: T::State,
+    /// Actions enabled in `state` (to compute the newly-enabled delta).
+    enabled: HashSet<T::Action>,
+    /// Path of actions from the initial state.
+    path: Vec<T::Action>,
+    depth: usize,
+}
+
+/// Runs consequence prediction from the system's initial state.
+///
+/// Every action enabled initially starts a chain; each chain is then
+/// extended only by actions that were **not** enabled before the previous
+/// step (its causal consequences). Safety properties are checked on every
+/// state touched. Budgets come from `cfg` (depth bounds chain length).
+///
+/// # Examples
+///
+/// ```
+/// use cb_mck::consequence::predict;
+/// use cb_mck::explore::ExploreConfig;
+/// use cb_mck::props::Property;
+/// use cb_mck::system::TransitionSystem;
+///
+/// // A chain reaction: action k enables action k+1.
+/// struct Fuse;
+/// impl TransitionSystem for Fuse {
+///     type State = u32;
+///     type Action = u32;
+///     fn initial(&self) -> u32 { 0 }
+///     fn actions(&self, s: &u32) -> Vec<u32> { vec![*s] }
+///     fn step(&self, s: &u32, _a: &u32) -> u32 { s + 1 }
+/// }
+///
+/// let r = predict(&Fuse, &[Property::safety("short fuse", |s: &u32| *s < 3)], &ExploreConfig::depth(5));
+/// assert!(!r.safe());
+/// ```
+pub fn predict<T: TransitionSystem>(
+    sys: &T,
+    props: &[Property<T::State>],
+    cfg: &ExploreConfig,
+) -> ConsequenceReport<T::Action> {
+    let safety: Vec<&Property<T::State>> = props
+        .iter()
+        .filter(|p| p.kind() == PropertyKind::Safety)
+        .collect();
+    let mut report = ExplorationReport {
+        states_visited: 1,
+        states_expanded: 0,
+        transitions: 0,
+        max_depth_reached: 0,
+        truncated: false,
+        violations: Vec::new(),
+        liveness: Vec::new(),
+    };
+    let mut chains_started = 0;
+    let mut chains_exhausted = 0;
+
+    let initial = sys.initial();
+    for p in &safety {
+        if !p.holds(&initial) {
+            report.violations.push(Violation {
+                property: p.name().to_string(),
+                kind: PropertyKind::Safety,
+                path: Vec::new(),
+            });
+        }
+    }
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(fingerprint(&initial));
+
+    let root_actions = sys.actions(&initial);
+    let root_enabled: HashSet<T::Action> = root_actions.iter().cloned().collect();
+    let mut stack: Vec<ChainFrame<T>> = Vec::new();
+    // Each initially enabled action roots one chain.
+    for a in root_actions.iter().rev() {
+        chains_started += 1;
+        stack.push(ChainFrame {
+            state: initial.clone(),
+            enabled: root_enabled.clone(),
+            path: Vec::new(),
+            depth: 0,
+        });
+        // The frame carries the *pre*-state; the action to apply rides on
+        // the path tail convention below, so instead push explicit work:
+        let frame = stack.last_mut().expect("just pushed");
+        frame.path.push(a.clone());
+    }
+
+    while let Some(frame) = stack.pop() {
+        let action = frame
+            .path
+            .last()
+            .expect("chain frames carry an action")
+            .clone();
+        report.transitions += 1;
+        let next = sys.step(&frame.state, &action);
+        report.max_depth_reached = report.max_depth_reached.max(frame.depth + 1);
+        let fp = fingerprint(&next);
+        let first_visit = visited.insert(fp);
+        if first_visit {
+            report.states_visited += 1;
+            for p in &safety {
+                if !p.holds(&next) {
+                    report.violations.push(Violation {
+                        property: p.name().to_string(),
+                        kind: PropertyKind::Safety,
+                        path: frame.path.clone(),
+                    });
+                    if cfg.stop_at_first_violation || report.violations.len() >= cfg.max_violations
+                    {
+                        report.truncated = true;
+                        return ConsequenceReport {
+                            report,
+                            chains_started,
+                            chains_exhausted,
+                        };
+                    }
+                }
+            }
+            if report.states_visited as usize >= cfg.max_states {
+                report.truncated = true;
+                return ConsequenceReport {
+                    report,
+                    chains_started,
+                    chains_exhausted,
+                };
+            }
+        }
+        if frame.depth + 1 >= cfg.max_depth {
+            continue;
+        }
+        let next_enabled_vec = sys.actions(&next);
+        let next_enabled: HashSet<T::Action> = next_enabled_vec.iter().cloned().collect();
+        // Consequences: actions enabled now that were not enabled before.
+        let mut extended = false;
+        report.states_expanded += 1;
+        for a in next_enabled_vec.iter().rev() {
+            if frame.enabled.contains(a) {
+                continue;
+            }
+            extended = true;
+            let mut path = frame.path.clone();
+            path.push(a.clone());
+            stack.push(ChainFrame {
+                state: next.clone(),
+                enabled: next_enabled.clone(),
+                path,
+                depth: frame.depth + 1,
+            });
+        }
+        if !extended {
+            chains_exhausted += 1;
+        }
+    }
+    ConsequenceReport {
+        report,
+        chains_started,
+        chains_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::bfs;
+
+    /// `n` independent one-shot switches plus a cascade: flipping switch 0
+    /// enables a chain 100 -> 101 -> 102 (modelled in the state's second
+    /// component).
+    struct Cascade {
+        switches: usize,
+        chain_len: u8,
+    }
+
+    #[derive(Clone, Hash, PartialEq, Eq, Debug)]
+    struct CState {
+        flipped: Vec<bool>,
+        chain: u8,
+    }
+
+    #[derive(Clone, Hash, PartialEq, Eq, Debug)]
+    enum CAction {
+        Flip(usize),
+        Advance(u8),
+    }
+
+    impl TransitionSystem for Cascade {
+        type State = CState;
+        type Action = CAction;
+
+        fn initial(&self) -> CState {
+            CState {
+                flipped: vec![false; self.switches],
+                chain: 0,
+            }
+        }
+
+        fn actions(&self, s: &CState) -> Vec<CAction> {
+            let mut acts: Vec<CAction> = (0..self.switches)
+                .filter(|&i| !s.flipped[i])
+                .map(CAction::Flip)
+                .collect();
+            if s.flipped[0] && s.chain < self.chain_len {
+                acts.push(CAction::Advance(s.chain + 1));
+            }
+            acts
+        }
+
+        fn step(&self, s: &CState, a: &CAction) -> CState {
+            let mut next = s.clone();
+            match a {
+                CAction::Flip(i) => next.flipped[*i] = true,
+                CAction::Advance(k) => next.chain = *k,
+            }
+            next
+        }
+    }
+
+    #[test]
+    fn chains_follow_cascades() {
+        // The chain 0 -> 1 -> 2 -> 3 is causally linked to Flip(0); the
+        // violation "chain reaches 3" must be found without interleaving
+        // the other independent switches.
+        let sys = Cascade {
+            switches: 6,
+            chain_len: 3,
+        };
+        let props = [Property::safety("chain below 3", |s: &CState| s.chain < 3)];
+        let r = predict(&sys, &props, &ExploreConfig::depth(6));
+        assert!(!r.safe(), "cascade violation missed");
+        let path = &r.report.violations[0].path;
+        let states = crate::system::replay(&sys, path);
+        assert_eq!(states.last().expect("end").chain, 3);
+    }
+
+    #[test]
+    fn prunes_far_more_than_bfs() {
+        let sys = Cascade {
+            switches: 8,
+            chain_len: 2,
+        };
+        let cfg = ExploreConfig {
+            max_depth: 6,
+            max_states: 1_000_000,
+            ..Default::default()
+        };
+        let full = bfs(&sys, &[], &cfg);
+        let pruned = predict(&sys, &[], &cfg);
+        assert!(
+            pruned.report.states_visited * 4 < full.states_visited,
+            "consequence {} vs bfs {}",
+            pruned.report.states_visited,
+            full.states_visited
+        );
+    }
+
+    #[test]
+    fn misses_interleaving_only_violations() {
+        // A violation needing two *independent* flips is invisible to
+        // chains (documented incompleteness).
+        let sys = Cascade {
+            switches: 3,
+            chain_len: 0,
+        };
+        let props = [Property::safety("not both 1 and 2", |s: &CState| {
+            !(s.flipped[1] && s.flipped[2])
+        })];
+        let r = predict(&sys, &props, &ExploreConfig::depth(4));
+        assert!(r.safe(), "chains should not interleave independent flips");
+        let full = bfs(&sys, &props, &ExploreConfig::depth(4));
+        assert!(!full.safe(), "BFS must find the interleaving violation");
+    }
+
+    #[test]
+    fn initial_state_violation_detected() {
+        let sys = Cascade {
+            switches: 1,
+            chain_len: 0,
+        };
+        let props = [Property::safety("impossible", |_s: &CState| false)];
+        let r = predict(&sys, &props, &ExploreConfig::depth(2));
+        assert!(!r.safe());
+        assert!(r.report.violations[0].path.is_empty());
+    }
+
+    #[test]
+    fn chain_accounting() {
+        let sys = Cascade {
+            switches: 4,
+            chain_len: 1,
+        };
+        let r = predict(&sys, &[], &ExploreConfig::depth(8));
+        assert_eq!(r.chains_started, 4);
+        assert!(r.chains_exhausted > 0);
+    }
+
+    #[test]
+    fn respects_state_budget() {
+        // TokenRing chains deeply: each step newly enables the next action.
+        let sys = crate::system::toy::TokenRing { n: 1000 };
+        let cfg = ExploreConfig {
+            max_states: 30,
+            ..ExploreConfig::depth(500)
+        };
+        let r = predict(&sys, &[], &cfg);
+        assert!(r.report.truncated);
+        assert!(r.report.states_visited <= 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sys = Cascade {
+            switches: 5,
+            chain_len: 3,
+        };
+        let a = predict(&sys, &[], &ExploreConfig::depth(6));
+        let b = predict(&sys, &[], &ExploreConfig::depth(6));
+        assert_eq!(a.report.states_visited, b.report.states_visited);
+        assert_eq!(a.report.transitions, b.report.transitions);
+        assert_eq!(a.chains_exhausted, b.chains_exhausted);
+    }
+}

@@ -1,0 +1,311 @@
+//! Random-walk simulation over a transition system.
+//!
+//! Integrating performance parameters "turns a model checker into a
+//! simulator that runs a large number of simulations" (paper §3.3.2). This
+//! module is that mode: instead of enumerating interleavings, sample many
+//! weighted walks to a horizon and score the final states. The runtime uses
+//! it to estimate the *expected* objective value of a choice when exhaustive
+//! exploration would be too slow.
+
+use crate::props::{Property, PropertyKind, Violation};
+use crate::system::TransitionSystem;
+use cb_simnet::rng::SimRng;
+
+/// Configuration of a random-walk batch.
+#[derive(Clone, Debug)]
+pub struct WalkConfig {
+    /// Number of independent walks.
+    pub walks: usize,
+    /// Steps per walk (walks stop early at deadlock).
+    pub depth: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            walks: 64,
+            depth: 8,
+        }
+    }
+}
+
+/// Outcome of a random-walk batch.
+#[derive(Clone, Debug)]
+pub struct WalkReport<A> {
+    /// Walks executed.
+    pub walks: usize,
+    /// Total steps taken across all walks.
+    pub steps: u64,
+    /// Walks that ended in a deadlock (no enabled action).
+    pub deadlocks: u64,
+    /// Safety violations encountered (at most one recorded per walk).
+    pub violations: Vec<Violation<A>>,
+    /// Scores of the final states, one per walk.
+    pub scores: Vec<f64>,
+}
+
+impl<A> WalkReport<A> {
+    /// Mean of the final-state scores (0 when no walks ran).
+    pub fn mean_score(&self) -> f64 {
+        if self.scores.is_empty() {
+            0.0
+        } else {
+            self.scores.iter().sum::<f64>() / self.scores.len() as f64
+        }
+    }
+
+    /// Fraction of walks that hit a safety violation.
+    pub fn violation_rate(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.violations.len() as f64 / self.walks as f64
+        }
+    }
+}
+
+/// Samples an index proportionally to `weights`. Falls back to uniform when
+/// all weights vanish.
+fn sample_weighted(rng: &mut SimRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return rng.gen_index(weights.len());
+    }
+    let mut x = rng.gen_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+    }
+    weights.len() - 1
+}
+
+/// Runs `cfg.walks` weighted random walks and scores each final state.
+///
+/// Each step samples among enabled actions proportionally to
+/// [`TransitionSystem::weight`]. Safety properties are checked along the
+/// way; the first violation ends that walk (its score is still recorded,
+/// from the violating state).
+///
+/// # Examples
+///
+/// ```
+/// use cb_mck::system::TransitionSystem;
+/// use cb_mck::walk::{random_walks, WalkConfig};
+/// use cb_simnet::rng::SimRng;
+///
+/// struct Drift;
+/// impl TransitionSystem for Drift {
+///     type State = i32;
+///     type Action = i32;
+///     fn initial(&self) -> i32 { 0 }
+///     fn actions(&self, _: &i32) -> Vec<i32> { vec![-1, 1] }
+///     fn step(&self, s: &i32, a: &i32) -> i32 { s + a }
+///     fn weight(&self, _: &i32, a: &i32) -> f64 { if *a > 0 { 3.0 } else { 1.0 } }
+/// }
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let r = random_walks(&Drift, &[], &WalkConfig { walks: 200, depth: 10 }, &mut rng, |s| *s as f64);
+/// assert!(r.mean_score() > 0.0); // upward drift dominates
+/// ```
+pub fn random_walks<T: TransitionSystem>(
+    sys: &T,
+    props: &[Property<T::State>],
+    cfg: &WalkConfig,
+    rng: &mut SimRng,
+    score: impl Fn(&T::State) -> f64,
+) -> WalkReport<T::Action> {
+    let safety: Vec<&Property<T::State>> = props
+        .iter()
+        .filter(|p| p.kind() == PropertyKind::Safety)
+        .collect();
+    let mut report = WalkReport {
+        walks: cfg.walks,
+        steps: 0,
+        deadlocks: 0,
+        violations: Vec::new(),
+        scores: Vec::with_capacity(cfg.walks),
+    };
+    for _ in 0..cfg.walks {
+        let mut state = sys.initial();
+        let mut path: Vec<T::Action> = Vec::new();
+        let mut violated = false;
+        for _ in 0..cfg.depth {
+            let actions = sys.actions(&state);
+            if actions.is_empty() {
+                report.deadlocks += 1;
+                break;
+            }
+            let weights: Vec<f64> = actions.iter().map(|a| sys.weight(&state, a)).collect();
+            let pick = sample_weighted(rng, &weights);
+            let action = actions[pick].clone();
+            state = sys.step(&state, &action);
+            path.push(action);
+            report.steps += 1;
+            for p in &safety {
+                if !p.holds(&state) {
+                    report.violations.push(Violation {
+                        property: p.name().to_string(),
+                        kind: PropertyKind::Safety,
+                        path: path.clone(),
+                    });
+                    violated = true;
+                    break;
+                }
+            }
+            if violated {
+                break;
+            }
+        }
+        report.scores.push(score(&state));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::toy::TokenRing;
+
+    #[test]
+    fn walks_respect_depth() {
+        let sys = TokenRing { n: 1000 };
+        let mut rng = SimRng::seed_from(2);
+        let r = random_walks(
+            &sys,
+            &[],
+            &WalkConfig {
+                walks: 10,
+                depth: 7,
+            },
+            &mut rng,
+            |s| *s as f64,
+        );
+        assert_eq!(r.walks, 10);
+        assert_eq!(r.steps, 70);
+        // Token ring is deterministic: every walk ends at position 7.
+        assert!(r.scores.iter().all(|&s| s == 7.0));
+    }
+
+    #[test]
+    fn weights_bias_sampling() {
+        struct Biased;
+        impl TransitionSystem for Biased {
+            type State = (u32, u32);
+            type Action = bool;
+            fn initial(&self) -> (u32, u32) {
+                (0, 0)
+            }
+            fn actions(&self, _: &(u32, u32)) -> Vec<bool> {
+                vec![false, true]
+            }
+            fn step(&self, s: &(u32, u32), a: &bool) -> (u32, u32) {
+                if *a {
+                    (s.0 + 1, s.1)
+                } else {
+                    (s.0, s.1 + 1)
+                }
+            }
+            fn weight(&self, _: &(u32, u32), a: &bool) -> f64 {
+                if *a {
+                    9.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        let mut rng = SimRng::seed_from(3);
+        let r = random_walks(
+            &Biased,
+            &[],
+            &WalkConfig {
+                walks: 100,
+                depth: 20,
+            },
+            &mut rng,
+            |s| s.0 as f64 / 20.0,
+        );
+        // Expect ~90% of steps to be `true`.
+        assert!(r.mean_score() > 0.8, "mean {}", r.mean_score());
+    }
+
+    #[test]
+    fn violations_stop_the_walk() {
+        let sys = TokenRing { n: 100 };
+        let props = [Property::safety("below 3", |s: &usize| *s < 3)];
+        let mut rng = SimRng::seed_from(4);
+        let r = random_walks(
+            &sys,
+            &props,
+            &WalkConfig {
+                walks: 5,
+                depth: 50,
+            },
+            &mut rng,
+            |s| *s as f64,
+        );
+        assert_eq!(r.violations.len(), 5);
+        assert!((r.violation_rate() - 1.0).abs() < f64::EPSILON);
+        // Each walk stopped right at the violating state.
+        assert!(r.scores.iter().all(|&s| s == 3.0));
+        assert!(r.violations.iter().all(|v| v.path.len() == 3));
+    }
+
+    #[test]
+    fn deadlock_is_counted() {
+        struct Dead;
+        impl TransitionSystem for Dead {
+            type State = u8;
+            type Action = u8;
+            fn initial(&self) -> u8 {
+                0
+            }
+            fn actions(&self, s: &u8) -> Vec<u8> {
+                if *s < 2 {
+                    vec![1]
+                } else {
+                    vec![]
+                }
+            }
+            fn step(&self, s: &u8, _: &u8) -> u8 {
+                s + 1
+            }
+        }
+        let mut rng = SimRng::seed_from(5);
+        let r = random_walks(
+            &Dead,
+            &[],
+            &WalkConfig {
+                walks: 3,
+                depth: 10,
+            },
+            &mut rng,
+            |_| 0.0,
+        );
+        assert_eq!(r.deadlocks, 3);
+        assert_eq!(r.steps, 6);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let mut rng = SimRng::seed_from(6);
+        let idx = sample_weighted(&mut rng, &[0.0, 0.0, 0.0]);
+        assert!(idx < 3);
+        // NaN/inf weights are ignored rather than poisoning the draw.
+        let idx2 = sample_weighted(&mut rng, &[f64::NAN, 1.0, f64::INFINITY]);
+        assert_eq!(idx2, 1);
+    }
+
+    #[test]
+    fn same_seed_same_walks() {
+        let sys = TokenRing { n: 9 };
+        let run = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            random_walks(&sys, &[], &WalkConfig::default(), &mut rng, |s| *s as f64).scores
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

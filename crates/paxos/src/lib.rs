@@ -1,0 +1,27 @@
+//! # cb-paxos — consensus with an exposed proposer choice
+//!
+//! A multi-decree Paxos in the coordinated (Mencius-like) style over the
+//! explicit-choice runtime, built for the §3.1 consensus claim: fixed-
+//! leader deployments degrade under leader load and client remoteness,
+//! rotating proposers spread load, and **exposing the proposer choice** to
+//! a learned runtime resolver gets low latency across deployment settings.
+//!
+//! * [`proto`] — ballots, commands, the Paxos message set.
+//! * [`replica`] — acceptor/learner/proposer with slot ownership
+//!   (fixed-leader or round-robin schedules) and full Prepare/Promise
+//!   recovery for contended slots.
+//! * [`client`] — the submitting client and the three proposer regimes.
+//! * [`node`] — the unified service hosting either role.
+//! * [`scenario`] — the WAN deployment and regime comparison (E7).
+
+pub mod client;
+pub mod node;
+pub mod proto;
+pub mod replica;
+pub mod scenario;
+
+pub use client::{Client, ProposerRegime};
+pub use node::PaxosNode;
+pub use proto::{Ballot, Command, PaxosMsg, MAX_REPLICAS};
+pub use replica::{Replica, ReplicaCheckpoint, SlotOwnership};
+pub use scenario::{run_paxos, PaxosConfig, PaxosOutcome};

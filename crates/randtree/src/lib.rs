@@ -1,0 +1,30 @@
+//! # cb-randtree — the paper's case study, both ways
+//!
+//! RandTree (a random overlay tree, originally a Mace example service)
+//! implemented twice over the explicit-choice runtime:
+//!
+//! * [`baseline`] — the released style: one monolithic join handler with
+//!   the forwarding strategy hard-coded inside (nested conditionals,
+//!   several RNG draws, accreted special cases).
+//! * [`choice`] — the paper's programming model: several short handlers;
+//!   the forwarding target is an **exposed choice** resolved by the runtime
+//!   against the objective "prioritize building a balanced tree".
+//!
+//! [`model`] supplies the join-descent transition system the predictive
+//! resolver explores; [`metrics`] measures tree shape; [`scenario`] scripts
+//! the §4 experiments (31-node join; subtree failure and rejoin) across the
+//! Baseline / Choice-Random / Choice-CrystalBall arms.
+
+pub mod baseline;
+pub mod choice;
+pub mod metrics;
+pub mod model;
+pub mod proto;
+pub mod scenario;
+
+pub use baseline::BaselineRandTree;
+pub use choice::ChoiceRandTree;
+pub use metrics::{optimal_depth, tree_stats, HasTree, TreeStats};
+pub use model::{attach_depth, JAction, JState, JoinDescent};
+pub use proto::{TreeCheckpoint, TreeMsg, TreeState, MAX_CHILDREN};
+pub use scenario::{run_failure_rejoin, run_join, Outcome, ScenarioConfig, Setup};

@@ -1,0 +1,183 @@
+//! Tree-shape metrics: what the case study measures.
+//!
+//! The paper's §4 evaluates RandTree by tree balance, using maximum tree
+//! depth (in levels, root = 1) as the headline metric. This module extracts
+//! the global tree from a finished simulation, validates it, and computes
+//! the depth and degree statistics the experiment tables report.
+
+use crate::proto::TreeState;
+use cb_core::runtime::{RuntimeNode, Service};
+use cb_simnet::sim::Sim;
+use cb_simnet::topology::NodeId;
+use std::collections::HashMap;
+
+/// Services that carry a [`TreeState`] (both RandTree implementations do).
+pub trait HasTree {
+    /// The node's current tree membership.
+    fn tree(&self) -> &TreeState;
+}
+
+impl HasTree for crate::baseline::BaselineRandTree {
+    fn tree(&self) -> &TreeState {
+        &self.tree
+    }
+}
+
+impl HasTree for crate::choice::ChoiceRandTree {
+    fn tree(&self) -> &TreeState {
+        &self.tree
+    }
+}
+
+/// Global tree statistics extracted from a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Nodes that report being attached (the root counts).
+    pub attached: usize,
+    /// Nodes that are actually reachable from the root by child links.
+    pub reachable: usize,
+    /// Maximum depth in levels (root = 1) over reachable nodes, computed
+    /// from parent pointers (not the possibly stale local depth fields).
+    pub max_depth: u32,
+    /// Mean depth in levels over reachable nodes.
+    pub mean_depth: f64,
+    /// Maximum child count observed.
+    pub max_degree: usize,
+    /// True when parent/child links are mutually consistent and acyclic.
+    pub well_formed: bool,
+}
+
+/// The information-theoretic optimal max depth (levels) for `n` nodes with
+/// the given fanout.
+pub fn optimal_depth(n: usize, fanout: usize) -> u32 {
+    let mut total = 0usize;
+    let mut level_width = 1usize;
+    let mut depth = 0u32;
+    while total < n {
+        total += level_width;
+        level_width *= fanout;
+        depth += 1;
+    }
+    depth
+}
+
+/// Extracts tree statistics from the finished simulation.
+///
+/// Only nodes that are currently up participate. Depths are recomputed by
+/// walking parent pointers from each node to the root.
+pub fn tree_stats<S>(sim: &Sim<RuntimeNode<S>>, root: NodeId) -> TreeStats
+where
+    S: Service + HasTree,
+{
+    let up: Vec<NodeId> = sim.topology().hosts().filter(|&n| sim.is_up(n)).collect();
+    let parent: HashMap<NodeId, Option<NodeId>> = up
+        .iter()
+        .map(|&n| (n, sim.actor(n).service().tree().parent))
+        .collect();
+    let attached = up
+        .iter()
+        .filter(|&&n| sim.actor(n).service().tree().attached)
+        .count();
+
+    let mut well_formed = true;
+    // Parent/child mutual consistency.
+    for &n in &up {
+        if let Some(Some(p)) = parent.get(&n) {
+            if !sim.is_up(*p) || !sim.actor(*p).service().tree().children.contains(&n) {
+                well_formed = false;
+            }
+        }
+    }
+    // Depth by parent walk; cycle detection by bounding the walk.
+    let mut depths: HashMap<NodeId, u32> = HashMap::new();
+    let bound = up.len() + 1;
+    for &n in &up {
+        let mut at = n;
+        let mut steps = 0u32;
+        loop {
+            if at == root {
+                depths.insert(n, steps + 1);
+                break;
+            }
+            match parent.get(&at).copied().flatten() {
+                Some(p) if (steps as usize) < bound => {
+                    at = p;
+                    steps += 1;
+                }
+                _ => {
+                    if (steps as usize) >= bound {
+                        well_formed = false;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let reachable = depths.len();
+    let max_depth = depths.values().copied().max().unwrap_or(0);
+    let mean_depth = if reachable == 0 {
+        0.0
+    } else {
+        depths.values().map(|&d| d as f64).sum::<f64>() / reachable as f64
+    };
+    let max_degree = up
+        .iter()
+        .map(|&n| sim.actor(n).service().tree().children.len())
+        .max()
+        .unwrap_or(0);
+    TreeStats {
+        attached,
+        reachable,
+        max_depth,
+        mean_depth,
+        max_degree,
+        well_formed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_depths_match_hand_computation() {
+        // Binary: 1 + 2 + 4 + 8 + 16 = 31 nodes in 5 levels.
+        assert_eq!(optimal_depth(31, 2), 5);
+        assert_eq!(optimal_depth(1, 2), 1);
+        assert_eq!(optimal_depth(3, 2), 2);
+        assert_eq!(optimal_depth(4, 2), 3);
+        assert_eq!(optimal_depth(7, 2), 3);
+        assert_eq!(optimal_depth(8, 2), 4);
+        // Ternary: 1 + 3 + 9 = 13.
+        assert_eq!(optimal_depth(13, 3), 3);
+    }
+
+    #[test]
+    fn stats_on_a_real_join() {
+        use crate::choice::ChoiceRandTree;
+        use cb_core::resolve::random::RandomResolver;
+        use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+        use cb_simnet::time::{SimDuration, SimTime};
+        use cb_simnet::topology::Topology;
+
+        let topo = Topology::star(15, SimDuration::from_millis(10), 50_000_000);
+        let mut sim = Sim::new(topo, 21, move |id| {
+            let delay = SimDuration::from_millis(150) * (id.0 as u64 + 1);
+            RuntimeNode::new(
+                ChoiceRandTree::new(id, NodeId(0), delay),
+                RuntimeConfig::new(Box::new(RandomResolver::new(id.0 as u64)))
+                    .controller_every(SimDuration::from_millis(500)),
+            )
+        });
+        sim.start_all();
+        sim.run_until_quiescent(SimTime::from_secs(120));
+        let stats = tree_stats(&sim, NodeId(0));
+        assert!(stats.well_formed, "{stats:?}");
+        assert_eq!(stats.attached, 15);
+        assert_eq!(stats.reachable, 15);
+        assert!(stats.max_depth >= optimal_depth(15, 2), "{stats:?}");
+        assert!(stats.max_depth <= 15, "{stats:?}");
+        assert!(stats.max_degree <= crate::proto::MAX_CHILDREN);
+        assert!(stats.mean_depth >= 1.0 && stats.mean_depth <= stats.max_depth as f64);
+    }
+}

@@ -1,0 +1,276 @@
+//! The join-descent model: RandTree's predictive transition system.
+//!
+//! When the choice-exposed RandTree must pick a forwarding target, the
+//! runtime predicts where a join forwarded to each candidate would finally
+//! attach. The prediction runs over a [`JoinDescent`] transition system
+//! instantiated from the node's **state model** (its neighbors' checkpoints,
+//! including the aggregated subtree statistics they report):
+//!
+//! * at a node whose checkpoint is known, the join either attaches (if the
+//!   checkpoint shows spare capacity) or descends into one of its children;
+//! * at a **generic node** — one without a checkpoint — the state is
+//!   under-specified, so *both* optimistic and pessimistic attachment are
+//!   enabled as alternative actions, and the weighted random walks of the
+//!   evaluator average over them (paper §3.3.2's generic-node proposal).
+//!
+//! The objective fed to the evaluator is "minimize the final attach depth",
+//! which is exactly the installed objective of the case study ("prioritize
+//! building a balanced tree").
+
+use crate::proto::{TreeCheckpoint, MAX_CHILDREN};
+use cb_mck::system::TransitionSystem;
+use std::collections::BTreeMap;
+
+/// Where a simulated join currently is.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub struct JState {
+    /// Node key the join request is at.
+    pub at: u32,
+    /// That node's depth in levels.
+    pub depth: u32,
+    /// Estimated height of the subtree below `at` (from ancestor reports),
+    /// used to bound pessimistic attachment under generic nodes.
+    pub height_hint: u32,
+    /// Final attach depth once decided.
+    pub done: Option<u32>,
+}
+
+/// One step of the simulated join descent.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+pub enum JAction {
+    /// Attach as a child of the current node (it has spare capacity).
+    Attach,
+    /// Forward to this child and continue descending.
+    Descend(u32),
+    /// Generic node, optimistic: it happens to have capacity right here.
+    GenericAttachShallow,
+    /// Generic node, pessimistic: the join sinks to the bottom of the
+    /// unknown subtree.
+    GenericAttachDeep,
+}
+
+/// The join-descent transition system over a snapshot of checkpoints.
+#[derive(Clone, Debug)]
+pub struct JoinDescent {
+    /// Checkpoints by node key (the evaluating node's state model plus its
+    /// own fresh checkpoint).
+    pub known: BTreeMap<u32, TreeCheckpoint>,
+    /// The forwarding target being evaluated.
+    pub start: u32,
+    /// The target's depth in levels.
+    pub start_depth: u32,
+    /// Height hint for the target's subtree.
+    pub start_height: u32,
+}
+
+impl TransitionSystem for JoinDescent {
+    type State = JState;
+    type Action = JAction;
+
+    fn initial(&self) -> JState {
+        JState {
+            at: self.start,
+            depth: self.start_depth,
+            height_hint: self.start_height,
+            done: None,
+        }
+    }
+
+    fn actions(&self, s: &JState) -> Vec<JAction> {
+        if s.done.is_some() {
+            return Vec::new();
+        }
+        match self.known.get(&s.at) {
+            Some(ck) => {
+                if ck.children.len() < MAX_CHILDREN {
+                    vec![JAction::Attach]
+                } else {
+                    ck.children.iter().map(|&c| JAction::Descend(c)).collect()
+                }
+            }
+            // Under-specified generic node: both futures are possible.
+            None => vec![JAction::GenericAttachShallow, JAction::GenericAttachDeep],
+        }
+    }
+
+    fn step(&self, s: &JState, a: &JAction) -> JState {
+        let mut next = s.clone();
+        match a {
+            JAction::Attach | JAction::GenericAttachShallow => {
+                next.done = Some(s.depth + 1);
+            }
+            JAction::GenericAttachDeep => {
+                next.done = Some(s.depth + s.height_hint.max(1));
+            }
+            JAction::Descend(c) => {
+                next.at = *c;
+                next.depth = s.depth + 1;
+                // The child's own report, if known, refines the hint.
+                next.height_hint = match self.known.get(c) {
+                    Some(ck) => ck.subtree_height,
+                    None => s.height_hint.saturating_sub(1).max(1),
+                };
+            }
+        }
+        next
+    }
+
+    fn locus(&self, _a: &JAction) -> usize {
+        0
+    }
+}
+
+/// The attach-depth estimate of a terminal state: the decided depth, or the
+/// current depth plus one while still descending (an optimistic floor, used
+/// when a walk is cut by its horizon).
+pub fn attach_depth(s: &JState) -> u32 {
+    s.done.unwrap_or(s.depth + 1)
+}
+
+/// Convenience: checkpoint of a node with the given links and aggregates.
+pub fn checkpoint(
+    parent: Option<u32>,
+    children: Vec<u32>,
+    depth: u32,
+    subtree_size: u32,
+    subtree_height: u32,
+) -> TreeCheckpoint {
+    TreeCheckpoint {
+        parent,
+        children,
+        depth,
+        subtree_size,
+        subtree_height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_core::objective::ObjectiveSet;
+    use cb_core::predict::{ModelEvaluator, PredictConfig};
+    use cb_simnet::rng::SimRng;
+
+    /// A 3-level known tree:
+    /// 0 -> [1, 2]; 1 -> [3, 4] (full); 2 -> [5] (capacity).
+    fn sample() -> BTreeMap<u32, TreeCheckpoint> {
+        let mut m = BTreeMap::new();
+        m.insert(0, checkpoint(None, vec![1, 2], 1, 6, 3));
+        m.insert(1, checkpoint(Some(0), vec![3, 4], 2, 3, 2));
+        m.insert(2, checkpoint(Some(0), vec![5], 2, 2, 2));
+        m
+    }
+
+    #[test]
+    fn attach_where_capacity_exists() {
+        let sys = JoinDescent {
+            known: sample(),
+            start: 2,
+            start_depth: 2,
+            start_height: 2,
+        };
+        let s0 = sys.initial();
+        assert_eq!(sys.actions(&s0), vec![JAction::Attach]);
+        let s1 = sys.step(&s0, &JAction::Attach);
+        assert_eq!(s1.done, Some(3));
+        assert!(sys.actions(&s1).is_empty());
+    }
+
+    #[test]
+    fn full_node_descends_to_each_child() {
+        let sys = JoinDescent {
+            known: sample(),
+            start: 1,
+            start_depth: 2,
+            start_height: 2,
+        };
+        let s0 = sys.initial();
+        let acts = sys.actions(&s0);
+        assert_eq!(acts, vec![JAction::Descend(3), JAction::Descend(4)]);
+        let s1 = sys.step(&s0, &JAction::Descend(3));
+        assert_eq!(s1.at, 3);
+        assert_eq!(s1.depth, 3);
+    }
+
+    #[test]
+    fn generic_node_offers_both_futures() {
+        let sys = JoinDescent {
+            known: sample(),
+            start: 9,
+            start_depth: 4,
+            start_height: 3,
+        };
+        let s0 = sys.initial();
+        let acts = sys.actions(&s0);
+        assert_eq!(
+            acts,
+            vec![JAction::GenericAttachShallow, JAction::GenericAttachDeep]
+        );
+        let shallow = sys.step(&s0, &JAction::GenericAttachShallow);
+        let deep = sys.step(&s0, &JAction::GenericAttachDeep);
+        assert_eq!(shallow.done, Some(5));
+        assert_eq!(deep.done, Some(7));
+    }
+
+    #[test]
+    fn evaluator_prefers_the_branch_with_capacity() {
+        // From node 0's perspective: forwarding to 2 (capacity at depth 2)
+        // should predict a shallower attach than forwarding to 1 (full,
+        // descends to generic grandchildren).
+        let known = sample();
+        let objectives: ObjectiveSet<JState> =
+            ObjectiveSet::new().minimize("attach depth", 1.0, |s: &JState| attach_depth(s) as f64);
+        let starts = [(1u32, 2u32, 2u32), (2, 2, 2)];
+        let mut eval = ModelEvaluator::new(
+            |i| JoinDescent {
+                known: known.clone(),
+                start: starts[i].0,
+                start_depth: starts[i].1,
+                start_height: starts[i].2,
+            },
+            &objectives,
+            PredictConfig {
+                depth: 6,
+                walks: 32,
+                ..Default::default()
+            },
+            SimRng::seed_from(5),
+        );
+        use cb_core::choice::OptionEvaluator;
+        let via_full = eval.evaluate(0);
+        let via_free = eval.evaluate(1);
+        assert!(
+            via_free.objective > via_full.objective,
+            "free branch {via_free:?} should beat full branch {via_full:?}"
+        );
+    }
+
+    #[test]
+    fn descent_refines_height_hint_from_child_reports() {
+        let sys = JoinDescent {
+            known: sample(),
+            start: 0,
+            start_depth: 1,
+            start_height: 3,
+        };
+        let s0 = sys.initial();
+        let s1 = sys.step(&s0, &JAction::Descend(1));
+        assert_eq!(s1.height_hint, 2, "child 1 reported height 2");
+        let s2 = sys.step(&s1, &JAction::Descend(3));
+        // Node 3 is generic; hint decays from the parent's.
+        assert_eq!(s2.height_hint, 1);
+    }
+
+    #[test]
+    fn attach_depth_fallback_for_unfinished_walks() {
+        let s = JState {
+            at: 5,
+            depth: 4,
+            height_hint: 1,
+            done: None,
+        };
+        assert_eq!(attach_depth(&s), 5);
+        let s2 = JState { done: Some(9), ..s };
+        assert_eq!(attach_depth(&s2), 9);
+    }
+}

@@ -1,0 +1,1255 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] hosts one [`Actor`] per end host of a [`Topology`] and drives
+//! them with a single virtual clock. Everything an actor can observe — time,
+//! message arrivals, timer firings, randomness — flows through the engine, so
+//! a run is a pure function of `(topology, seed, actor code)`. The engine
+//! prices every message with the topology's end-to-end path properties:
+//! propagation latency, serialization through the sender's uplink and the
+//! receiver's downlink, bottleneck bandwidth, and loss (which, for the
+//! TCP-like reliable transport, turns into retransmission delay rather than
+//! an actual drop).
+//!
+//! # Transport model
+//!
+//! * [`Ctx::send`] is **reliable and in-order** per (source, destination)
+//!   pair, like one long-lived TCP connection: delivery times are floored by
+//!   the previous delivery on the same flow, loss costs retransmission
+//!   round-trips, and a first message pays a handshake RTT. Connections can
+//!   be broken — by the application (execution steering does this), by a
+//!   crash, or by exceeding the retry budget — which drops the in-flight
+//!   messages of the pair and notifies both endpoints.
+//! * [`Ctx::send_unreliable`] is fire-and-forget datagram delivery: lossy,
+//!   unordered across flows (though still latency-ordered per path).
+//!
+//! # Failure model
+//!
+//! Nodes crash (lose all state) and restart (fresh actor from the factory,
+//! same identity). Directed blackholes ([`Sim::block`]) model partitions.
+
+use crate::metrics::{MetricsSummary, NodeMetrics};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, PathProps, Topology};
+use crate::trace::{Trace, TraceEvent};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Identifies a pending timer; returned by [`Ctx::set_timer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+/// Maximum TCP-like retransmission attempts before the connection is
+/// declared broken.
+const MAX_RETRIES: u32 = 8;
+
+/// Default payload size assumed for control messages, in bytes.
+pub const DEFAULT_MSG_BYTES: u32 = 256;
+
+/// Fixed per-message protocol overhead added to every payload, in bytes.
+const HEADER_BYTES: u32 = 64;
+
+/// A simulated process: the code that runs on one end host.
+///
+/// Implementations are plain state machines; all interaction with the
+/// outside world goes through the [`Ctx`] handed to each callback.
+pub trait Actor: 'static {
+    /// The message type this system exchanges.
+    type Msg: Clone + std::fmt::Debug + 'static;
+
+    /// Called once when the node starts (or restarts after a crash).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+
+    /// Called when the reliable connection to `peer` breaks (steering,
+    /// crash, retry exhaustion, or an explicit [`Ctx::break_connection`]).
+    fn on_conn_broken(&mut self, ctx: &mut Ctx<'_, Self::Msg>, peer: NodeId) {
+        let _ = (ctx, peer);
+    }
+}
+
+/// What travels on the event heap.
+#[derive(Debug)]
+enum Ev<M> {
+    Start {
+        node: NodeId,
+    },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        bytes: u32,
+        sent_at: SimTime,
+        epoch: u64,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        incarnation: u32,
+    },
+    Crash {
+        node: NodeId,
+    },
+    Restart {
+        node: NodeId,
+    },
+    ConnBroken {
+        node: NodeId,
+        peer: NodeId,
+    },
+}
+
+struct HeapEntry<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<M>,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq): earlier first, FIFO on ties.
+        Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
+    }
+}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FlowState {
+    /// Earliest time the next message on this directed flow may arrive
+    /// (preserves in-order delivery).
+    floor: SimTime,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ConnState {
+    /// Bumped on every break; in-flight reliable messages with an older
+    /// epoch are discarded at delivery time.
+    epoch: u64,
+    /// Whether the handshake has been paid.
+    established: bool,
+}
+
+/// The sentinel epoch used by unreliable datagrams (never filtered).
+const EPOCH_UNRELIABLE: u64 = u64::MAX;
+
+/// Engine state shared by all actors (everything except the actors
+/// themselves, so handler callbacks can borrow it mutably).
+pub struct World<M> {
+    topo: Topology,
+    now: SimTime,
+    queue: BinaryHeap<HeapEntry<M>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    up: Vec<bool>,
+    incarnation: Vec<u32>,
+    node_rng: Vec<SimRng>,
+    flows: HashMap<(NodeId, NodeId), FlowState>,
+    conns: HashMap<(NodeId, NodeId), ConnState>,
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    blocked: HashSet<(NodeId, NodeId)>,
+    metrics: Vec<NodeMetrics>,
+    trace: Trace,
+    events_processed: u64,
+}
+
+fn conn_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + 'static> World<M> {
+    fn new(topo: Topology, seed: u64) -> Self {
+        let n = topo.host_count();
+        let mut root = SimRng::seed_from(seed);
+        let node_rng = (0..n).map(|_| root.fork()).collect();
+        World {
+            topo,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            up: vec![false; n],
+            incarnation: vec![0; n],
+            node_rng,
+            flows: HashMap::new(),
+            conns: HashMap::new(),
+            tx_free: vec![SimTime::ZERO; n],
+            rx_free: vec![SimTime::ZERO; n],
+            blocked: HashSet::new(),
+            metrics: (0..n).map(|_| NodeMetrics::default()).collect(),
+            trace: Trace::default(),
+            events_processed: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev<M>) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(HeapEntry { at, seq, ev });
+    }
+
+    /// Prices a reliable message and enqueues its delivery, or records why
+    /// it could not be sent.
+    fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M, payload_bytes: u32) {
+        let bytes = payload_bytes + HEADER_BYTES;
+        self.metrics[from.index()].msgs_sent.inc();
+        self.metrics[from.index()].bytes_sent.add(bytes as u64);
+        self.trace.push(
+            self.now,
+            TraceEvent::Send {
+                from,
+                to,
+                bytes,
+                what: format!("{msg:?}"),
+            },
+        );
+        if self.blocked.contains(&(from, to)) {
+            // Partitioned: TCP eventually times out; tell the sender.
+            self.metrics[from.index()].msgs_dropped.inc();
+            self.trace.push(
+                self.now,
+                TraceEvent::Drop {
+                    from,
+                    to,
+                    reason: "partitioned",
+                },
+            );
+            let path = self.topo.path(from, to);
+            let timeout = self.now + path.latency.mul_f64(2.0 * MAX_RETRIES as f64);
+            self.push(
+                timeout,
+                Ev::ConnBroken {
+                    node: from,
+                    peer: to,
+                },
+            );
+            let key = conn_key(from, to);
+            self.conns.entry(key).or_default().established = false;
+            self.conns.entry(key).or_default().epoch += 1;
+            return;
+        }
+        let path = self.topo.path(from, to);
+        let key = conn_key(from, to);
+        let conn = self.conns.entry(key).or_default();
+        let mut extra = SimDuration::ZERO;
+        if !conn.established {
+            conn.established = true;
+            extra += path.latency * 2; // SYN handshake
+        }
+        let epoch = conn.epoch;
+        // Loss becomes retransmission delay on the reliable transport.
+        let mut retries = 0;
+        while retries < MAX_RETRIES && self.node_rng[from.index()].gen_bool(path.loss) {
+            retries += 1;
+            extra += path.latency * 2;
+        }
+        if retries >= MAX_RETRIES {
+            // TCP gives up: break the connection.
+            self.metrics[from.index()].msgs_dropped.inc();
+            self.trace.push(
+                self.now,
+                TraceEvent::Drop {
+                    from,
+                    to,
+                    reason: "retries-exhausted",
+                },
+            );
+            self.break_conn(from, to);
+            return;
+        }
+        let deliver_at = self.price_delivery(from, to, bytes, path) + extra;
+        // In-order per flow.
+        let flow = self.flows.entry((from, to)).or_default();
+        let deliver_at = deliver_at.max(flow.floor);
+        flow.floor = deliver_at;
+        self.push(
+            deliver_at,
+            Ev::Deliver {
+                to,
+                from,
+                msg,
+                bytes,
+                sent_at: self.now,
+                epoch,
+            },
+        );
+    }
+
+    /// Prices an unreliable datagram; may drop it.
+    fn send_unreliable(&mut self, from: NodeId, to: NodeId, msg: M, payload_bytes: u32) {
+        let bytes = payload_bytes + HEADER_BYTES;
+        self.metrics[from.index()].msgs_sent.inc();
+        self.metrics[from.index()].bytes_sent.add(bytes as u64);
+        self.trace.push(
+            self.now,
+            TraceEvent::Send {
+                from,
+                to,
+                bytes,
+                what: format!("{msg:?}"),
+            },
+        );
+        if self.blocked.contains(&(from, to)) {
+            self.metrics[from.index()].msgs_dropped.inc();
+            self.trace.push(
+                self.now,
+                TraceEvent::Drop {
+                    from,
+                    to,
+                    reason: "partitioned",
+                },
+            );
+            return;
+        }
+        let path = self.topo.path(from, to);
+        if self.node_rng[from.index()].gen_bool(path.loss) {
+            self.metrics[from.index()].msgs_dropped.inc();
+            self.trace.push(
+                self.now,
+                TraceEvent::Drop {
+                    from,
+                    to,
+                    reason: "loss",
+                },
+            );
+            return;
+        }
+        let deliver_at = self.price_delivery(from, to, bytes, path);
+        self.push(
+            deliver_at,
+            Ev::Deliver {
+                to,
+                from,
+                msg,
+                bytes,
+                sent_at: self.now,
+                epoch: EPOCH_UNRELIABLE,
+            },
+        );
+    }
+
+    /// Computes when `bytes` sent now from `from` arrive at `to`:
+    /// sender-uplink serialization (queued behind earlier sends), path
+    /// propagation plus bottleneck serialization, then receiver-downlink
+    /// queueing.
+    fn price_delivery(&mut self, from: NodeId, to: NodeId, bytes: u32, path: PathProps) -> SimTime {
+        let bits = bytes as u64 * 8;
+        let up_bps = self.topo.access(from).up_bps.min(path.bandwidth_bps).max(1);
+        let ser_up = SimDuration::from_secs_f64(bits as f64 / up_bps as f64);
+        let tx_start = self.now.max(self.tx_free[from.index()]);
+        let tx_done = tx_start + ser_up;
+        self.tx_free[from.index()] = tx_done;
+        let arrival = tx_done + path.latency;
+        let down_bps = self.topo.access(to).down_bps.max(1);
+        let ser_down = SimDuration::from_secs_f64(bits as f64 / down_bps as f64);
+        let rx_start = arrival.max(self.rx_free[to.index()]);
+        let done = rx_start + ser_down;
+        self.rx_free[to.index()] = done;
+        done
+    }
+
+    fn break_conn(&mut self, a: NodeId, b: NodeId) {
+        let key = conn_key(a, b);
+        let conn = self.conns.entry(key).or_default();
+        conn.epoch += 1;
+        conn.established = false;
+        self.flows.remove(&(a, b));
+        self.flows.remove(&(b, a));
+        self.trace.push(self.now, TraceEvent::ConnBroken { a, b });
+        let now = self.now;
+        self.push(now, Ev::ConnBroken { node: a, peer: b });
+        self.push(now, Ev::ConnBroken { node: b, peer: a });
+    }
+}
+
+/// The handle a running actor uses to interact with the simulated world.
+///
+/// A `Ctx` is only valid for the duration of one callback.
+pub struct Ctx<'a, M> {
+    world: &'a mut World<M>,
+    node: NodeId,
+}
+
+impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of hosts in the topology.
+    pub fn host_count(&self) -> usize {
+        self.world.topo.host_count()
+    }
+
+    /// All host ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.world.topo.hosts().collect()
+    }
+
+    /// Sends `msg` reliably and in order (TCP-like), assuming a
+    /// control-message payload of [`DEFAULT_MSG_BYTES`].
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.send_sized(to, msg, DEFAULT_MSG_BYTES);
+    }
+
+    /// Sends `msg` reliably with an explicit payload size in bytes
+    /// (bandwidth pricing uses the size).
+    pub fn send_sized(&mut self, to: NodeId, msg: M, bytes: u32) {
+        let from = self.node;
+        self.world.send_reliable(from, to, msg, bytes);
+    }
+
+    /// Sends `msg` as an unreliable datagram of [`DEFAULT_MSG_BYTES`].
+    pub fn send_unreliable(&mut self, to: NodeId, msg: M) {
+        self.send_unreliable_sized(to, msg, DEFAULT_MSG_BYTES);
+    }
+
+    /// Sends `msg` as an unreliable datagram with an explicit payload size.
+    pub fn send_unreliable_sized(&mut self, to: NodeId, msg: M, bytes: u32) {
+        let from = self.node;
+        self.world.send_unreliable(from, to, msg, bytes);
+    }
+
+    /// Arms a timer that fires after `delay` with the given application tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.world.next_timer);
+        self.world.next_timer += 1;
+        let node = self.node;
+        let at = self.world.now + delay;
+        let incarnation = self.world.incarnation[node.index()];
+        self.world.push(
+            at,
+            Ev::Timer {
+                node,
+                id,
+                tag,
+                incarnation,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.world.cancelled.insert(id);
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.node_rng[self.node.index()]
+    }
+
+    /// Tears down the reliable connection with `peer`, dropping its
+    /// in-flight messages; both endpoints get [`Actor::on_conn_broken`].
+    ///
+    /// Execution steering uses this as its universally available corrective
+    /// action.
+    pub fn break_connection(&mut self, peer: NodeId) {
+        let me = self.node;
+        self.world.break_conn(me, peer);
+    }
+
+    /// Ground-truth path properties to `to`, as a measurement facility
+    /// (real deployments would probe; models built on this should treat it
+    /// as a sample, not an oracle).
+    pub fn measure_path(&self, to: NodeId) -> PathProps {
+        self.world.topo.path(self.node, to)
+    }
+
+    /// The domain label of a host (see [`Topology::domain`]).
+    pub fn domain(&self, n: NodeId) -> u32 {
+        self.world.topo.domain(n)
+    }
+
+    /// Whether `n` is currently up. Real nodes cannot know this instantly;
+    /// it is offered for drivers and oracles, not protocol logic.
+    pub fn is_up(&self, n: NodeId) -> bool {
+        self.world.up[n.index()]
+    }
+
+    /// Appends a free-form annotation to the trace.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let node = self.node;
+        let now = self.world.now;
+        self.world.trace.push(
+            now,
+            TraceEvent::Note {
+                node: Some(node),
+                text: text.into(),
+            },
+        );
+    }
+}
+
+/// A complete simulation: topology, clock, event queue, and one actor per
+/// host.
+///
+/// # Examples
+///
+/// ```
+/// use cb_simnet::prelude::*;
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     type Msg = u32;
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+///         if ctx.id() == NodeId(0) {
+///             ctx.send(NodeId(1), 7);
+///         }
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+///         if msg == 7 {
+///             ctx.send(from, 8);
+///         }
+///     }
+/// }
+///
+/// let topo = Topology::star(2, SimDuration::from_millis(10), 1_000_000);
+/// let mut sim = Sim::new(topo, 42, |_| Echo);
+/// sim.start_all();
+/// sim.run_until_quiescent(SimTime::from_secs(10));
+/// assert_eq!(sim.summary().msgs_delivered, 2);
+/// ```
+pub struct Sim<A: Actor> {
+    actors: Vec<A>,
+    factory: Box<dyn Fn(NodeId) -> A>,
+    world: World<A::Msg>,
+}
+
+impl<A: Actor> Sim<A> {
+    /// Creates a simulation with one actor per host, built by `factory`.
+    /// No node is started yet; use [`Sim::start_all`] or
+    /// [`Sim::schedule_start`].
+    pub fn new(topo: Topology, seed: u64, factory: impl Fn(NodeId) -> A + 'static) -> Self {
+        let actors = topo.hosts().map(&factory).collect();
+        Sim {
+            actors,
+            factory: Box::new(factory),
+            world: World::new(topo, seed),
+        }
+    }
+
+    /// Starts every node at the current time.
+    pub fn start_all(&mut self) {
+        let now = self.world.now;
+        for node in self.world.topo.hosts().collect::<Vec<_>>() {
+            self.schedule_start(node, now);
+        }
+    }
+
+    /// Schedules a node start (its `on_start` runs at `at`).
+    pub fn schedule_start(&mut self, node: NodeId, at: SimTime) {
+        self.world.push(at, Ev::Start { node });
+    }
+
+    /// Schedules a crash: the node loses all state and stops processing.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.world.push(at, Ev::Crash { node });
+    }
+
+    /// Schedules a restart: a fresh actor is built from the factory and
+    /// started.
+    pub fn schedule_restart(&mut self, node: NodeId, at: SimTime) {
+        self.world.push(at, Ev::Restart { node });
+    }
+
+    /// Blackholes traffic from `a` to `b` (directed). Reliable sends on the
+    /// blocked pair fail with a broken connection after a timeout.
+    pub fn block(&mut self, a: NodeId, b: NodeId) {
+        self.world.blocked.insert((a, b));
+    }
+
+    /// Removes a directed blackhole.
+    pub fn unblock(&mut self, a: NodeId, b: NodeId) {
+        self.world.blocked.remove(&(a, b));
+    }
+
+    /// Partitions the hosts into two groups, blocking all traffic between
+    /// them (both directions).
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.block(a, b);
+                self.block(b, a);
+            }
+        }
+    }
+
+    /// Heals every blackhole.
+    pub fn heal_all(&mut self) {
+        self.world.blocked.clear();
+    }
+
+    /// Schedules a churn episode: each listed node crashes and restarts
+    /// repeatedly between `from` and `until`, with exponentially distributed
+    /// up-times (mean `up_mean`) and down-times (mean `down_mean`), drawn
+    /// from a stream seeded by `seed` (independent of the node streams).
+    ///
+    /// Returns the number of crash/restart pairs scheduled.
+    pub fn schedule_churn(
+        &mut self,
+        nodes: &[NodeId],
+        from: SimTime,
+        until: SimTime,
+        up_mean: SimDuration,
+        down_mean: SimDuration,
+        seed: u64,
+    ) -> usize {
+        let mut rng = SimRng::seed_from(seed);
+        let mut scheduled = 0;
+        for &n in nodes {
+            let mut t = from;
+            loop {
+                t = t.saturating_add(SimDuration::from_secs_f64(
+                    rng.gen_exp(up_mean.as_secs_f64()),
+                ));
+                if t >= until {
+                    break;
+                }
+                let down = t.saturating_add(SimDuration::from_secs_f64(
+                    rng.gen_exp(down_mean.as_secs_f64()),
+                ));
+                self.schedule_crash(n, t);
+                self.schedule_restart(n, down);
+                scheduled += 1;
+                t = down;
+            }
+        }
+        scheduled
+    }
+
+    /// Processes a single event. Returns its timestamp, or `None` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let entry = self.world.queue.pop()?;
+        self.world.now = entry.at;
+        self.world.events_processed += 1;
+        match entry.ev {
+            Ev::Start { node } => {
+                self.world.up[node.index()] = true;
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node,
+                };
+                self.actors[node.index()].on_start(&mut ctx);
+            }
+            Ev::Deliver {
+                to,
+                from,
+                msg,
+                bytes,
+                sent_at,
+                epoch,
+            } => {
+                if !self.world.up[to.index()] {
+                    self.world.metrics[from.index()].msgs_dropped.inc();
+                    self.world.trace.push(
+                        self.world.now,
+                        TraceEvent::Drop {
+                            from,
+                            to,
+                            reason: "dest-down",
+                        },
+                    );
+                    return Some(entry.at);
+                }
+                if epoch != EPOCH_UNRELIABLE {
+                    let current = self
+                        .world
+                        .conns
+                        .get(&conn_key(from, to))
+                        .map_or(0, |c| c.epoch);
+                    if epoch != current {
+                        self.world.metrics[from.index()].msgs_dropped.inc();
+                        self.world.trace.push(
+                            self.world.now,
+                            TraceEvent::Drop {
+                                from,
+                                to,
+                                reason: "conn-broken",
+                            },
+                        );
+                        return Some(entry.at);
+                    }
+                }
+                let m = &mut self.world.metrics[to.index()];
+                m.msgs_delivered.inc();
+                m.bytes_received.add(bytes as u64);
+                m.delivery_latency.record_duration(self.world.now - sent_at);
+                self.world.trace.push(
+                    self.world.now,
+                    TraceEvent::Deliver {
+                        from,
+                        to,
+                        what: format!("{msg:?}"),
+                    },
+                );
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node: to,
+                };
+                self.actors[to.index()].on_message(&mut ctx, from, msg);
+            }
+            Ev::Timer {
+                node,
+                id,
+                tag,
+                incarnation,
+            } => {
+                if !self.world.up[node.index()]
+                    || incarnation != self.world.incarnation[node.index()]
+                    || self.world.cancelled.remove(&id)
+                {
+                    return Some(entry.at);
+                }
+                self.world.metrics[node.index()].timers_fired.inc();
+                self.world
+                    .trace
+                    .push(self.world.now, TraceEvent::Timer { node, tag });
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node,
+                };
+                self.actors[node.index()].on_timer(&mut ctx, id, tag);
+            }
+            Ev::Crash { node } => {
+                if !self.world.up[node.index()] {
+                    return Some(entry.at);
+                }
+                self.world.up[node.index()] = false;
+                self.world.incarnation[node.index()] += 1;
+                self.world
+                    .trace
+                    .push(self.world.now, TraceEvent::Crash { node });
+                // All of the node's connections break; peers will be
+                // notified (they observe a TCP reset / timeout).
+                let peers: Vec<NodeId> = self
+                    .world
+                    .conns
+                    .keys()
+                    .filter(|&&(a, b)| a == node || b == node)
+                    .map(|&(a, b)| if a == node { b } else { a })
+                    .collect();
+                for p in peers {
+                    self.world.break_conn(node, p);
+                }
+            }
+            Ev::Restart { node } => {
+                if self.world.up[node.index()] {
+                    return Some(entry.at);
+                }
+                self.world.up[node.index()] = true;
+                self.world.incarnation[node.index()] += 1;
+                self.world
+                    .trace
+                    .push(self.world.now, TraceEvent::Restart { node });
+                self.actors[node.index()] = (self.factory)(node);
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node,
+                };
+                self.actors[node.index()].on_start(&mut ctx);
+            }
+            Ev::ConnBroken { node, peer } => {
+                if !self.world.up[node.index()] {
+                    return Some(entry.at);
+                }
+                let mut ctx = Ctx {
+                    world: &mut self.world,
+                    node,
+                };
+                self.actors[node.index()].on_conn_broken(&mut ctx, peer);
+            }
+        }
+        Some(entry.at)
+    }
+
+    /// Runs until the queue is empty or the next event is after `deadline`;
+    /// the clock then rests at the later of its current value and
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(entry) = self.world.queue.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.world.now = self.world.now.max(deadline);
+        n
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.world.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until no events remain or the clock passes `limit`.
+    /// Returns the time of the last processed event.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        let mut last = self.world.now;
+        while let Some(entry) = self.world.queue.peek() {
+            if entry.at > limit {
+                break;
+            }
+            last = self.step().expect("peeked entry exists");
+        }
+        last
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.world.events_processed
+    }
+
+    /// Immutable access to a node's actor.
+    pub fn actor(&self, n: NodeId) -> &A {
+        &self.actors[n.index()]
+    }
+
+    /// Mutable access to a node's actor (for drivers between steps).
+    pub fn actor_mut(&mut self, n: NodeId) -> &mut A {
+        &mut self.actors[n.index()]
+    }
+
+    /// Runs `f` against a node's actor with a live [`Ctx`], as if an
+    /// external client invoked it. Use this to inject operations.
+    pub fn invoke<R>(&mut self, n: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R) -> R {
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            node: n,
+        };
+        f(&mut self.actors[n.index()], &mut ctx)
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, n: NodeId) -> bool {
+        self.world.up[n.index()]
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.world.topo
+    }
+
+    /// Mutable topology access (e.g. to degrade a link mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.world.topo
+    }
+
+    /// A node's traffic metrics.
+    pub fn metrics(&self, n: NodeId) -> &NodeMetrics {
+        &self.world.metrics[n.index()]
+    }
+
+    /// Aggregated metrics over all nodes.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary::aggregate(self.world.metrics.iter())
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.world.trace
+    }
+
+    /// Mutable trace access (e.g. to disable recording for long runs).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.world.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Pinger {
+        got: Vec<(NodeId, u32)>,
+        broken: Vec<NodeId>,
+        timer_tags: Vec<u64>,
+    }
+
+    impl Actor for Pinger {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, msg: u32) {
+            self.got.push((from, msg));
+            if msg < 3 {
+                ctx.send(from, msg + 1);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32>, _timer: TimerId, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+        fn on_conn_broken(&mut self, _ctx: &mut Ctx<'_, u32>, peer: NodeId) {
+            self.broken.push(peer);
+        }
+    }
+
+    fn two_node_sim() -> Sim<Pinger> {
+        let topo = Topology::star(2, SimDuration::from_millis(10), 10_000_000);
+        Sim::new(topo, 1, |_| Pinger::default())
+    }
+
+    #[test]
+    fn ping_pong_until_quiescent() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(
+            sim.actor(NodeId(1)).got,
+            vec![(NodeId(0), 0), (NodeId(0), 2)]
+        );
+        assert_eq!(
+            sim.actor(NodeId(0)).got,
+            vec![(NodeId(1), 1), (NodeId(1), 3)]
+        );
+    }
+
+    #[test]
+    fn latency_is_at_least_propagation() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(1), 9));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let lat = &sim.metrics(NodeId(1)).delivery_latency;
+        assert_eq!(lat.count(), 1);
+        // Star with 10 ms spokes: one-way is 20 ms propagation + serialization.
+        assert!(lat.min() >= 20_000, "one-way latency {}us", lat.min());
+        assert!(lat.min() < 25_000, "one-way latency {}us", lat.min());
+    }
+
+    #[test]
+    fn reliable_first_message_pays_handshake() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 100);
+            ctx.send(NodeId(1), 101);
+        });
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let got = &sim.actor(NodeId(1)).got;
+        assert_eq!(got.len(), 2);
+        let lat = &sim.metrics(NodeId(1)).delivery_latency;
+        // First message ≥ 3×20 ms (handshake RTT + one-way); in-order floor
+        // makes the second arrive no earlier.
+        assert!(lat.min() >= 60_000, "handshake not priced: {}us", lat.min());
+    }
+
+    #[test]
+    fn in_order_delivery_per_flow() {
+        #[derive(Default)]
+        struct Collector {
+            got: Vec<u32>,
+        }
+        impl Actor for Collector {
+            type Msg = u32;
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+                self.got.push(msg);
+            }
+        }
+        let topo = Topology::star(2, SimDuration::from_millis(5), 1_000_000);
+        let mut sim = Sim::new(topo, 3, |_| Collector::default());
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            for i in 0..20 {
+                // Varying sizes would reorder a naive latency-only model.
+                ctx.send_sized(NodeId(1), i, if i % 2 == 0 { 20_000 } else { 10 });
+            }
+        });
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        assert_eq!(sim.actor(NodeId(1)).got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(30), 3);
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            let t = ctx.set_timer(SimDuration::from_millis(20), 2);
+            ctx.cancel_timer(t);
+        });
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(sim.actor(NodeId(0)).timer_tags, vec![1, 3]);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_restart_resets_state() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert!(!sim.actor(NodeId(1)).got.is_empty());
+        sim.schedule_crash(NodeId(1), sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_millis(2));
+        assert!(!sim.is_up(NodeId(1)));
+        // Messages to a dead node disappear.
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.run_for(SimDuration::from_secs(1));
+        sim.schedule_restart(NodeId(1), sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.is_up(NodeId(1)));
+        assert!(
+            sim.actor(NodeId(1)).got.is_empty(),
+            "restart must reset actor state"
+        );
+    }
+
+    #[test]
+    fn crash_breaks_connections_and_notifies_peer() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        sim.schedule_crash(NodeId(1), sim.now() + SimDuration::from_millis(1));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.actor(NodeId(0)).broken, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn timer_from_previous_incarnation_is_dropped() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::from_secs(5), 42);
+        });
+        sim.schedule_crash(NodeId(0), SimTime::from_secs(1));
+        sim.schedule_restart(NodeId(0), SimTime::from_secs(2));
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        assert!(sim.actor(NodeId(0)).timer_tags.is_empty());
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.partition(&[NodeId(0)], &[NodeId(1)]);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(1), 5));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert!(sim.actor(NodeId(1)).got.is_empty());
+        sim.heal_all();
+        sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(1), 6));
+        sim.run_until_quiescent(SimTime::from_secs(2));
+        assert_eq!(sim.actor(NodeId(1)).got, vec![(NodeId(0), 6)]);
+    }
+
+    #[test]
+    fn blocked_reliable_send_notifies_sender() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.block(NodeId(0), NodeId(1));
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 5));
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(sim.actor(NodeId(0)).broken, vec![NodeId(1)]);
+        assert!(sim.actor(NodeId(1)).got.is_empty());
+    }
+
+    #[test]
+    fn break_connection_drops_in_flight() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 7));
+        // Break before the (≥20 ms) delivery happens.
+        sim.invoke(NodeId(0), |_, ctx| ctx.break_connection(NodeId(1)));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        assert!(
+            sim.actor(NodeId(1)).got.is_empty(),
+            "in-flight must be dropped"
+        );
+        assert!(sim.actor(NodeId(1)).broken.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn lossy_path_delays_reliable_but_drops_unreliable() {
+        let mut topo_g = Topology::star(2, SimDuration::from_millis(10), 10_000_000);
+        // Inject loss by rebuilding: use dumbbell with loss via transit config
+        // instead — simplest is measuring behavior through many unreliable sends.
+        let _ = &mut topo_g;
+        let cfg = crate::topology::TransitStubConfig {
+            transit_routers: 2,
+            stubs_per_transit: 1,
+            hosts_per_stub: 1,
+            transit_loss: 0.3,
+            ..Default::default()
+        };
+        let topo = Topology::transit_stub(&cfg, &mut SimRng::seed_from(9));
+        let mut sim = Sim::new(topo, 5, |_| Pinger::default());
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        for _ in 0..200 {
+            sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(1), 100));
+        }
+        sim.run_until_quiescent(SimTime::from_secs(60));
+        let delivered = sim.actor(NodeId(1)).got.len();
+        assert!(delivered < 190, "loss had no effect: {delivered}/200");
+        assert!(delivered > 100, "loss too aggressive: {delivered}/200");
+        // Reliable messages all arrive despite loss.
+        let before = sim.actor(NodeId(1)).got.len();
+        for _ in 0..50 {
+            sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 100));
+        }
+        sim.run_until_quiescent(SimTime::from_secs(120));
+        assert_eq!(sim.actor(NodeId(1)).got.len(), before + 50);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_fingerprint() {
+        let run = |seed: u64| {
+            let topo = Topology::star(4, SimDuration::from_millis(7), 1_000_000);
+            let mut sim = Sim::new(topo, seed, |_| Pinger::default());
+            sim.start_all();
+            sim.run_until(SimTime::ZERO);
+            for i in 0..4u32 {
+                // Random targets make the trace genuinely seed-dependent.
+                sim.invoke(NodeId(i), |_, ctx| {
+                    let to = NodeId(ctx.rng().gen_below(4) as u32);
+                    if to != ctx.id() {
+                        ctx.send(to, 0);
+                    }
+                });
+            }
+            sim.run_until_quiescent(SimTime::from_secs(10));
+            sim.trace().fingerprint()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn bandwidth_serialization_is_priced() {
+        // 1 Mbit/s spokes; a 125 kB payload takes ~1 s to serialize.
+        let topo = Topology::star(2, SimDuration::from_millis(1), 1_000_000);
+        let mut sim = Sim::new(topo, 2, |_| Pinger::default());
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            ctx.send_unreliable_sized(NodeId(1), 100, 125_000)
+        });
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        let lat = sim.metrics(NodeId(1)).delivery_latency.min();
+        assert!(lat >= 1_000_000, "serialization unpriced: {lat}us");
+    }
+
+    #[test]
+    fn dumbbell_cross_flows_share_the_bottleneck() {
+        // 1 Mbit/s bottleneck: one 62.5 kB transfer takes ~0.5 s; two
+        // simultaneous cross transfers through the same sender serialize.
+        let topo = Topology::dumbbell(
+            2,
+            2,
+            SimDuration::from_millis(1),
+            100_000_000,
+            SimDuration::from_millis(5),
+            1_000_000,
+        );
+        let mut sim = Sim::new(topo, 4, |_| Pinger::default());
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| {
+            ctx.send_unreliable_sized(NodeId(2), 100, 62_500);
+            ctx.send_unreliable_sized(NodeId(3), 100, 62_500);
+        });
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        let first = sim.metrics(NodeId(2)).delivery_latency.min();
+        let second = sim.metrics(NodeId(3)).delivery_latency.min();
+        assert!(
+            first >= 450_000,
+            "first transfer {first}us under serialization floor"
+        );
+        assert!(
+            second >= first + 400_000,
+            "second transfer {second}us did not queue behind first {first}us"
+        );
+    }
+
+    #[test]
+    fn churn_schedule_crashes_and_restarts() {
+        let topo = Topology::star(4, SimDuration::from_millis(5), 10_000_000);
+        let mut sim = Sim::new(topo, 7, |_| Pinger::default());
+        sim.start_all();
+        let pairs = sim.schedule_churn(
+            &[NodeId(1), NodeId(2)],
+            SimTime::from_secs(1),
+            SimTime::from_secs(60),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(2),
+            99,
+        );
+        assert!(pairs > 2, "expected several churn episodes, got {pairs}");
+        sim.run_until(SimTime::from_secs(120));
+        // After the churn window, every node is back up.
+        for n in [1u32, 2] {
+            assert!(sim.is_up(NodeId(n)), "node {n} stuck down after churn");
+        }
+        // Trace recorded both crash and restart events.
+        let crashes = sim
+            .trace()
+            .records()
+            .filter(|r| matches!(r.event, crate::trace::TraceEvent::Crash { .. }))
+            .count();
+        assert!(crashes >= pairs, "crashes {crashes} < scheduled {pairs}");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = two_node_sim();
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+}

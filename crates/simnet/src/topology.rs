@@ -1,0 +1,734 @@
+//! Network topologies and path properties.
+//!
+//! The simulator emulates an Internet-like substrate the way ModelNet does:
+//! end hosts attach through access links to a routed core, and what a packet
+//! experiences end to end is the sum of propagation latencies, the bottleneck
+//! bandwidth, and the composed loss probability along its route. We build the
+//! router graph once, run Dijkstra (by latency) from every host's attachment
+//! point, and store the resulting [`PathProps`] matrix; the event loop then
+//! prices each message in O(1).
+//!
+//! Generators cover the shapes the experiments need: [`Topology::star`] for
+//! unit tests, [`Topology::dumbbell`] for bandwidth contention,
+//! [`Topology::random_waxman`] for unstructured overlays, and
+//! [`Topology::transit_stub`] for the "Internet-like network" of the paper's
+//! ModelNet case study.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies an end host (a simulation participant).
+///
+/// Hosts are numbered densely from zero in creation order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The host's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Properties of one directed link in the router core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Capacity in bits per second.
+    pub bandwidth_bps: u64,
+    /// Independent per-packet loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// A convenient loss-free link.
+    pub fn new(latency: SimDuration, bandwidth_bps: u64) -> Self {
+        LinkParams {
+            latency,
+            bandwidth_bps,
+            loss: 0.0,
+        }
+    }
+
+    /// Same link with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss {loss} outside [0,1]");
+        self.loss = loss;
+        self
+    }
+}
+
+/// End-to-end properties of the route between two hosts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathProps {
+    /// Sum of propagation delays along the route.
+    pub latency: SimDuration,
+    /// Bottleneck (minimum) bandwidth along the route, bits per second.
+    pub bandwidth_bps: u64,
+    /// Composed loss probability: `1 - prod(1 - loss_i)`.
+    pub loss: f64,
+    /// Number of core links traversed.
+    pub hops: u32,
+}
+
+impl PathProps {
+    /// Path properties for a host talking to itself: loopback.
+    pub fn loopback() -> Self {
+        PathProps {
+            latency: SimDuration::from_micros(20),
+            bandwidth_bps: 10_000_000_000,
+            loss: 0.0,
+            hops: 0,
+        }
+    }
+}
+
+/// Access-link capacities of one host.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessLink {
+    /// Upstream (host to core) capacity, bits per second.
+    pub up_bps: u64,
+    /// Downstream (core to host) capacity, bits per second.
+    pub down_bps: u64,
+}
+
+impl AccessLink {
+    /// Symmetric access link.
+    pub fn symmetric(bps: u64) -> Self {
+        AccessLink {
+            up_bps: bps,
+            down_bps: bps,
+        }
+    }
+}
+
+/// Default access link: 100 Mbit/s symmetric, a LAN-class host.
+impl Default for AccessLink {
+    fn default() -> Self {
+        AccessLink::symmetric(100_000_000)
+    }
+}
+
+/// Per-router Dijkstra result: (latency, bottleneck bw, log-survival, hops).
+type RouteInfo = (SimDuration, u64, f64, u32);
+
+#[derive(Clone, Debug)]
+struct RouterEdge {
+    to: usize,
+    params: LinkParams,
+}
+
+/// A built network topology: hosts, access links, and the all-pairs
+/// [`PathProps`] matrix of the router core.
+///
+/// # Examples
+///
+/// ```
+/// use cb_simnet::time::SimDuration;
+/// use cb_simnet::topology::Topology;
+///
+/// let topo = Topology::star(4, SimDuration::from_millis(10), 100_000_000);
+/// let p = topo.path(cb_simnet::topology::NodeId(0), cb_simnet::topology::NodeId(3));
+/// assert_eq!(p.latency, SimDuration::from_millis(20)); // two spokes
+/// ```
+#[derive(Clone, Debug)]
+pub struct Topology {
+    host_count: usize,
+    access: Vec<AccessLink>,
+    /// Row-major `host_count × host_count` matrix; diagonal is loopback.
+    paths: Vec<PathProps>,
+    /// Optional label per host (e.g. which ISP/stub it belongs to).
+    domain: Vec<u32>,
+}
+
+/// Parameters for the transit-stub ("Internet-like") generator.
+#[derive(Clone, Debug)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) routers, ring-plus-chords connected.
+    pub transit_routers: usize,
+    /// Stub domains attached to each transit router.
+    pub stubs_per_transit: usize,
+    /// End hosts attached to each stub router.
+    pub hosts_per_stub: usize,
+    /// Latency range between transit routers (WAN scale).
+    pub transit_latency: (SimDuration, SimDuration),
+    /// Latency range from stub to its transit router (regional scale).
+    pub stub_latency: (SimDuration, SimDuration),
+    /// Latency range from host to its stub router (access scale).
+    pub access_latency: (SimDuration, SimDuration),
+    /// Backbone capacity, bits per second.
+    pub transit_bps: u64,
+    /// Stub uplink capacity, bits per second.
+    pub stub_bps: u64,
+    /// Host access link.
+    pub access: AccessLink,
+    /// Per-packet loss on transit links.
+    pub transit_loss: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_routers: 4,
+            stubs_per_transit: 2,
+            hosts_per_stub: 4,
+            transit_latency: (SimDuration::from_millis(20), SimDuration::from_millis(60)),
+            stub_latency: (SimDuration::from_millis(2), SimDuration::from_millis(10)),
+            access_latency: (SimDuration::from_micros(200), SimDuration::from_millis(2)),
+            transit_bps: 1_000_000_000,
+            stub_bps: 200_000_000,
+            access: AccessLink::symmetric(100_000_000),
+            transit_loss: 0.0,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Total number of hosts the configuration produces.
+    pub fn host_count(&self) -> usize {
+        self.transit_routers * self.stubs_per_transit * self.hosts_per_stub
+    }
+
+    /// Scales the host count by adjusting `hosts_per_stub` upward until at
+    /// least `n` hosts exist (the extras are spread by the generator).
+    pub fn with_at_least_hosts(mut self, n: usize) -> Self {
+        while self.host_count() < n {
+            self.hosts_per_stub += 1;
+        }
+        self
+    }
+}
+
+/// Builder state: a router graph plus host attachment points.
+struct CoreGraph {
+    adj: Vec<Vec<RouterEdge>>,
+    /// For each host: (attachment router, access latency).
+    attach: Vec<(usize, SimDuration)>,
+    access: Vec<AccessLink>,
+    domain: Vec<u32>,
+}
+
+impl CoreGraph {
+    fn new() -> Self {
+        CoreGraph {
+            adj: Vec::new(),
+            attach: Vec::new(),
+            access: Vec::new(),
+            domain: Vec::new(),
+        }
+    }
+
+    fn add_router(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    fn link(&mut self, a: usize, b: usize, params: LinkParams) {
+        self.adj[a].push(RouterEdge { to: b, params });
+        self.adj[b].push(RouterEdge { to: a, params });
+    }
+
+    fn add_host(
+        &mut self,
+        router: usize,
+        access_latency: SimDuration,
+        access: AccessLink,
+        domain: u32,
+    ) -> NodeId {
+        self.attach.push((router, access_latency));
+        self.access.push(access);
+        self.domain.push(domain);
+        NodeId((self.attach.len() - 1) as u32)
+    }
+
+    /// Dijkstra from `src` router by latency; returns per-router
+    /// (latency, bottleneck bw, log-survival, hops).
+    fn shortest_from(&self, src: usize) -> Vec<Option<RouteInfo>> {
+        #[derive(PartialEq)]
+        struct Entry(SimDuration, usize);
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse: BinaryHeap is a max-heap, we want min latency first.
+                other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let n = self.adj.len();
+        let mut best: Vec<Option<RouteInfo>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        best[src] = Some((SimDuration::ZERO, u64::MAX, 0.0, 0));
+        heap.push(Entry(SimDuration::ZERO, src));
+        while let Some(Entry(dist, u)) = heap.pop() {
+            match best[u] {
+                Some((d, ..)) if d < dist => continue,
+                _ => {}
+            }
+            let (_, bw_u, ls_u, hops_u) = best[u].expect("popped router has entry");
+            for e in &self.adj[u] {
+                let nd = dist + e.params.latency;
+                let improved = match best[e.to] {
+                    None => true,
+                    Some((d, ..)) => nd < d,
+                };
+                if improved {
+                    best[e.to] = Some((
+                        nd,
+                        bw_u.min(e.params.bandwidth_bps),
+                        ls_u + (1.0 - e.params.loss).ln(),
+                        hops_u + 1,
+                    ));
+                    heap.push(Entry(nd, e.to));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(self) -> Topology {
+        let host_count = self.attach.len();
+        let mut paths = vec![PathProps::loopback(); host_count * host_count];
+        // One Dijkstra per attachment router (deduplicated).
+        let mut router_results: Vec<Option<Vec<Option<RouteInfo>>>> = vec![None; self.adj.len()];
+        for a in 0..host_count {
+            let (ra, la) = self.attach[a];
+            if router_results[ra].is_none() {
+                router_results[ra] = Some(self.shortest_from(ra));
+            }
+            let from_ra = router_results[ra].as_ref().expect("just computed");
+            for b in 0..host_count {
+                if a == b {
+                    continue;
+                }
+                let (rb, lb) = self.attach[b];
+                let (core_lat, core_bw, core_ls, core_hops) = if ra == rb {
+                    (SimDuration::ZERO, u64::MAX, 0.0, 0)
+                } else {
+                    from_ra[rb].unwrap_or_else(|| {
+                        panic!("router core is disconnected: no path {ra} -> {rb}")
+                    })
+                };
+                paths[a * host_count + b] = PathProps {
+                    latency: la + core_lat + lb,
+                    bandwidth_bps: core_bw,
+                    loss: 1.0 - core_ls.exp(),
+                    hops: core_hops + 2,
+                };
+            }
+        }
+        Topology {
+            host_count,
+            access: self.access,
+            paths,
+            domain: self.domain,
+        }
+    }
+}
+
+impl Topology {
+    /// Number of end hosts.
+    pub fn host_count(&self) -> usize {
+        self.host_count
+    }
+
+    /// All host ids in index order.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.host_count as u32).map(NodeId)
+    }
+
+    /// End-to-end properties of the route from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn path(&self, a: NodeId, b: NodeId) -> PathProps {
+        assert!(
+            a.index() < self.host_count && b.index() < self.host_count,
+            "host out of range"
+        );
+        self.paths[a.index() * self.host_count + b.index()]
+    }
+
+    /// The host's access link capacities.
+    pub fn access(&self, n: NodeId) -> AccessLink {
+        self.access[n.index()]
+    }
+
+    /// Overrides a host's access link (e.g. to model a slow uplink cohort).
+    pub fn set_access(&mut self, n: NodeId, access: AccessLink) {
+        self.access[n.index()] = access;
+    }
+
+    /// The domain (ISP / stub) label assigned by the generator, 0 if none.
+    pub fn domain(&self, n: NodeId) -> u32 {
+        self.domain[n.index()]
+    }
+
+    /// Adds extra one-way latency between two hosts (both directions), e.g.
+    /// to degrade a specific pair mid-experiment.
+    pub fn add_path_latency(&mut self, a: NodeId, b: NodeId, extra: SimDuration) {
+        let n = self.host_count;
+        self.paths[a.index() * n + b.index()].latency += extra;
+        self.paths[b.index() * n + a.index()].latency += extra;
+    }
+
+    /// A star: every host hangs off one router by an identical spoke.
+    ///
+    /// Useful as the simplest non-trivial topology in tests.
+    pub fn star(hosts: usize, spoke_latency: SimDuration, spoke_bps: u64) -> Topology {
+        let mut g = CoreGraph::new();
+        let hub = g.add_router();
+        for _ in 0..hosts {
+            let r = g.add_router();
+            g.link(hub, r, LinkParams::new(spoke_latency / 2, spoke_bps));
+            g.add_host(r, spoke_latency / 2, AccessLink::symmetric(spoke_bps), 0);
+        }
+        g.build()
+    }
+
+    /// A dumbbell: two clusters joined by one bottleneck link.
+    ///
+    /// Hosts `0..left` are in domain 0, the rest in domain 1. All cross-
+    /// cluster traffic shares `bottleneck_bps`.
+    pub fn dumbbell(
+        left: usize,
+        right: usize,
+        access_latency: SimDuration,
+        access_bps: u64,
+        bottleneck_latency: SimDuration,
+        bottleneck_bps: u64,
+    ) -> Topology {
+        let mut g = CoreGraph::new();
+        let rl = g.add_router();
+        let rr = g.add_router();
+        g.link(rl, rr, LinkParams::new(bottleneck_latency, bottleneck_bps));
+        for _ in 0..left {
+            g.add_host(rl, access_latency, AccessLink::symmetric(access_bps), 0);
+        }
+        for _ in 0..right {
+            g.add_host(rr, access_latency, AccessLink::symmetric(access_bps), 1);
+        }
+        g.build()
+    }
+
+    /// A random geometric (Waxman-style) topology.
+    ///
+    /// Routers are placed uniformly on the unit square; each pair is linked
+    /// with probability `alpha * exp(-d / (beta * sqrt(2)))`, and latency
+    /// proportional to distance (`unit_latency` per unit length). A spanning
+    /// chain is added first so the graph is always connected. One host
+    /// attaches per router.
+    pub fn random_waxman(
+        routers: usize,
+        alpha: f64,
+        beta: f64,
+        unit_latency: SimDuration,
+        core_bps: u64,
+        access: AccessLink,
+        rng: &mut SimRng,
+    ) -> Topology {
+        assert!(routers >= 1, "need at least one router");
+        let mut g = CoreGraph::new();
+        let pos: Vec<(f64, f64)> = (0..routers)
+            .map(|_| (rng.gen_f64(), rng.gen_f64()))
+            .collect();
+        for _ in 0..routers {
+            g.add_router();
+        }
+        let dist = |i: usize, j: usize| {
+            let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+            (dx * dx + dy * dy).sqrt()
+        };
+        // Spanning chain for guaranteed connectivity.
+        for i in 1..routers {
+            let d = dist(i - 1, i).max(0.01);
+            g.link(i - 1, i, LinkParams::new(unit_latency.mul_f64(d), core_bps));
+        }
+        let scale = beta * std::f64::consts::SQRT_2;
+        for i in 0..routers {
+            for j in (i + 2)..routers {
+                let d = dist(i, j);
+                if rng.gen_bool(alpha * (-d / scale).exp()) {
+                    g.link(
+                        i,
+                        j,
+                        LinkParams::new(unit_latency.mul_f64(d.max(0.01)), core_bps),
+                    );
+                }
+            }
+        }
+        for r in 0..routers {
+            g.add_host(r, SimDuration::from_micros(500), access, r as u32);
+        }
+        g.build()
+    }
+
+    /// A transit-stub topology, the standard "Internet-like" shape
+    /// (GT-ITM style): a backbone ring of transit routers with chords, stub
+    /// routers hanging off each transit router, hosts hanging off each stub.
+    ///
+    /// Hosts carry their stub index as [`Topology::domain`].
+    pub fn transit_stub(cfg: &TransitStubConfig, rng: &mut SimRng) -> Topology {
+        assert!(cfg.transit_routers >= 1, "need at least one transit router");
+        let mut g = CoreGraph::new();
+        let lat_in = |rng: &mut SimRng, (lo, hi): (SimDuration, SimDuration)| {
+            if hi <= lo {
+                lo
+            } else {
+                SimDuration::from_nanos(rng.gen_range(lo.as_nanos(), hi.as_nanos()))
+            }
+        };
+        let transit: Vec<usize> = (0..cfg.transit_routers).map(|_| g.add_router()).collect();
+        // Backbone ring…
+        for i in 0..transit.len() {
+            let j = (i + 1) % transit.len();
+            if transit.len() > 1 && (i < j || transit.len() > 2) {
+                g.link(
+                    transit[i],
+                    transit[j],
+                    LinkParams::new(lat_in(rng, cfg.transit_latency), cfg.transit_bps)
+                        .with_loss(cfg.transit_loss),
+                );
+            }
+        }
+        // …plus chords for path diversity on larger backbones.
+        for i in 0..transit.len() {
+            for j in (i + 2)..transit.len() {
+                if (i, j) != (0, transit.len() - 1) && rng.gen_bool(0.3) {
+                    g.link(
+                        transit[i],
+                        transit[j],
+                        LinkParams::new(lat_in(rng, cfg.transit_latency), cfg.transit_bps)
+                            .with_loss(cfg.transit_loss),
+                    );
+                }
+            }
+        }
+        let mut stub_id = 0u32;
+        for &t in &transit {
+            for _ in 0..cfg.stubs_per_transit {
+                let s = g.add_router();
+                g.link(
+                    t,
+                    s,
+                    LinkParams::new(lat_in(rng, cfg.stub_latency), cfg.stub_bps),
+                );
+                for _ in 0..cfg.hosts_per_stub {
+                    g.add_host(s, lat_in(rng, cfg.access_latency), cfg.access, stub_id);
+                }
+                stub_id += 1;
+            }
+        }
+        g.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_paths_are_symmetric_spokes() {
+        let topo = Topology::star(5, SimDuration::from_millis(10), 1_000_000);
+        assert_eq!(topo.host_count(), 5);
+        for a in topo.hosts() {
+            for b in topo.hosts() {
+                if a == b {
+                    continue;
+                }
+                let p = topo.path(a, b);
+                assert_eq!(p.latency, SimDuration::from_millis(20));
+                assert_eq!(p.bandwidth_bps, 1_000_000);
+                assert_eq!(topo.path(b, a).latency, p.latency);
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let topo = Topology::star(2, SimDuration::from_millis(50), 1_000_000);
+        let p = topo.path(NodeId(0), NodeId(0));
+        assert!(p.latency < SimDuration::from_millis(1));
+        assert_eq!(p.hops, 0);
+    }
+
+    #[test]
+    fn dumbbell_bottleneck_limits_cross_traffic_only() {
+        let topo = Topology::dumbbell(
+            3,
+            3,
+            SimDuration::from_millis(1),
+            100_000_000,
+            SimDuration::from_millis(40),
+            5_000_000,
+        );
+        let cross = topo.path(NodeId(0), NodeId(3));
+        assert_eq!(cross.bandwidth_bps, 5_000_000);
+        assert_eq!(cross.latency, SimDuration::from_millis(42));
+        let local = topo.path(NodeId(0), NodeId(1));
+        assert_eq!(local.bandwidth_bps, u64::MAX);
+        assert_eq!(local.latency, SimDuration::from_millis(2));
+        assert_eq!(topo.domain(NodeId(0)), 0);
+        assert_eq!(topo.domain(NodeId(4)), 1);
+    }
+
+    #[test]
+    fn transit_stub_is_connected_and_wan_scale() {
+        let mut rng = SimRng::seed_from(1);
+        let cfg = TransitStubConfig::default();
+        let topo = Topology::transit_stub(&cfg, &mut rng);
+        assert_eq!(topo.host_count(), cfg.host_count());
+        let mut max_lat = SimDuration::ZERO;
+        for a in topo.hosts() {
+            for b in topo.hosts() {
+                if a == b {
+                    continue;
+                }
+                let p = topo.path(a, b);
+                assert!(p.latency > SimDuration::ZERO);
+                assert!(p.bandwidth_bps > 0);
+                max_lat = max_lat.max(p.latency);
+            }
+        }
+        // Cross-backbone paths should look like WAN paths.
+        assert!(
+            max_lat >= SimDuration::from_millis(20),
+            "max latency {max_lat} too small"
+        );
+        assert!(
+            max_lat <= SimDuration::from_millis(500),
+            "max latency {max_lat} too large"
+        );
+    }
+
+    #[test]
+    fn transit_stub_same_stub_is_cheaper_than_cross_backbone() {
+        let mut rng = SimRng::seed_from(7);
+        let cfg = TransitStubConfig::default();
+        let topo = Topology::transit_stub(&cfg, &mut rng);
+        // Hosts 0 and 1 share stub 0; host with a different transit domain is far.
+        let near = topo.path(NodeId(0), NodeId(1)).latency;
+        let far_host = topo
+            .hosts()
+            .find(|&h| topo.domain(h) >= cfg.stubs_per_transit as u32 * 2)
+            .expect("host in a far stub");
+        let far = topo.path(NodeId(0), far_host).latency;
+        assert!(near < far, "near {near} should undercut far {far}");
+    }
+
+    #[test]
+    fn transit_stub_generation_is_deterministic() {
+        let cfg = TransitStubConfig::default();
+        let t1 = Topology::transit_stub(&cfg, &mut SimRng::seed_from(5));
+        let t2 = Topology::transit_stub(&cfg, &mut SimRng::seed_from(5));
+        for a in t1.hosts() {
+            for b in t1.hosts() {
+                assert_eq!(t1.path(a, b), t2.path(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        let mut rng = SimRng::seed_from(3);
+        let topo = Topology::random_waxman(
+            12,
+            0.6,
+            0.4,
+            SimDuration::from_millis(30),
+            1_000_000_000,
+            AccessLink::default(),
+            &mut rng,
+        );
+        for a in topo.hosts() {
+            for b in topo.hosts() {
+                if a != b {
+                    assert!(topo.path(a, b).latency > SimDuration::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_at_least_hosts_grows_config() {
+        let cfg = TransitStubConfig::default().with_at_least_hosts(31);
+        assert!(cfg.host_count() >= 31);
+    }
+
+    #[test]
+    fn access_override_applies() {
+        let mut topo = Topology::star(3, SimDuration::from_millis(5), 1_000_000);
+        topo.set_access(
+            NodeId(1),
+            AccessLink {
+                up_bps: 64_000,
+                down_bps: 1_000_000,
+            },
+        );
+        assert_eq!(topo.access(NodeId(1)).up_bps, 64_000);
+        assert_eq!(topo.access(NodeId(0)).up_bps, 1_000_000);
+    }
+
+    #[test]
+    fn add_path_latency_is_bidirectional() {
+        let mut topo = Topology::star(3, SimDuration::from_millis(5), 1_000_000);
+        let before = topo.path(NodeId(0), NodeId(1)).latency;
+        topo.add_path_latency(NodeId(0), NodeId(1), SimDuration::from_millis(100));
+        assert_eq!(
+            topo.path(NodeId(0), NodeId(1)).latency,
+            before + SimDuration::from_millis(100)
+        );
+        assert_eq!(
+            topo.path(NodeId(1), NodeId(0)).latency,
+            before + SimDuration::from_millis(100)
+        );
+        assert_eq!(topo.path(NodeId(0), NodeId(2)).latency, before);
+    }
+
+    #[test]
+    fn loss_composes_along_path() {
+        let mut g = CoreGraph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.link(
+            a,
+            b,
+            LinkParams::new(SimDuration::from_millis(1), 1_000_000).with_loss(0.1),
+        );
+        g.link(
+            b,
+            c,
+            LinkParams::new(SimDuration::from_millis(1), 1_000_000).with_loss(0.1),
+        );
+        g.add_host(a, SimDuration::ZERO, AccessLink::default(), 0);
+        g.add_host(c, SimDuration::ZERO, AccessLink::default(), 0);
+        let topo = g.build();
+        let p = topo.path(NodeId(0), NodeId(1));
+        assert!((p.loss - 0.19).abs() < 1e-9, "composed loss {}", p.loss);
+    }
+}

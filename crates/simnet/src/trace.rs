@@ -1,0 +1,259 @@
+//! Event tracing.
+//!
+//! Every simulation keeps a bounded ring of [`TraceEvent`]s. Traces serve two
+//! purposes: debugging protocol runs, and asserting determinism — two runs
+//! with the same seed must produce byte-identical traces (the integration
+//! tests check exactly that via [`Trace::fingerprint`]).
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced simulator-level occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was handed to the transport.
+    Send {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Payload size in bytes.
+        bytes: u32,
+        /// Debug rendering of the payload.
+        what: String,
+    },
+    /// A message reached its destination actor.
+    Deliver {
+        /// Original sender.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Debug rendering of the payload.
+        what: String,
+    },
+    /// A message was dropped (loss, partition, dead endpoint, broken
+    /// connection).
+    Drop {
+        /// Original sender.
+        from: NodeId,
+        /// Intended destination.
+        to: NodeId,
+        /// Why it was dropped.
+        reason: &'static str,
+    },
+    /// A timer fired at a node.
+    Timer {
+        /// Node whose timer fired.
+        node: NodeId,
+        /// Application tag attached at `set_timer` time.
+        tag: u64,
+    },
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node restarted with fresh state.
+    Restart {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A transport connection was torn down.
+    ConnBroken {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+    },
+    /// Free-form application annotation.
+    Note {
+        /// Node that emitted the note, if any.
+        node: Option<NodeId>,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened in simulated time.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {:?}", self.at, self.event)
+    }
+}
+
+/// A bounded ring buffer of trace records.
+///
+/// When capacity is exceeded the oldest records are discarded; the total
+/// number of records ever pushed is still counted, and the rolling
+/// [`fingerprint`](Trace::fingerprint) covers every record ever pushed,
+/// including discarded ones.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    pushed: u64,
+    fingerprint: u64,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace ring holding up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            pushed: 0,
+            fingerprint: 0xcbf2_9ce4_8422_2325, // FNV offset basis
+            enabled: true,
+        }
+    }
+
+    /// Enables or disables recording (the fingerprint still advances so
+    /// determinism checks remain meaningful).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        self.pushed += 1;
+        // FNV-1a over the debug rendering: cheap and stable across runs.
+        let rendered = format!("{at:?}|{event:?}");
+        for b in rendered.as_bytes() {
+            self.fingerprint ^= *b as u64;
+            self.fingerprint = self.fingerprint.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceRecord { at, event });
+    }
+
+    /// Records retained in the ring, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Total records ever pushed (including discarded ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Rolling hash over every record ever pushed. Equal seeds must yield
+    /// equal fingerprints; the determinism tests rely on this.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint ^ self.pushed
+    }
+
+    /// Renders the retained records, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            out.push_str(&format!("{r}\n"));
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(text: &str) -> TraceEvent {
+        TraceEvent::Note {
+            node: None,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut t = Trace::new(8);
+        t.push(SimTime::from_millis(1), note("a"));
+        t.push(SimTime::from_millis(2), note("b"));
+        let texts: Vec<_> = t.records().map(|r| format!("{r}")).collect();
+        assert_eq!(texts.len(), 2);
+        assert!(texts[0].contains("\"a\""));
+        assert_eq!(t.total_pushed(), 2);
+    }
+
+    #[test]
+    fn ring_discards_oldest_but_counts_all() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(SimTime::from_millis(i), note(&format!("e{i}")));
+        }
+        assert_eq!(t.records().count(), 2);
+        assert_eq!(t.total_pushed(), 5);
+        let last: Vec<_> = t.records().map(|r| r.at).collect();
+        assert_eq!(last, vec![SimTime::from_millis(3), SimTime::from_millis(4)]);
+    }
+
+    #[test]
+    fn fingerprint_covers_discarded_records() {
+        let mut a = Trace::new(1);
+        let mut b = Trace::new(1);
+        for i in 0..10 {
+            a.push(SimTime::from_millis(i), note(&format!("x{i}")));
+            b.push(SimTime::from_millis(i), note(&format!("x{i}")));
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.push(SimTime::from_millis(99), note("extra"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn disabled_trace_still_fingerprints() {
+        let mut t = Trace::new(8);
+        t.set_enabled(false);
+        t.push(SimTime::ZERO, note("hidden"));
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.total_pushed(), 1);
+        let mut visible = Trace::new(8);
+        visible.push(SimTime::ZERO, note("hidden"));
+        assert_eq!(t.fingerprint(), visible.fingerprint());
+    }
+
+    #[test]
+    fn order_matters_for_fingerprint() {
+        let mut a = Trace::new(8);
+        a.push(SimTime::ZERO, note("1"));
+        a.push(SimTime::ZERO, note("2"));
+        let mut b = Trace::new(8);
+        b.push(SimTime::ZERO, note("2"));
+        b.push(SimTime::ZERO, note("1"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn render_one_line_per_record() {
+        let mut t = Trace::new(8);
+        t.push(SimTime::ZERO, TraceEvent::Crash { node: NodeId(3) });
+        t.push(
+            SimTime::from_secs(1),
+            TraceEvent::Restart { node: NodeId(3) },
+        );
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("Crash"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the simulation engine's conservation laws.
+
+use cb_simnet::prelude::*;
+use proptest::prelude::*;
+
+/// An actor that relays each message a bounded number of times to random
+/// targets — enough churn to exercise the transport from many angles.
+struct Relay {
+    hops_left: u32,
+}
+
+impl Actor for Relay {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if ctx.id() == NodeId(0) {
+            let n = ctx.host_count() as u64;
+            let to = NodeId(ctx.rng().gen_below(n) as u32);
+            if to != ctx.id() {
+                ctx.send(to, 0);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        if self.hops_left == 0 {
+            return;
+        }
+        self.hops_left -= 1;
+        let n = ctx.host_count() as u64;
+        let to = NodeId(ctx.rng().gen_below(n) as u32);
+        if to != ctx.id() {
+            if msg.is_multiple_of(2) {
+                ctx.send(to, msg + 1);
+            } else {
+                ctx.send_unreliable(to, msg + 1);
+            }
+        }
+    }
+}
+
+/// An actor that generates no traffic of its own — a clean slate for
+/// measurement-oriented properties.
+struct Quiet;
+
+impl Actor for Quiet {
+    type Msg = u32;
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, u32>, _from: NodeId, _msg: u32) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Delivered + dropped never exceeds sent, whatever the topology and
+    /// traffic pattern do.
+    #[test]
+    fn message_conservation(seed in any::<u64>(), n in 2usize..10, hops in 0u32..20) {
+        let topo = Topology::star(n, SimDuration::from_millis(5), 5_000_000);
+        let mut sim = Sim::new(topo, seed, move |_| Relay { hops_left: hops });
+        sim.start_all();
+        sim.run_until_quiescent(SimTime::from_secs(60));
+        let s = sim.summary();
+        prop_assert!(s.msgs_delivered + s.msgs_dropped <= s.msgs_sent,
+            "delivered {} + dropped {} > sent {}", s.msgs_delivered, s.msgs_dropped, s.msgs_sent);
+    }
+
+    /// One-way delivery latency is never below the path propagation delay.
+    #[test]
+    fn latency_floor_is_propagation(seed in any::<u64>(), spoke_ms in 1u64..50) {
+        let topo = Topology::star(3, SimDuration::from_millis(spoke_ms), 50_000_000);
+        let mut sim = Sim::new(topo, seed, |_| Quiet);
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(1), 9));
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        let lat = &sim.metrics(NodeId(1)).delivery_latency;
+        prop_assert_eq!(lat.count(), 1);
+        prop_assert!(lat.min() >= spoke_ms * 2 * 1000, // micros
+            "latency {}us under propagation {}ms", lat.min(), spoke_ms * 2);
+    }
+
+    /// Blocked pairs never deliver; healing restores delivery.
+    #[test]
+    fn partitions_are_absolute(seed in any::<u64>()) {
+        let topo = Topology::star(4, SimDuration::from_millis(5), 5_000_000);
+        let mut sim = Sim::new(topo, seed, |_| Quiet);
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.partition(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+        for _ in 0..5 {
+            sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(2), 1));
+        }
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        prop_assert_eq!(sim.metrics(NodeId(2)).msgs_delivered.get(), 0);
+        sim.heal_all();
+        sim.invoke(NodeId(0), |_, ctx| ctx.send_unreliable(NodeId(2), 1));
+        sim.run_until_quiescent(SimTime::from_secs(20));
+        prop_assert_eq!(sim.metrics(NodeId(2)).msgs_delivered.get(), 1);
+    }
+
+    /// A crashed node neither receives nor retains state after restart.
+    #[test]
+    fn crash_restart_resets(seed in any::<u64>(), crash_ms in 1u64..1000) {
+        let topo = Topology::star(2, SimDuration::from_millis(5), 5_000_000);
+        let mut sim = Sim::new(topo, seed, |_| Relay { hops_left: 3 });
+        sim.start_all();
+        sim.schedule_crash(NodeId(1), SimTime::from_millis(crash_ms));
+        sim.schedule_restart(NodeId(1), SimTime::from_millis(crash_ms) + SimDuration::from_secs(1));
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        prop_assert!(sim.is_up(NodeId(1)));
+        // Fresh actor state from the factory.
+        prop_assert_eq!(sim.actor(NodeId(1)).hops_left, 3);
+    }
+
+    /// Event processing is monotone in simulated time.
+    #[test]
+    fn clock_never_goes_backward(seed in any::<u64>(), n in 2usize..8) {
+        let topo = Topology::star(n, SimDuration::from_millis(3), 2_000_000);
+        let mut sim = Sim::new(topo, seed, |_| Relay { hops_left: 10 });
+        sim.start_all();
+        let mut last = SimTime::ZERO;
+        while let Some(at) = sim.step() {
+            prop_assert!(at >= last, "time went backward: {at:?} < {last:?}");
+            last = at;
+            if sim.events_processed() > 2000 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Consensus: the proposer choice across deployment settings.
+//!
+//! Reproduces the §3.1 consensus claim: a fixed-leader Paxos deployment
+//! degrades when the leader saturates, a Mencius-style rotating schedule
+//! spreads the load, and exposing the proposer choice to the runtime's
+//! learned resolver tracks the best proposer per client under both loads.
+//!
+//! Run with: `cargo run --release --example consensus`
+
+use cb_paxos::{run_paxos, PaxosConfig, ProposerRegime};
+use cb_simnet::time::SimDuration;
+
+fn main() {
+    println!("Paxos on a 5-region WAN, 10 clients (commit latency, seconds)\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>18}",
+        "load", "Fixed leader", "Round-robin", "Runtime-Resolved"
+    );
+    println!("{}", "-".repeat(76));
+    for (label, period_ms) in [
+        ("moderate (4/s per client)", 250u64),
+        ("high (16/s per client)", 62),
+    ] {
+        let mut cells = Vec::new();
+        for regime in [
+            ProposerRegime::FixedLeader,
+            ProposerRegime::RoundRobin,
+            ProposerRegime::Resolved,
+        ] {
+            let cfg = PaxosConfig {
+                clients: 10,
+                commands_per_client: 40,
+                submit_period: SimDuration::from_millis(period_ms),
+                horizon: SimDuration::from_secs(300),
+                seed: 2,
+                ..Default::default()
+            };
+            let out = run_paxos(&cfg, regime);
+            assert_eq!(
+                out.committed,
+                out.submitted,
+                "{}: only {}/{} committed",
+                regime.label(),
+                out.committed,
+                out.submitted
+            );
+            cells.push((out.mean_latency_secs, out.per_replica_commits.clone()));
+        }
+        println!(
+            "{:<26} {:>13.2}s {:>13.2}s {:>17.2}s",
+            label, cells[0].0, cells[1].0, cells[2].0
+        );
+        if period_ms < 100 {
+            println!("\n  per-replica proposer load at high rate:");
+            for (regime, (_, commits)) in ["Fixed leader", "Round-robin", "Runtime-Resolved"]
+                .iter()
+                .zip(&cells)
+            {
+                println!("    {regime:<18} {commits:?}");
+            }
+        }
+    }
+    println!(
+        "\nthe fixed leader melts when its uplink saturates; the exposed choice\n\
+         stays near each client and avoids the melted leader (a fixed rotation\n\
+         remains competitive at extreme uniform load, as Mencius observed)"
+    );
+}

@@ -1,0 +1,85 @@
+//! Content distribution: block-selection strategies and tracker bias.
+//!
+//! Reproduces the two §3.1 content-distribution claims in one run:
+//! 1. Neither random nor rarest-random block selection dominates — the seed
+//!    capacity decides the winner, so the choice belongs to the runtime.
+//! 2. The tracker's peer choice, being exposed, is trivially biased toward
+//!    locality, cutting ISP transit traffic (P4P).
+//!
+//! Run with: `cargo run --release --example content_distribution`
+
+use cb_dissem::{run_swarm, BlockStrategy, SwarmConfig, TrackerPolicy};
+use cb_simnet::time::SimDuration;
+
+fn main() {
+    println!("Part 1 — block-selection strategies (16 peers x 48 blocks)\n");
+    println!(
+        "{:<28} {:>10} {:>15} {:>18}",
+        "setting", "Random", "Rarest-Random", "Runtime-Resolved"
+    );
+    println!("{}", "-".repeat(74));
+    for (label, seed_bps) in [
+        ("constrained seed (2 Mbps)", 2_000_000u64),
+        ("ample seed (20 Mbps)", 20_000_000),
+    ] {
+        let mut cells = Vec::new();
+        for strategy in [
+            BlockStrategy::Random,
+            BlockStrategy::RarestRandom,
+            BlockStrategy::Resolved,
+        ] {
+            let mut total = 0.0;
+            for seed in 1..=2u64 {
+                let cfg = SwarmConfig {
+                    peers: 16,
+                    blocks: 48,
+                    seed_uplink_bps: seed_bps,
+                    horizon: SimDuration::from_secs(1800),
+                    seed,
+                    ..Default::default()
+                };
+                let out = run_swarm(&cfg, strategy);
+                assert_eq!(out.completed, 15, "{} did not finish", strategy.label());
+                total += out.max_time_secs;
+            }
+            cells.push(total / 2.0);
+        }
+        println!(
+            "{:<28} {:>9.1}s {:>14.1}s {:>17.1}s",
+            label, cells[0], cells[1], cells[2]
+        );
+    }
+
+    println!("\nPart 2 — tracker peer-choice bias (24 peers in 4 ISP domains)\n");
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "tracker", "transit MB", "last finisher"
+    );
+    println!("{}", "-".repeat(56));
+    for policy in [
+        TrackerPolicy::Random,
+        TrackerPolicy::LocalityBiased {
+            local_fraction: 0.8,
+        },
+    ] {
+        let cfg = SwarmConfig {
+            peers: 24,
+            blocks: 48,
+            tracker: policy,
+            horizon: SimDuration::from_secs(1800),
+            seed: 7,
+            ..Default::default()
+        };
+        let out = run_swarm(&cfg, BlockStrategy::RarestRandom);
+        println!(
+            "{:<26} {:>10.1}MB {:>15.1}s",
+            policy.label(),
+            out.transit_bytes as f64 / 1e6,
+            out.max_time_secs
+        );
+    }
+    println!(
+        "\nthe biased tracker moves traffic inside ISP domains at little cost in\n\
+         completion time — the P4P result, available because the choice was exposed"
+    );
+}

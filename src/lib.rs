@@ -1,0 +1,47 @@
+//! # crystalball — explicit-choice distributed systems, with a predictive runtime
+//!
+//! The facade crate of the workspace: one dependency pulls in the whole
+//! stack of *"Simplifying Distributed System Development"* (HotOS 2009).
+//!
+//! * [`simnet`] — the deterministic discrete-event network simulator.
+//! * [`mck`] — explicit-state model checking and consequence prediction.
+//! * [`core`] — the programming model: exposed choices and objectives, the
+//!   predictive network/state models, resolvers, execution steering, and
+//!   the runtime that wires a [`core::runtime::Service`] onto the network.
+//! * [`randtree`], [`gossip`], [`dissem`], [`paxos`] — the paper's case
+//!   study and motivating applications, ready to run and measure.
+//!
+//! Start with [`prelude`] and the `examples/` directory:
+//!
+//! ```
+//! use crystalball::prelude::*;
+//!
+//! struct Hello;
+//! impl Service for Hello {
+//!     type Msg = ();
+//!     type Checkpoint = ();
+//!     fn on_message(&mut self, _: &mut ServiceCtx<'_, '_, (), ()>, _: NodeId, _: ()) {}
+//!     fn checkpoint(&self, _: &StateModel<()>) {}
+//!     fn neighbors(&self) -> Vec<NodeId> { Vec::new() }
+//! }
+//!
+//! let topo = Topology::star(2, SimDuration::from_millis(5), 1_000_000);
+//! let mut sim = Sim::new(topo, 1, |_| {
+//!     RuntimeNode::new(Hello, RuntimeConfig::new(Box::new(RandomResolver::new(1))))
+//! });
+//! sim.start_all();
+//! sim.run_until_quiescent(SimTime::from_secs(1));
+//! ```
+
+pub use cb_core as core;
+pub use cb_dissem as dissem;
+pub use cb_gossip as gossip;
+pub use cb_mck as mck;
+pub use cb_paxos as paxos;
+pub use cb_randtree as randtree;
+pub use cb_simnet as simnet;
+
+/// Everything most users need, in one import.
+pub mod prelude {
+    pub use cb_core::prelude::*;
+}

@@ -1,0 +1,115 @@
+//! Cross-crate determinism: a run is a pure function of its seed.
+//!
+//! Every layer of the stack — simulator, runtime, resolvers, applications —
+//! draws randomness only from seeded streams, so identical seeds must yield
+//! byte-identical traces and identical experiment outcomes. These tests
+//! pin that property end to end; if any component starts consulting an
+//! outside source of entropy (hash-map iteration order, wall clock, …),
+//! they fail.
+
+use cb_gossip::{run_gossip, GossipConfig, PeerStrategy};
+use cb_paxos::{run_paxos, PaxosConfig, ProposerRegime};
+use cb_randtree::{run_join, ScenarioConfig, Setup};
+use cb_simnet::prelude::*;
+
+#[test]
+fn randtree_join_is_deterministic_per_seed() {
+    for setup in Setup::ALL {
+        let cfg = ScenarioConfig {
+            nodes: 15,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = run_join(&cfg, setup);
+        let b = run_join(&cfg, setup);
+        assert_eq!(a.after_join.max_depth, b.after_join.max_depth, "{setup:?}");
+        assert_eq!(
+            a.after_join.mean_depth, b.after_join.mean_depth,
+            "{setup:?}"
+        );
+        assert_eq!(a.msgs_sent, b.msgs_sent, "{setup:?}");
+        assert_eq!(a.decisions, b.decisions, "{setup:?}");
+    }
+}
+
+#[test]
+fn randtree_seeds_actually_matter() {
+    let outcomes: Vec<u64> = (1..=8)
+        .map(|seed| {
+            let cfg = ScenarioConfig {
+                nodes: 15,
+                seed,
+                ..Default::default()
+            };
+            run_join(&cfg, Setup::ChoiceRandom).msgs_sent
+        })
+        .collect();
+    let mut distinct = outcomes.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        distinct.len() > 1,
+        "eight seeds produced identical traffic: {outcomes:?}"
+    );
+}
+
+#[test]
+fn gossip_outcome_is_deterministic_per_seed() {
+    let cfg = GossipConfig {
+        nodes: 16,
+        rumors: 3,
+        horizon: SimDuration::from_secs(30),
+        seed: 7,
+        ..Default::default()
+    };
+    let a = run_gossip(&cfg, PeerStrategy::Resolved);
+    let b = run_gossip(&cfg, PeerStrategy::Resolved);
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.t90_secs, b.t90_secs);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+}
+
+#[test]
+fn paxos_outcome_is_deterministic_per_seed() {
+    let cfg = PaxosConfig {
+        clients: 4,
+        commands_per_client: 10,
+        horizon: SimDuration::from_secs(60),
+        seed: 9,
+        ..Default::default()
+    };
+    let a = run_paxos(&cfg, ProposerRegime::Resolved);
+    let b = run_paxos(&cfg, ProposerRegime::Resolved);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.mean_latency_secs, b.mean_latency_secs);
+    assert_eq!(a.per_replica_commits, b.per_replica_commits);
+}
+
+#[test]
+fn raw_sim_trace_fingerprints_match() {
+    struct Echo;
+    impl Actor for Echo {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+            let n = ctx.host_count() as u32;
+            let to = NodeId(ctx.rng().gen_below(n as u64) as u32);
+            if to != ctx.id() {
+                ctx.send(to, 1);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: NodeId, msg: u8) {
+            if msg < 4 {
+                ctx.send(from, msg + 1);
+            }
+        }
+    }
+    let run = |seed: u64| {
+        let topo = Topology::star(6, SimDuration::from_millis(3), 5_000_000);
+        let mut sim = Sim::new(topo, seed, |_| Echo);
+        sim.start_all();
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        sim.trace().fingerprint()
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}
