@@ -1,0 +1,181 @@
+//! Multi-seed fault-injection campaigns over the registered scenarios.
+//!
+//! ```text
+//! campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]
+//!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
+//! campaign --replay ARTIFACT.json
+//! campaign --list
+//! ```
+//!
+//! With no `--scenario`, sweeps every registered scenario. On an oracle
+//! violation a JSON failure artifact lands under `--out` (default
+//! `results/campaigns/`) carrying the seed, the fault-plan spec, the
+//! shrunk minimal repro, oracle verdicts, and the final trace window;
+//! `--replay` re-runs an artifact and verifies the violation reproduces.
+//! Exit status: 0 = all oracles passed, 1 = violations (or a replay that
+//! did reproduce the recorded violation — that's what a repro is for),
+//! 2 = usage error.
+
+use cb_bench::registry::{scenario_by_name, scenario_names};
+use cb_harness::prelude::*;
+use cb_harness::{read_artifact, replay_artifact};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]\n\
+         \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
+         \x20      campaign --replay ARTIFACT.json\n\
+         \x20      campaign --list\n\
+         scenarios: {}",
+        scenario_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_arg: Option<String> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut cfg = CampaignConfig::default();
+    let mut i = 0;
+    let need = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs an argument");
+                usage();
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for name in scenario_names() {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--scenario" => scenario_arg = Some(need(&args, &mut i, "--scenario")),
+            "--seeds" => {
+                cfg.seeds = need(&args, &mut i, "--seeds").parse().unwrap_or_else(|_| {
+                    eprintln!("--seeds wants a number");
+                    usage();
+                })
+            }
+            "--base-seed" => {
+                cfg.base_seed = need(&args, &mut i, "--base-seed")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--base-seed wants a number");
+                        usage();
+                    })
+            }
+            "--plan" => {
+                let spec = need(&args, &mut i, "--plan");
+                cfg.plan_override = Some(FaultPlan::from_spec(&spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage();
+                }));
+            }
+            "--workers" => {
+                cfg.workers = need(&args, &mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--workers wants a number");
+                        usage();
+                    })
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--no-determinism" => cfg.check_determinism = false,
+            "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
+            "--replay" => replay = Some(PathBuf::from(need(&args, &mut i, "--replay"))),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        let artifact = match read_artifact(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        let Some(scenario) = scenario_by_name(&artifact.scenario) else {
+            eprintln!("artifact names unknown scenario '{}'", artifact.scenario);
+            std::process::exit(2);
+        };
+        println!(
+            "replaying {} seed {} plan '{}'",
+            artifact.scenario,
+            artifact.seed,
+            artifact.plan.to_spec()
+        );
+        match replay_artifact(scenario.as_ref(), &artifact) {
+            Ok(report) => {
+                println!(
+                    "violation reproduced: {:?} (fingerprint {})",
+                    report.failing_oracles(),
+                    report.fingerprint
+                );
+                if report.fingerprint == artifact.fingerprint {
+                    println!("fingerprint matches the recorded run exactly");
+                } else {
+                    println!(
+                        "note: fingerprint differs from recorded {} (artifact predates a code change?)",
+                        artifact.fingerprint
+                    );
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scenarios: Vec<Box<dyn Scenario>> = match &scenario_arg {
+        Some(name) => match scenario_by_name(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario '{name}'");
+                usage();
+            }
+        },
+        None => cb_bench::registry::all_scenarios(),
+    };
+
+    let mut any_failed = false;
+    for scenario in &scenarios {
+        let start = std::time::Instant::now();
+        let outcome = run_campaign(scenario.as_ref(), &cfg);
+        println!(
+            "{} ({:.1}s wall)",
+            outcome.summary_line(),
+            start.elapsed().as_secs_f64()
+        );
+        for f in &outcome.failures {
+            println!(
+                "  seed {}: FAIL {:?}",
+                f.report.seed,
+                f.report.failing_oracles()
+            );
+            println!("    plan:   {}", f.report.plan);
+            println!("    shrunk: {}", f.shrunk_plan);
+            if let Some(p) = &f.artifact {
+                println!("    artifact: {}", p.display());
+            }
+        }
+        for seed in &outcome.nondeterministic_seeds {
+            println!("  seed {seed}: NONDETERMINISTIC (fingerprint mismatch on re-run)");
+        }
+        any_failed |= !outcome.all_passed();
+    }
+    std::process::exit(if any_failed { 1 } else { 0 });
+}

@@ -66,11 +66,7 @@ fn main() {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{id}.json");
-            std::fs::write(
-                &path,
-                serde_json::to_string_pretty(&table.to_json()).expect("json"),
-            )
-            .expect("write json");
+            std::fs::write(&path, table.to_json().to_string_pretty() + "\n").expect("write json");
         }
     }
 }

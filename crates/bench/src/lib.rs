@@ -2,14 +2,15 @@
 //!
 //! Regenerates every table and figure of the paper's evaluation (and the
 //! quantified §3.1 claims) over the crates of this workspace. The
-//! `tables` binary prints them; the Criterion benches measure the
-//! underlying building blocks. See `EXPERIMENTS.md` at the repository root
-//! for the paper-vs-measured record and `DESIGN.md` for the experiment
-//! index.
+//! `tables` binary prints them; the `campaign` binary sweeps seeds with
+//! fault injection over the registered scenarios (see [`registry`]). See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record and `DESIGN.md` for the experiment index.
 
 pub mod codemetrics;
 pub mod experiments;
 pub mod models;
+pub mod registry;
 pub mod steeringlab;
 pub mod table;
 

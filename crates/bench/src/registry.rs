@@ -1,0 +1,52 @@
+//! The scenario registry: every protocol the campaign runner can sweep.
+//!
+//! One place that knows about all four application scenarios (plus the
+//! harness's built-in toy ring); the `campaign` binary and the smoke tests
+//! both resolve scenario names through it.
+
+use cb_harness::prelude::Scenario;
+use cb_harness::toy::RingScenario;
+
+/// All registered scenarios, in CLI listing order.
+pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(cb_randtree::RandTreeCampaign::default()),
+        Box::new(cb_gossip::GossipCampaign::default()),
+        Box::new(cb_paxos::PaxosCampaign::default()),
+        Box::new(cb_dissem::SwarmCampaign::default()),
+        Box::new(RingScenario::default()),
+    ]
+}
+
+/// Looks a scenario up by its `name()`.
+pub fn scenario_by_name(name: &str) -> Option<Box<dyn Scenario>> {
+    all_scenarios().into_iter().find(|s| s.name() == name)
+}
+
+/// The registered scenario names, for usage/error messages.
+pub fn scenario_names() -> Vec<&'static str> {
+    all_scenarios().iter().map(|s| s.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = scenario_names();
+        assert!(names.contains(&"randtree"));
+        assert!(names.contains(&"gossip"));
+        assert!(names.contains(&"paxos"));
+        assert!(names.contains(&"dissem"));
+        assert!(names.contains(&"ring"));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+        for n in names {
+            assert!(scenario_by_name(n).is_some(), "{n} not resolvable");
+        }
+        assert!(scenario_by_name("nope").is_none());
+    }
+}

@@ -1,5 +1,6 @@
 //! Plain-text and JSON rendering of experiment tables.
 
+use cb_harness::Json;
 use std::fmt;
 
 /// A rendered experiment table.
@@ -45,24 +46,23 @@ impl Table {
     }
 
     /// The table as JSON (one object per row, keyed by header).
-    pub fn to_json(&self) -> serde_json::Value {
-        let rows: Vec<serde_json::Value> = self
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
             .rows
             .iter()
             .map(|r| {
-                let mut obj = serde_json::Map::new();
+                let mut obj = Json::obj();
                 for (h, v) in self.headers.iter().zip(r) {
-                    obj.insert(h.clone(), serde_json::Value::String(v.clone()));
+                    obj.set(h.as_str(), v.as_str());
                 }
-                serde_json::Value::Object(obj)
+                obj
             })
             .collect();
-        serde_json::json!({
-            "experiment": self.id,
-            "title": self.title,
-            "paper": self.paper,
-            "rows": rows,
-        })
+        Json::obj()
+            .with("experiment", self.id)
+            .with("title", self.title.as_str())
+            .with("paper", self.paper.as_str())
+            .with("rows", Json::Arr(rows))
     }
 }
 
@@ -121,8 +121,12 @@ mod tests {
         let mut t = Table::new("E9", "j", "p", &["k"]);
         t.push(vec!["v".into()]);
         let j = t.to_json();
-        assert_eq!(j["experiment"], "E9");
-        assert_eq!(j["rows"][0]["k"], "v");
+        assert_eq!(j.get("experiment").and_then(Json::as_str), Some("E9"));
+        let rows = j.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows[0].get("k").and_then(Json::as_str), Some("v"));
+        // And it survives a parse round-trip through the writer.
+        let back = Json::parse(&j.to_string_pretty()).unwrap();
+        assert_eq!(back.get("experiment").and_then(Json::as_str), Some("E9"));
     }
 
     #[test]

@@ -174,6 +174,9 @@ impl<M> Steering<M> {
     /// action is returned; the runtime then drops the message and possibly
     /// breaks the connection.
     pub fn check(&mut self, from: NodeId, msg: &M) -> Option<FilterAction> {
+        // A zero-budget filter is already spent; purge rather than letting
+        // the decrement below underflow.
+        self.filters.retain(|f| f.budget != Some(0));
         let mut hit: Option<(usize, FilterAction)> = None;
         for (i, f) in self.filters.iter().enumerate() {
             if f.matches(from, msg) {
@@ -187,7 +190,7 @@ impl<M> Steering<M> {
             self.breaks += 1;
         }
         if let Some(b) = &mut self.filters[i].budget {
-            *b -= 1;
+            *b = b.saturating_sub(1);
             if *b == 0 {
                 self.filters.remove(i);
             }
@@ -287,6 +290,54 @@ mod tests {
         assert_eq!(s.active(), 1);
         assert!(s.check(NodeId(1), &0).is_none());
         assert!(s.check(NodeId(2), &0).is_some());
+    }
+
+    #[test]
+    fn zero_budget_filter_never_fires() {
+        // A spent filter must not match — and must not underflow the
+        // budget decrement in check().
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("spent", NodeId(1), FilterAction::Drop, t0()).with_budget(0),
+        );
+        assert_eq!(s.check(NodeId(1), &0), None);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.active(), 0, "spent filter is purged");
+    }
+
+    #[test]
+    fn zero_budget_filter_does_not_shadow_live_ones() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("spent", NodeId(1), FilterAction::Drop, t0()).with_budget(0),
+        );
+        s.install(
+            EventFilter::from_sender("live", NodeId(1), FilterAction::DropAndBreak, t0())
+                .permanent(),
+        );
+        assert_eq!(s.check(NodeId(1), &0), Some(FilterAction::DropAndBreak));
+        assert_eq!(s.active(), 1);
+    }
+
+    #[test]
+    fn permanent_survives_unrelated_removals() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("keep", NodeId(1), FilterAction::Drop, t0()).permanent(),
+        );
+        s.install(EventFilter::from_sender(
+            "other",
+            NodeId(2),
+            FilterAction::Drop,
+            t0(),
+        ));
+        s.remove_by_reason("other");
+        s.remove_by_reason("no-such-reason");
+        assert_eq!(s.active(), 1);
+        for _ in 0..3 {
+            assert_eq!(s.check(NodeId(1), &7), Some(FilterAction::Drop));
+        }
+        assert_eq!(s.active(), 1);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! time, *which peers the tracker hands out* (random vs locality-biased,
 //! the P4P experiment).
 
+pub mod campaign;
 pub mod scenario;
 pub mod swarm;
 pub mod tracker;
 
+pub use campaign::SwarmCampaign;
 pub use scenario::{run_swarm, seed_serialization_floor_secs, SwarmConfig, SwarmOutcome};
 pub use swarm::{BlockStrategy, SwarmCheckpoint, SwarmMsg, SwarmNode, BLOCK_BYTES};
 pub use tracker::{assign_neighbors, TrackerPolicy};

@@ -378,6 +378,20 @@ impl Service for SwarmNode {
         }
     }
 
+    fn on_conn_broken(
+        &mut self,
+        _ctx: &mut ServiceCtx<'_, '_, SwarmMsg, SwarmCheckpoint>,
+        peer: NodeId,
+    ) {
+        // A broken connection usually means the peer crashed; it will come
+        // back with *no* blocks. Forget its map so its next Bitmap counts
+        // as first contact (and gets answered with ours), and abandon any
+        // request we had outstanding against it so the request loop
+        // re-issues the block elsewhere instead of waiting out the sweep.
+        self.peer_maps.remove(&peer);
+        self.in_flight.retain(|_, (p, _, _)| *p != peer);
+    }
+
     fn checkpoint(&self, _model: &StateModel<SwarmCheckpoint>) -> SwarmCheckpoint {
         SwarmCheckpoint {
             blocks: self.have.len() as u32,

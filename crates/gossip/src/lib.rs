@@ -7,9 +7,11 @@
 //! Byzantine view pollution and slow-uplink cohorts supply the adversarial
 //! and heterogeneous settings the claims are about.
 
+pub mod campaign;
 pub mod scenario;
 pub mod service;
 
+pub use campaign::GossipCampaign;
 pub use scenario::{run_gossip, GossipConfig, GossipOutcome};
 pub use service::{
     GossipCheckpoint, GossipMsg, GossipNode, PeerStrategy, ROUND_TIMER, RUMOR_BYTES,

@@ -238,12 +238,15 @@ impl GossipNode {
         entry.1 += 1;
         self.pending_partner = Some((partner, ctx.now()));
         let sent = self.sent_to.entry(partner).or_default();
-        let fresh: Vec<u32> = self
+        let mut fresh: Vec<u32> = self
             .received
             .keys()
             .copied()
             .filter(|id| !sent.contains(id))
             .collect();
+        // HashMap iteration order is nondeterministic; the payload order
+        // ends up in the trace, which must be a pure function of the seed.
+        fresh.sort_unstable();
         if !fresh.is_empty() {
             sent.extend(fresh.iter().copied());
             let bytes = RUMOR_BYTES.saturating_mul(fresh.len() as u32);
@@ -350,6 +353,23 @@ impl Service for GossipNode {
                 }
             }
             GossipMsg::Advert { ids } => self.admit_view(&ids),
+        }
+    }
+
+    fn on_conn_broken(
+        &mut self,
+        _ctx: &mut ServiceCtx<'_, '_, GossipMsg, GossipCheckpoint>,
+        peer: NodeId,
+    ) {
+        // A broken connection usually means the peer crashed; it restarts
+        // with an empty rumor store. Forget what we have pushed to it so
+        // future rounds that land on it re-send everything — otherwise the
+        // `sent_to` suppression starves a restarted node forever.
+        self.sent_to.remove(&peer);
+        if let Some((partner, _)) = self.pending_partner {
+            if partner == peer {
+                self.pending_partner = None;
+            }
         }
     }
 

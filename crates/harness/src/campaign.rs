@@ -1,0 +1,521 @@
+//! The campaign runner.
+//!
+//! A [`Campaign`] sweeps N seeds in parallel over one [`Scenario`]: each
+//! worker thread claims seeds off a shared counter, builds a fresh
+//! deterministic `Sim` per seed, applies the scenario's (or a caller-
+//! supplied) fault plan, and checks the scenario's oracles plus the generic
+//! determinism oracle (run the seed twice, compare trace fingerprints).
+//!
+//! On violation the runner:
+//!
+//! 1. greedily **shrinks** the fault plan to a minimal reproduction — drop
+//!    one fault at a time, keep the drop whenever the violation persists,
+//!    repeat to fixpoint;
+//! 2. writes a **JSON failure artifact** (seed, original + shrunk plan spec,
+//!    oracle verdicts, last trace window, metrics) under
+//!    `results/campaigns/`;
+//! 3. supports **exact replay**: [`replay_artifact`] reloads the artifact,
+//!    re-runs seed + plan, and checks the same violation (and fingerprint)
+//!    reappears.
+
+use crate::json::Json;
+use crate::plan::FaultPlan;
+use crate::scenario::{RunReport, Scenario};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration for one campaign sweep.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Seeds `base_seed..base_seed + seeds` are swept.
+    pub base_seed: u64,
+    /// How many seeds to run.
+    pub seeds: u64,
+    /// Worker threads (0 = one per available CPU, capped at 8).
+    pub workers: usize,
+    /// Re-run every seed and require identical fingerprints.
+    pub check_determinism: bool,
+    /// Shrink failing plans to a minimal repro before writing artifacts.
+    pub shrink: bool,
+    /// Where failure artifacts go; `None` disables writing.
+    pub artifact_dir: Option<PathBuf>,
+    /// Override the scenario's default plan for every seed.
+    pub plan_override: Option<FaultPlan>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            base_seed: 1,
+            seeds: 32,
+            workers: 0,
+            check_determinism: true,
+            shrink: true,
+            artifact_dir: Some(PathBuf::from("results/campaigns")),
+            plan_override: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Resolved worker count.
+    fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+            .max(1)
+    }
+}
+
+/// One seed's failure, with the shrunk repro.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The full report from the failing run (original plan).
+    pub report: RunReport,
+    /// The plan after greedy shrinking (== original when shrinking is off
+    /// or nothing could be dropped).
+    pub shrunk_plan: FaultPlan,
+    /// The report from the final shrunk run.
+    pub shrunk_report: RunReport,
+    /// Artifact path, when one was written.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Aggregate outcome of a sweep.
+#[derive(Debug, Default)]
+pub struct CampaignOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds that passed every oracle.
+    pub passed: u64,
+    /// Failures, in seed order.
+    pub failures: Vec<Failure>,
+    /// Seeds whose re-run produced a different fingerprint (determinism
+    /// violations are reported separately from oracle failures).
+    pub nondeterministic_seeds: Vec<u64>,
+    /// Total events processed across all runs.
+    pub total_events: u64,
+}
+
+impl CampaignOutcome {
+    /// Whether every seed passed every oracle and determinism held.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty() && self.nondeterministic_seeds.is_empty()
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "campaign[{}]: {} passed, {} failed, {} nondeterministic ({} events)",
+            self.scenario,
+            self.passed,
+            self.failures.len(),
+            self.nondeterministic_seeds.len(),
+            self.total_events
+        )
+    }
+}
+
+/// Sweeps seeds over a scenario according to `config`.
+pub fn run_campaign(scenario: &dyn Scenario, config: &CampaignConfig) -> CampaignOutcome {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(u64, RunReport, bool)>> = Mutex::new(Vec::new());
+    let total = config.seeds as usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.worker_count().min(total.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let seed = config.base_seed + i as u64;
+                let plan = config
+                    .plan_override
+                    .clone()
+                    .unwrap_or_else(|| scenario.default_plan(seed));
+                let report = scenario.run(seed, &plan);
+                let deterministic = if config.check_determinism {
+                    let again = scenario.run(seed, &plan);
+                    again.fingerprint == report.fingerprint
+                } else {
+                    true
+                };
+                results.lock().expect("campaign results poisoned").push((
+                    seed,
+                    report,
+                    deterministic,
+                ));
+            });
+        }
+    });
+
+    let mut rows = results.into_inner().expect("campaign results poisoned");
+    rows.sort_by_key(|(seed, _, _)| *seed);
+
+    let mut outcome = CampaignOutcome {
+        scenario: scenario.name().to_string(),
+        ..CampaignOutcome::default()
+    };
+    for (seed, report, deterministic) in rows {
+        outcome.total_events += report.events_processed;
+        if !deterministic {
+            outcome.nondeterministic_seeds.push(seed);
+        }
+        if report.violated() {
+            let (shrunk_plan, shrunk_report) = if config.shrink {
+                shrink_plan(scenario, seed, &report.plan, &report)
+            } else {
+                (report.plan.clone(), report.clone())
+            };
+            let artifact = config
+                .artifact_dir
+                .as_deref()
+                .and_then(|dir| write_artifact(dir, &report, &shrunk_plan, &shrunk_report).ok());
+            outcome.failures.push(Failure {
+                report,
+                shrunk_plan,
+                shrunk_report,
+                artifact,
+            });
+        } else if deterministic {
+            outcome.passed += 1;
+        }
+    }
+    outcome
+}
+
+/// Returns true when `candidate` reproduces the *same* violation as
+/// `original` — i.e. every oracle that failed originally still fails.
+fn same_violation(original: &RunReport, candidate: &RunReport) -> bool {
+    let orig: Vec<&str> = original.failing_oracles();
+    let cand = candidate.failing_oracles();
+    !orig.is_empty() && orig.iter().all(|name| cand.contains(name))
+}
+
+/// Greedily shrinks `plan` to a minimal fault set that still reproduces the
+/// violation in `failing`: repeatedly try dropping each fault; keep any drop
+/// after which the failing oracles still fail; stop at a fixpoint.
+///
+/// Returns the shrunk plan and the report of its (still-failing) run.
+pub fn shrink_plan(
+    scenario: &dyn Scenario,
+    seed: u64,
+    plan: &FaultPlan,
+    failing: &RunReport,
+) -> (FaultPlan, RunReport) {
+    let mut best_plan = plan.clone();
+    let mut best_report = failing.clone();
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best_plan.len() {
+            let candidate = best_plan.without(i);
+            let report = scenario.run(seed, &candidate);
+            if same_violation(failing, &report) {
+                best_plan = candidate;
+                best_report = report;
+                improved = true;
+                // Do not advance i: the fault now at index i is untested.
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best_plan, best_report)
+}
+
+/// Artifact schema version tag.
+pub const ARTIFACT_SCHEMA: &str = "cb-campaign-failure/v1";
+
+/// Serializes a failure artifact.
+pub fn artifact_json(
+    report: &RunReport,
+    shrunk_plan: &FaultPlan,
+    shrunk_report: &RunReport,
+) -> Json {
+    Json::obj()
+        .with("schema", ARTIFACT_SCHEMA)
+        .with("scenario", report.scenario.as_str())
+        .with("seed", report.seed.to_string())
+        .with("plan", report.plan.to_spec().as_str())
+        .with("shrunk_plan", shrunk_plan.to_spec().as_str())
+        .with(
+            "failing_oracles",
+            report
+                .failing_oracles()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .with("report", report.to_json())
+        .with("shrunk_report", shrunk_report.to_json())
+}
+
+/// Writes a failure artifact under `dir`, returning its path.
+pub fn write_artifact(
+    dir: &Path,
+    report: &RunReport,
+    shrunk_plan: &FaultPlan,
+    shrunk_report: &RunReport,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-seed{}.json", report.scenario, report.seed));
+    let json = artifact_json(report, shrunk_plan, shrunk_report);
+    std::fs::write(&path, json.to_string_pretty() + "\n")?;
+    Ok(path)
+}
+
+/// Error from [`replay_artifact`].
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The artifact file could not be read.
+    Io(std::io::Error),
+    /// The artifact was not valid JSON / not the expected schema.
+    Malformed(String),
+    /// The replay ran, but did not reproduce the recorded violation.
+    NotReproduced {
+        /// Oracles the artifact says failed.
+        expected: Vec<String>,
+        /// Oracles that failed on replay.
+        got: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "replay: {e}"),
+            ReplayError::Malformed(m) => write!(f, "replay: malformed artifact: {m}"),
+            ReplayError::NotReproduced { expected, got } => write!(
+                f,
+                "replay: violation not reproduced (expected {expected:?}, got {got:?})"
+            ),
+        }
+    }
+}
+
+/// The parsed essentials of a failure artifact.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Scenario name recorded in the artifact.
+    pub scenario: String,
+    /// Failing seed.
+    pub seed: u64,
+    /// Original plan.
+    pub plan: FaultPlan,
+    /// Shrunk plan (replay uses this by default).
+    pub shrunk_plan: FaultPlan,
+    /// Oracles the artifact says failed.
+    pub failing_oracles: Vec<String>,
+    /// Fingerprint of the original failing run.
+    pub fingerprint: u64,
+}
+
+/// Parses an artifact file.
+pub fn read_artifact(path: &Path) -> Result<Artifact, ReplayError> {
+    let text = std::fs::read_to_string(path).map_err(ReplayError::Io)?;
+    let json = Json::parse(&text).map_err(|e| ReplayError::Malformed(format!("{e}")))?;
+    let get_str = |key: &str| -> Result<String, ReplayError> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ReplayError::Malformed(format!("missing '{key}'")))
+    };
+    let schema = get_str("schema")?;
+    if schema != ARTIFACT_SCHEMA {
+        return Err(ReplayError::Malformed(format!(
+            "unknown schema '{schema}' (want '{ARTIFACT_SCHEMA}')"
+        )));
+    }
+    let plan = FaultPlan::from_spec(&get_str("plan")?)
+        .map_err(|e| ReplayError::Malformed(format!("{e}")))?;
+    let shrunk_plan = FaultPlan::from_spec(&get_str("shrunk_plan")?)
+        .map_err(|e| ReplayError::Malformed(format!("{e}")))?;
+    let seed = json
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ReplayError::Malformed("missing 'seed'".into()))?;
+    let failing_oracles = json
+        .get("failing_oracles")
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let fingerprint = json
+        .get("report")
+        .and_then(|r| r.get("fingerprint"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    Ok(Artifact {
+        scenario: get_str("scenario")?,
+        seed,
+        plan,
+        shrunk_plan,
+        failing_oracles,
+        fingerprint,
+    })
+}
+
+/// Replays an artifact against `scenario`: re-runs the recorded seed under
+/// the recorded (original) plan and checks that every recorded failing
+/// oracle fails again. Returns the replay report.
+pub fn replay_artifact(
+    scenario: &dyn Scenario,
+    artifact: &Artifact,
+) -> Result<RunReport, ReplayError> {
+    let report = scenario.run(artifact.seed, &artifact.plan);
+    let got: Vec<String> = report
+        .failing_oracles()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let reproduced = !artifact.failing_oracles.is_empty()
+        && artifact.failing_oracles.iter().all(|o| got.contains(o));
+    if reproduced {
+        Ok(report)
+    } else {
+        Err(ReplayError::NotReproduced {
+            expected: artifact.failing_oracles.clone(),
+            got,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::RingScenario;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cb-harness-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn clean_campaign_passes_all_seeds() {
+        let s = RingScenario::default();
+        let cfg = CampaignConfig {
+            seeds: 8,
+            artifact_dir: None,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&s, &cfg);
+        assert!(out.all_passed(), "{}", out.summary_line());
+        assert_eq!(out.passed, 8);
+        assert!(out.total_events > 0);
+    }
+
+    #[test]
+    fn failing_campaign_writes_shrunk_artifact_and_replays() {
+        let s = RingScenario::default();
+        let dir = tmpdir("artifact");
+        // Inject an unhealed partition plus irrelevant noise faults; the
+        // shrinker should strip the noise.
+        let others: Vec<u32> = (0..8u32).filter(|&i| i != 3).collect();
+        let plan = FaultPlan::none()
+            .crash(5, 400)
+            .restart(5, 800)
+            .partition(&[3], &others, 0, None)
+            .loss(0.02, 100, 300);
+        let cfg = CampaignConfig {
+            seeds: 2,
+            base_seed: 40,
+            plan_override: Some(plan.clone()),
+            artifact_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&s, &cfg);
+        assert_eq!(out.failures.len(), 2);
+        let failure = &out.failures[0];
+        // Shrunk to just the partition.
+        assert_eq!(failure.shrunk_plan.len(), 1);
+        assert!(failure.shrunk_plan.is_subset_of(&plan));
+        assert!(failure.shrunk_report.violated());
+        // Artifact exists, parses, and replays to the same violation.
+        let path = failure.artifact.clone().expect("artifact written");
+        let artifact = read_artifact(&path).expect("parse artifact");
+        assert_eq!(artifact.seed, failure.report.seed);
+        assert_eq!(artifact.plan, plan);
+        let replayed = replay_artifact(&s, &artifact).expect("replay reproduces");
+        assert_eq!(replayed.fingerprint, artifact.fingerprint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_detects_non_reproduction() {
+        let s = RingScenario::default();
+        let artifact = Artifact {
+            scenario: "ring".into(),
+            seed: 5,
+            plan: FaultPlan::none(), // fault-free: cannot violate
+            shrunk_plan: FaultPlan::none(),
+            failing_oracles: vec!["ring.heartbeat_connectivity".into()],
+            fingerprint: 0,
+        };
+        match replay_artifact(&s, &artifact) {
+            Err(ReplayError::NotReproduced { expected, got }) => {
+                assert_eq!(expected.len(), 1);
+                assert!(got.is_empty());
+            }
+            other => panic!("expected NotReproduced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_artifact_rejects_garbage() {
+        let dir = tmpdir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            read_artifact(&path),
+            Err(ReplayError::Malformed(_))
+        ));
+        std::fs::write(&path, "{\"schema\": \"other/v9\"}").unwrap();
+        assert!(matches!(
+            read_artifact(&path),
+            Err(ReplayError::Malformed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shrink_preserves_violation_and_subset() {
+        let s = RingScenario::default();
+        let others: Vec<u32> = (0..8u32).filter(|&i| i != 2).collect();
+        let plan = FaultPlan::none()
+            .loss(0.1, 0, 500)
+            .partition(&[2], &others, 0, None)
+            .crash(6, 900)
+            .restart(6, 1200);
+        let report = s.run(77, &plan);
+        assert!(report.violated());
+        let (shrunk, shrunk_report) = shrink_plan(&s, 77, &plan, &report);
+        assert!(shrunk.is_subset_of(&plan));
+        assert!(shrunk_report.violated());
+        assert!(shrunk.len() <= plan.len());
+        // Dropping anything further breaks reproduction.
+        for i in 0..shrunk.len() {
+            let candidate = shrunk.without(i);
+            let r = s.run(77, &candidate);
+            assert!(
+                !same_violation(&report, &r),
+                "shrunk plan not minimal: could drop fault {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! A minimal JSON value type with a writer and a parser.
+//!
+//! The workspace builds fully offline, so `serde_json` is unavailable. This
+//! module covers what campaign artifacts (and the bench tables) need:
+//! deterministic serialization (object keys keep insertion order), pretty
+//! printing, and a strict recursive-descent parser for replaying artifacts.
+//!
+//! Numbers are stored as `f64`; anything that must survive a round trip at
+//! full 64-bit precision (seeds, fingerprints) is stored as a string by the
+//! artifact writer.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved for deterministic output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Parses a complete JSON document (see the module-level [`parse`]).
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        parse(input)
+    }
+
+    /// Adds (or replaces) a field on an object; panics on non-objects.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Json {
+        let Json::Obj(fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key, value));
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Json>) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The payload as `u64`: accepts integral numbers and decimal strings
+    /// (the artifact encoding for full-precision 64-bit values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    // JSON has no Infinity/NaN; encode as null.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        // Beyond 2^53 the f64 round trip is lossy; callers needing full
+        // precision (seeds, fingerprints) should store strings instead.
+        Json::Num(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+impl From<Vec<String>> for Json {
+    fn from(items: Vec<String>) -> Json {
+        Json::Arr(items.into_iter().map(Json::Str).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with byte offset context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub at: usize,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document; trailing whitespace is allowed,
+/// trailing garbage is not.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, msg: &str) -> ParseError {
+    ParseError {
+        at,
+        msg: msg.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, "unexpected token"))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(err(*pos, "unexpected end of input"));
+    };
+    match c {
+        b'n' => expect(b, pos, "null").map(|()| Json::Null),
+        b't' => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':'"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(err(*pos, "unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(err(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if *pos + 4 > b.len() {
+                            return Err(err(*pos, "short \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| err(*pos, "bad \\u hex"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(err(*pos, "unknown escape")),
+                }
+            }
+            _ => {
+                // Re-decode UTF-8: step back and take the full char.
+                let rest = std::str::from_utf8(&b[*pos - 1..])
+                    .map_err(|_| err(*pos - 1, "invalid utf-8"))?;
+                let ch = rest.chars().next().expect("nonempty");
+                out.push(ch);
+                *pos += ch.len_utf8() - 1;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(start, "bad number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structure() {
+        let doc = Json::obj()
+            .with("name", "campaign")
+            .with("seed", "18446744073709551615")
+            .with("count", 42u64)
+            .with("ratio", 0.5)
+            .with("ok", true)
+            .with("none", Json::Null)
+            .with(
+                "items",
+                Json::Arr(vec![Json::Num(1.0), Json::Str("two\nlines".into())]),
+            );
+        for text in [doc.to_string_compact(), doc.to_string_pretty()] {
+            let back = parse(&text).expect("parse");
+            assert_eq!(back, doc, "failed on {text}");
+        }
+    }
+
+    #[test]
+    fn full_precision_u64_via_strings() {
+        let doc = Json::obj().with("fp", u64::MAX.to_string());
+        let back = parse(&doc.to_string_compact()).expect("parse");
+        assert_eq!(back.get("fp").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn escapes_are_parsed() {
+        let v = parse(r#"{"s": "a\"b\\c\ndA"}"#).expect("parse");
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut o = Json::obj().with("k", 1u64);
+        o.set("k", 2u64);
+        assert_eq!(o.get("k").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -1,0 +1,72 @@
+//! # cb-harness — deterministic multi-seed simulation campaigns
+//!
+//! The paper's pitch is that a single development substrate — deployment,
+//! simulation, model checking — makes distributed systems debuggable. This
+//! crate is the *campaign* layer on top of the `cb-simnet` simulator: run a
+//! protocol scenario across many seeds in parallel, compose fault schedules
+//! declaratively, check invariant oracles, and when something breaks, leave
+//! behind everything needed to debug it:
+//!
+//! * a **JSON failure artifact** (seed, fault plan, oracle verdicts, the
+//!   last trace window, metrics) under `results/campaigns/`;
+//! * an **exact replay** path — the artifact's `seed` + `plan` spec string
+//!   rebuild the identical run, fingerprint and all;
+//! * a **shrunk plan** — the greedy shrinker drops faults one at a time
+//!   while the violation persists, so the artifact names a minimal repro.
+//!
+//! Layout:
+//!
+//! * [`plan`] — declarative [`FaultPlan`]s (crash/restart, partitions,
+//!   loss windows, churn) with a round-trippable spec string.
+//! * [`oracle`] — the [`Oracle`] trait and [`OracleVerdict`]s.
+//! * [`scenario`] — the [`Scenario`] trait and per-run [`RunReport`]s.
+//! * [`campaign`] — the parallel sweep, shrinking, artifacts, replay.
+//! * [`json`] — a dependency-free JSON reader/writer for artifacts.
+//! * [`toy`] — a tiny ring-heartbeat scenario used by the harness's own
+//!   tests (and handy as an implementation template).
+//!
+//! # Quick example
+//!
+//! ```
+//! use cb_harness::prelude::*;
+//! use cb_harness::toy::RingScenario;
+//!
+//! let scenario = RingScenario::default();
+//! let cfg = CampaignConfig {
+//!     seeds: 4,
+//!     artifact_dir: None, // keep doctests filesystem-clean
+//!     ..CampaignConfig::default()
+//! };
+//! let outcome = run_campaign(&scenario, &cfg);
+//! assert!(outcome.all_passed(), "{}", outcome.summary_line());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod json;
+pub mod oracle;
+pub mod plan;
+pub mod scenario;
+pub mod toy;
+
+pub use campaign::{
+    artifact_json, read_artifact, replay_artifact, run_campaign, shrink_plan, write_artifact,
+    Artifact, CampaignConfig, CampaignOutcome, Failure, ReplayError, ARTIFACT_SCHEMA,
+};
+pub use json::Json;
+pub use oracle::{check_all, Oracle, OracleVerdict};
+pub use plan::{Fault, FaultPlan, PlanParseError};
+pub use scenario::{trace_tail, RunReport, Scenario};
+
+/// Everything most campaign authors need, in one import.
+pub mod prelude {
+    pub use crate::campaign::{
+        read_artifact, replay_artifact, run_campaign, shrink_plan, CampaignConfig, CampaignOutcome,
+        Failure,
+    };
+    pub use crate::json::Json;
+    pub use crate::oracle::{Oracle, OracleVerdict};
+    pub use crate::plan::{Fault, FaultPlan};
+    pub use crate::scenario::{RunReport, Scenario};
+}

@@ -1,0 +1,194 @@
+//! The scenario abstraction and per-run reports.
+//!
+//! A [`Scenario`] packages one protocol experiment — topology construction,
+//! actor wiring, workload, fault application, and invariant oracles — behind
+//! a uniform interface so the campaign runner can sweep seeds over any of
+//! them. App crates (randtree, gossip, paxos, dissem) implement this trait
+//! in their `campaign` modules; the harness ships a toy scenario for its own
+//! tests (see `toy.rs`).
+
+use crate::json::Json;
+use crate::oracle::OracleVerdict;
+use crate::plan::FaultPlan;
+use cb_simnet::prelude::{Actor, MetricsSummary, Sim, SimTime};
+
+/// Everything the campaign runner keeps from one seed's run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// The fault plan that was applied.
+    pub plan: FaultPlan,
+    /// Trace fingerprint at the end of the run — equal seeds and plans must
+    /// produce equal fingerprints.
+    pub fingerprint: u64,
+    /// Total simulator events processed.
+    pub events_processed: u64,
+    /// Events still queued when the run stopped (nonzero = hit the horizon
+    /// before quiescing).
+    pub pending_events: usize,
+    /// Sim clock when the run settled.
+    pub end: SimTime,
+    /// Aggregated transport metrics.
+    pub msgs_sent: u64,
+    /// Messages delivered.
+    pub msgs_delivered: u64,
+    /// Messages dropped.
+    pub msgs_dropped: u64,
+    /// Bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// All oracle verdicts, scenario-specific first, generic last.
+    pub verdicts: Vec<OracleVerdict>,
+    /// The last few trace lines, captured only when a verdict failed.
+    pub last_trace: Vec<String>,
+}
+
+impl RunReport {
+    /// How many trace lines a failing report embeds.
+    pub const TRACE_WINDOW: usize = 40;
+
+    /// Builds a report by inspecting a finished sim. `verdicts` should
+    /// already contain the scenario-specific oracle results; this adds the
+    /// generic quiescence oracle and snapshots metrics/trace.
+    pub fn from_sim<A: Actor>(
+        scenario: &str,
+        seed: u64,
+        plan: &FaultPlan,
+        sim: &Sim<A>,
+        horizon: SimTime,
+        verdicts: Vec<OracleVerdict>,
+    ) -> Self {
+        Self::from_sim_quiescence(scenario, seed, plan, sim, horizon, verdicts, true)
+    }
+
+    /// [`RunReport::from_sim`] with the generic quiescence oracle made
+    /// optional — periodic protocols (gossip rounds, heartbeats) never
+    /// quiesce by design and pass `expect_quiescence = false`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_sim_quiescence<A: Actor>(
+        scenario: &str,
+        seed: u64,
+        plan: &FaultPlan,
+        sim: &Sim<A>,
+        horizon: SimTime,
+        mut verdicts: Vec<OracleVerdict>,
+        expect_quiescence: bool,
+    ) -> Self {
+        let pending = sim.pending_events();
+        if expect_quiescence {
+            verdicts.push(OracleVerdict::check(
+                "generic.quiescence",
+                pending == 0,
+                format!(
+                    "{} events pending at horizon {} ms",
+                    pending,
+                    horizon.as_millis()
+                ),
+            ));
+        }
+        let summary: MetricsSummary = sim.summary();
+        let failed = verdicts.iter().any(|v| !v.passed);
+        let last_trace = if failed {
+            sim.trace()
+                .last(Self::TRACE_WINDOW)
+                .map(|r| format!("{r}"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        RunReport {
+            scenario: scenario.to_string(),
+            seed,
+            plan: plan.clone(),
+            fingerprint: sim.trace().fingerprint(),
+            events_processed: sim.events_processed(),
+            pending_events: pending,
+            end: sim.now(),
+            msgs_sent: summary.msgs_sent,
+            msgs_delivered: summary.msgs_delivered,
+            msgs_dropped: summary.msgs_dropped,
+            bytes_sent: summary.bytes_sent,
+            verdicts,
+            last_trace,
+        }
+    }
+
+    /// Whether any oracle failed.
+    pub fn violated(&self) -> bool {
+        self.verdicts.iter().any(|v| !v.passed)
+    }
+
+    /// Names of failing oracles.
+    pub fn failing_oracles(&self) -> Vec<&str> {
+        self.verdicts
+            .iter()
+            .filter(|v| !v.passed)
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    /// Serializes the report (used inside failure artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("scenario", self.scenario.as_str())
+            // Decimal strings: u64 values survive the f64-backed JSON
+            // number type only up to 2^53.
+            .with("seed", self.seed.to_string())
+            .with("plan", self.plan.to_spec().as_str())
+            .with("fingerprint", self.fingerprint.to_string())
+            .with("events_processed", self.events_processed)
+            .with("pending_events", self.pending_events)
+            .with("end_ms", self.end.as_millis())
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("msgs_sent", self.msgs_sent)
+                    .with("msgs_delivered", self.msgs_delivered)
+                    .with("msgs_dropped", self.msgs_dropped)
+                    .with("bytes_sent", self.bytes_sent),
+            )
+            .with(
+                "oracles",
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            Json::obj()
+                                .with("name", v.name.as_str())
+                                .with("passed", v.passed)
+                                .with("detail", v.detail.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+            .with("last_trace", self.last_trace.clone())
+    }
+}
+
+/// One registered experiment the campaign runner can sweep.
+///
+/// Implementations must be deterministic: `run(seed, plan)` twice must
+/// produce reports with identical fingerprints (the runner enforces this).
+pub trait Scenario: Sync + Send {
+    /// Short unique name used on the CLI and in artifact paths.
+    fn name(&self) -> &'static str;
+
+    /// How many hosts the scenario's topology has (lets callers build valid
+    /// fault plans without constructing the scenario).
+    fn node_count(&self) -> usize;
+
+    /// The default fault plan for a given seed — what the campaign injects
+    /// when the user does not supply an explicit plan.
+    fn default_plan(&self, seed: u64) -> FaultPlan;
+
+    /// Runs the scenario once under `plan` and reports.
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport;
+}
+
+/// Helper: capture the last trace lines of a sim (used by scenarios that
+/// build reports manually).
+pub fn trace_tail<A: Actor>(sim: &Sim<A>, k: usize) -> Vec<String> {
+    sim.trace().last(k).map(|r| format!("{r}")).collect()
+}

@@ -13,8 +13,8 @@ use crate::explore::{ExplorationReport, ExploreConfig};
 use crate::hash::fingerprint;
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
-use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// A worker's level output: (next frontier with paths, transitions, violations).
 type LevelResult<S, A> = (Vec<(S, Vec<A>)>, u64, Vec<Violation<A>>);
@@ -35,11 +35,17 @@ impl ShardedSet {
 
     /// Inserts; returns true when the value was new.
     fn insert(&self, fp: u64) -> bool {
-        self.shards[(fp as usize) & (SHARDS - 1)].lock().insert(fp)
+        self.shards[(fp as usize) & (SHARDS - 1)]
+            .lock()
+            .expect("shard poisoned")
+            .insert(fp)
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
     }
 }
 
@@ -100,12 +106,12 @@ where
     while !frontier.is_empty() && depth < cfg.max_depth {
         report.states_expanded += frontier.len() as u64;
         let chunk = frontier.len().div_ceil(threads);
-        let results: Vec<LevelResult<T::State, T::Action>> = crossbeam::thread::scope(|scope| {
+        let results: Vec<LevelResult<T::State, T::Action>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for piece in frontier.chunks(chunk.max(1)) {
                 let visited = &visited;
                 let safety = &safety;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut next_frontier = Vec::new();
                     let mut transitions = 0u64;
                     let mut violations = Vec::new();
@@ -137,8 +143,7 @@ where
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("scope panicked");
+        });
 
         let mut next = Vec::new();
         for (nf, transitions, violations) in results {

@@ -14,12 +14,14 @@
 //! * [`node`] — the unified service hosting either role.
 //! * [`scenario`] — the WAN deployment and regime comparison (E7).
 
+pub mod campaign;
 pub mod client;
 pub mod node;
 pub mod proto;
 pub mod replica;
 pub mod scenario;
 
+pub use campaign::PaxosCampaign;
 pub use client::{Client, ProposerRegime};
 pub use node::PaxosNode;
 pub use proto::{Ballot, Command, PaxosMsg, MAX_REPLICAS};

@@ -1,0 +1,134 @@
+//! Campaign registration: the random-tree scenario under fault schedules.
+//!
+//! Exposes the §4 case-study protocol (Choice-Random arm — the cheap one;
+//! lookahead is exercised by the bench tables instead) to the `cb-harness`
+//! campaign runner. The oracles check the paper's core correctness claims
+//! about the overlay after faults heal:
+//!
+//! * `tree.well_formed` — parent/child links are mutually consistent and
+//!   acyclic;
+//! * `tree.reachable` — every node that is up at the end of the run is
+//!   reachable from the root by child links (no orphaned islands after
+//!   the fault schedule heals).
+
+use crate::choice::ChoiceRandTree;
+use crate::metrics::tree_stats;
+use cb_core::resolve::random::RandomResolver;
+use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+use cb_harness::prelude::*;
+use cb_harness::scenario::RunReport;
+use cb_simnet::prelude::*;
+
+/// The campaign-facing random-tree scenario.
+pub struct RandTreeCampaign {
+    /// Number of participants.
+    pub nodes: usize,
+    /// Run horizon.
+    pub horizon: SimTime,
+}
+
+impl Default for RandTreeCampaign {
+    fn default() -> Self {
+        RandTreeCampaign {
+            nodes: 15,
+            horizon: SimTime::from_secs(900),
+        }
+    }
+}
+
+impl Scenario for RandTreeCampaign {
+    fn name(&self) -> &'static str {
+        "randtree"
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    fn default_plan(&self, seed: u64) -> FaultPlan {
+        // Crash/restart a rotating non-root victim mid-join, add a healed
+        // partition that temporarily splits off two other non-root nodes,
+        // and a short loss window. Everything heals well before the
+        // horizon, so the oracles must hold.
+        let n = self.nodes as u64;
+        let victim = 1 + (seed % (n - 1)) as u32;
+        let pa = 1 + ((seed + 1) % (n - 1)) as u32;
+        let pb = 1 + ((seed + 2) % (n - 1)) as u32;
+        let mut plan = FaultPlan::none()
+            .crash(victim, 3_000)
+            .restart(victim, 8_000)
+            .loss(0.05, 1_000, 5_000);
+        if pa != victim && pb != victim && pa != pb {
+            let others: Vec<u32> = (0..self.nodes as u32)
+                .filter(|&i| i != pa && i != pb)
+                .collect();
+            plan = plan.partition(&[pa, pb], &others, 4_000, Some(10_000));
+        }
+        plan
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let topo = Topology::transit_stub(
+            &TransitStubConfig::default().with_at_least_hosts(self.nodes),
+            &mut SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9)),
+        );
+        let nodes = self.nodes;
+        let mut sim: Sim<RuntimeNode<ChoiceRandTree>> = Sim::new(topo, seed, move |id| {
+            let delay = SimDuration::from_millis(400) * (id.0 as u64 + 1);
+            RuntimeNode::new(
+                ChoiceRandTree::new(id, NodeId(0), delay),
+                RuntimeConfig::new(Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 8))))
+                    .controller_every(SimDuration::from_millis(500)),
+            )
+        });
+        let participants: Vec<NodeId> = sim.topology().hosts().take(nodes).collect();
+        for &n in &participants {
+            sim.schedule_start(n, SimTime::ZERO);
+        }
+        plan.drive(&mut sim, seed ^ 0xc0ff_ee00, self.horizon);
+
+        let stats = tree_stats(&sim, NodeId(0));
+        let up = participants.iter().filter(|&&n| sim.is_up(n)).count();
+        let verdicts = vec![
+            OracleVerdict::check("tree.well_formed", stats.well_formed, format!("{stats:?}")),
+            OracleVerdict::check(
+                "tree.reachable",
+                stats.reachable == up,
+                format!("{} of {up} up nodes reachable from root", stats.reachable),
+            ),
+        ];
+        // The runtime's controller timer re-arms forever, so RuntimeNode
+        // scenarios never quiesce; skip the generic quiescence oracle.
+        RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_passes() {
+        let s = RandTreeCampaign::default();
+        let r = s.run(3, &FaultPlan::none());
+        assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn default_plan_recovers() {
+        let s = RandTreeCampaign::default();
+        let plan = s.default_plan(5);
+        let r = s.run(5, &plan);
+        assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn unhealed_partition_orphans_nodes() {
+        let s = RandTreeCampaign::default();
+        let others: Vec<u32> = (0..15u32).filter(|&i| i != 7 && i != 8).collect();
+        let plan = FaultPlan::none().partition(&[7, 8], &others, 2_000, None);
+        let r = s.run(11, &plan);
+        assert!(r.violated(), "{:?}", r.verdicts);
+        assert!(r.failing_oracles().contains(&"tree.reachable"));
+    }
+}

@@ -13,9 +13,11 @@
 //! [`model`] supplies the join-descent transition system the predictive
 //! resolver explores; [`metrics`] measures tree shape; [`scenario`] scripts
 //! the §4 experiments (31-node join; subtree failure and rejoin) across the
-//! Baseline / Choice-Random / Choice-CrystalBall arms.
+//! Baseline / Choice-Random / Choice-CrystalBall arms; [`campaign`]
+//! registers the protocol with the `cb-harness` multi-seed campaign runner.
 
 pub mod baseline;
+pub mod campaign;
 pub mod choice;
 pub mod metrics;
 pub mod model;
@@ -23,6 +25,7 @@ pub mod proto;
 pub mod scenario;
 
 pub use baseline::BaselineRandTree;
+pub use campaign::RandTreeCampaign;
 pub use choice::ChoiceRandTree;
 pub use metrics::{optimal_depth, tree_stats, HasTree, TreeStats};
 pub use model::{attach_depth, JAction, JState, JoinDescent};

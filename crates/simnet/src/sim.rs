@@ -687,6 +687,21 @@ impl<A: Actor> Sim<A> {
                             reason: "dest-down",
                         },
                     );
+                    // A reliable segment arriving at a dead host gets no ACK:
+                    // the sender's TCP eventually resets. Without this, a
+                    // connection (re-)established while the peer was down
+                    // would survive the peer's restart and the sender would
+                    // never learn its in-flight data was lost.
+                    if epoch != EPOCH_UNRELIABLE {
+                        let current = self
+                            .world
+                            .conns
+                            .get(&conn_key(from, to))
+                            .map_or(0, |c| c.epoch);
+                        if epoch == current {
+                            self.world.break_conn(from, to);
+                        }
+                    }
                     return Some(entry.at);
                 }
                 if epoch != EPOCH_UNRELIABLE {
@@ -759,13 +774,17 @@ impl<A: Actor> Sim<A> {
                     .push(self.world.now, TraceEvent::Crash { node });
                 // All of the node's connections break; peers will be
                 // notified (they observe a TCP reset / timeout).
-                let peers: Vec<NodeId> = self
+                let mut peers: Vec<NodeId> = self
                     .world
                     .conns
                     .keys()
                     .filter(|&&(a, b)| a == node || b == node)
                     .map(|&(a, b)| if a == node { b } else { a })
                     .collect();
+                // HashMap iteration order is nondeterministic; the break
+                // order decides ConnBroken delivery order, which must be a
+                // pure function of the seed.
+                peers.sort_unstable();
                 for p in peers {
                     self.world.break_conn(node, p);
                 }
@@ -843,6 +862,20 @@ impl<A: Actor> Sim<A> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.world.events_processed
+    }
+
+    /// Number of events still waiting in the queue. Zero means the
+    /// simulation is quiescent: nothing more can ever happen without
+    /// external input. Campaign oracles use this for no-stall checks.
+    pub fn pending_events(&self) -> usize {
+        self.world.queue.len()
+    }
+
+    /// Directed pairs currently blackholed (sorted for determinism).
+    pub fn blocked_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<_> = self.world.blocked.iter().copied().collect();
+        v.sort();
+        v
     }
 
     /// Immutable access to a node's actor.

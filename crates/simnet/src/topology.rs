@@ -396,6 +396,25 @@ impl Topology {
         self.paths[b.index() * n + a.index()].latency += extra;
     }
 
+    /// Adds `delta` to the loss probability of the path between two hosts
+    /// (both directions), clamped to `[0, 0.95]`. Negative deltas heal.
+    /// Fault schedules use this for message-loss regimes.
+    pub fn add_path_loss(&mut self, a: NodeId, b: NodeId, delta: f64) {
+        let n = self.host_count;
+        for idx in [a.index() * n + b.index(), b.index() * n + a.index()] {
+            let p = &mut self.paths[idx];
+            p.loss = (p.loss + delta).clamp(0.0, 0.95);
+        }
+    }
+
+    /// Adds `delta` loss probability to every host-to-host path (clamped to
+    /// `[0, 0.95]`); negative deltas heal. A whole-network loss regime.
+    pub fn add_loss_all(&mut self, delta: f64) {
+        for p in &mut self.paths {
+            p.loss = (p.loss + delta).clamp(0.0, 0.95);
+        }
+    }
+
     /// A star: every host hangs off one router by an identical spoke.
     ///
     /// Useful as the simplest non-trivial topology in tests.

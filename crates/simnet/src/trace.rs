@@ -147,6 +147,12 @@ impl Trace {
         self.ring.iter()
     }
 
+    /// The last `k` retained records, oldest first. Failure artifacts embed
+    /// these as the "what happened right before the violation" window.
+    pub fn last(&self, k: usize) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter().skip(self.ring.len().saturating_sub(k))
+    }
+
     /// Total records ever pushed (including discarded ones).
     pub fn total_pushed(&self) -> u64 {
         self.pushed

@@ -86,6 +86,49 @@ fn paxos_outcome_is_deterministic_per_seed() {
 }
 
 #[test]
+fn campaign_run_is_deterministic_under_faults() {
+    // The harness's replay guarantee: a scenario run is a pure function of
+    // (seed, fault plan). Crash/restart, a healed partition, and a loss
+    // window all in one plan; two fresh runs must agree byte-for-byte on
+    // the trace fingerprint and on every oracle verdict.
+    use cb_harness::prelude::*;
+    use cb_harness::toy::RingScenario;
+
+    let scenario = RingScenario::default();
+    let others: Vec<u32> = (0..8u32).filter(|&i| i != 2 && i != 5).collect();
+    let plan = FaultPlan::none()
+        .crash(1, 300)
+        .restart(1, 900)
+        .partition(&[2, 5], &others, 400, Some(1_500))
+        .loss(0.10, 200, 2_000);
+
+    let a = scenario.run(1234, &plan);
+    let b = scenario.run(1234, &plan);
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed+plan, same trace");
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.violated(), b.violated());
+    assert_eq!(a.failing_oracles(), b.failing_oracles());
+
+    let c = scenario.run(1235, &plan);
+    assert_ne!(a.fingerprint, c.fingerprint, "a different seed must differ");
+}
+
+#[test]
+fn campaign_plan_spec_round_trip_preserves_the_run() {
+    // Replay goes through the artifact's spec string: parsing the rendered
+    // plan back must reproduce the identical run.
+    use cb_harness::prelude::*;
+    use cb_harness::toy::RingScenario;
+
+    let scenario = RingScenario::default();
+    let plan = scenario.default_plan(7);
+    let reparsed = FaultPlan::from_spec(&plan.to_spec()).expect("round trip");
+    let a = scenario.run(7, &plan);
+    let b = scenario.run(7, &reparsed);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
 fn raw_sim_trace_fingerprints_match() {
     struct Echo;
     impl Actor for Echo {

@@ -230,6 +230,65 @@ proptest! {
         prop_assert!(out.after_join.max_degree <= cb_randtree::MAX_CHILDREN);
     }
 
+    // ---- harness: fault-plan shrinking ----
+
+    #[test]
+    fn shrunk_plan_still_violates_and_is_a_subset(seed in 1u64..200,
+                                                  noise_crash in 0u32..8,
+                                                  noise_loss in 1u32..30,
+                                                  with_healed_partition in any::<bool>()) {
+        use cb_harness::prelude::*;
+        use cb_harness::toy::RingScenario;
+
+        let scenario = RingScenario::default();
+        // The culprit: an unhealed partition isolating node 3 — guaranteed
+        // to starve its successor's heartbeats and violate the oracle.
+        let others: Vec<u32> = (0..8u32).filter(|&i| i != 3).collect();
+        let mut plan = FaultPlan::none()
+            .partition(&[3], &others, 0, None)
+            // Noise the shrinker should strip: a healed crash and a short
+            // loss window don't affect the verdict by themselves.
+            .crash(noise_crash % 8, 200)
+            .restart(noise_crash % 8, 500)
+            .loss(noise_loss as f64 / 100.0, 100, 600);
+        if with_healed_partition {
+            let others2: Vec<u32> = (0..8u32).filter(|&i| i != 6).collect();
+            plan = plan.partition(&[6], &others2, 300, Some(900));
+        }
+
+        let report = scenario.run(seed, &plan);
+        prop_assert!(report.violated(), "culprit plan must violate: {:?}", report.verdicts);
+
+        let (shrunk, shrunk_report) = shrink_plan(&scenario, seed, &plan, &report);
+        prop_assert!(shrunk_report.violated(), "shrunk plan no longer violates");
+        prop_assert_eq!(shrunk_report.failing_oracles(), report.failing_oracles());
+        prop_assert!(shrunk.is_subset_of(&plan), "shrunk {} not a subset of {}", shrunk, plan);
+        prop_assert!(shrunk.len() <= plan.len());
+        prop_assert!(shrunk.len() >= 1, "an empty plan cannot violate");
+    }
+
+    #[test]
+    fn plan_spec_round_trips(n_crash in 0usize..3, n_loss in 0usize..3, seed in any::<u64>()) {
+        use cb_harness::prelude::*;
+        let mut plan = FaultPlan::none();
+        let mut s = seed;
+        for _ in 0..n_crash {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let node = (s >> 33) as u32 % 16;
+            let at = (s >> 17) % 10_000;
+            plan = plan.crash(node, at).restart(node, at + 1 + (s % 5_000));
+        }
+        for _ in 0..n_loss {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let from = (s >> 20) % 8_000;
+            plan = plan.loss(((s >> 7) % 90 + 1) as f64 / 100.0, from, from + 1 + (s % 4_000));
+        }
+        let spec = plan.to_spec();
+        let back = FaultPlan::from_spec(&spec).expect("parse back");
+        prop_assert_eq!(back.to_spec(), spec);
+        prop_assert!(back.is_subset_of(&plan) && plan.is_subset_of(&back));
+    }
+
     #[test]
     fn reliable_transport_preserves_per_flow_order(seed in any::<u64>(), count in 1u32..30) {
         use cb_simnet::prelude::*;
