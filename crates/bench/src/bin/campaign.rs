@@ -3,6 +3,7 @@
 //! ```text
 //! campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
+//!          [--telemetry]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -12,6 +13,9 @@
 //! `results/campaigns/`) carrying the seed, the fault-plan spec, the
 //! shrunk minimal repro, oracle verdicts, and the final trace window;
 //! `--replay` re-runs an artifact and verifies the violation reproduces.
+//! `--telemetry` prints a per-scenario digest of the merged telemetry
+//! (decision-latency p50/p99 on the sim-cost clock, cache hit rate,
+//! states explored per decision) after each summary line.
 //! Exit status: 0 = all oracles passed, 1 = violations (or a replay that
 //! did reproduce the recorded violation — that's what a repro is for),
 //! 2 = usage error.
@@ -25,6 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]\n\
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
+         \x20               [--telemetry]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -37,6 +42,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_arg: Option<String> = None;
     let mut replay: Option<PathBuf> = None;
+    let mut show_telemetry = false;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -87,6 +93,7 @@ fn main() {
                     })
             }
             "--no-shrink" => cfg.shrink = false,
+            "--telemetry" => show_telemetry = true,
             "--no-determinism" => cfg.check_determinism = false,
             "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
             "--replay" => replay = Some(PathBuf::from(need(&args, &mut i, "--replay"))),
@@ -160,6 +167,19 @@ fn main() {
             outcome.summary_line(),
             start.elapsed().as_secs_f64()
         );
+        if show_telemetry {
+            let s = cb_telemetry::summary::summarize(&outcome.telemetry);
+            println!(
+                "  telemetry: {} decisions, latency p50/p99 {}/{} sim-us, \
+                 cache hit {}, {:.2} states/decision, {} states visited",
+                s.decisions,
+                s.decision_p50_sim_us,
+                s.decision_p99_sim_us,
+                cb_telemetry::summary::fmt_rate(s.cache_hit_rate),
+                s.states_per_decision,
+                s.states_visited
+            );
+        }
         for f in &outcome.failures {
             println!(
                 "  seed {}: FAIL {:?}",

@@ -1,13 +1,14 @@
 //! Regenerates the paper's tables. Usage:
 //!
 //! ```text
-//! tables [--quick] [--exp e2] [--json DIR]
+//! tables [--quick] [--exp e2] [--telemetry] [--json DIR]
 //! ```
 //!
 //! With no arguments, runs every experiment at paper scale and prints the
 //! tables. `--quick` shrinks sizes for a fast smoke run; `--exp eN`
-//! selects one experiment; `--json DIR` additionally writes one JSON file
-//! per table into DIR.
+//! selects one experiment; `--telemetry` is shorthand for `--exp t1` (the
+//! per-scenario telemetry digest); `--json DIR` additionally writes one
+//! JSON file per table into DIR.
 
 use cb_bench::experiments::{self, Scale};
 use cb_bench::Table;
@@ -28,13 +29,14 @@ fn main() {
                 i += 1;
                 only = Some(args.get(i).expect("--exp needs an argument").to_lowercase());
             }
+            "--telemetry" => only = Some("t1".to_string()),
             "--json" => {
                 i += 1;
                 json_dir = Some(args.get(i).expect("--json needs a directory").clone());
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: tables [--quick] [--exp eN] [--json DIR]");
+                eprintln!("usage: tables [--quick] [--exp eN] [--telemetry] [--json DIR]");
                 std::process::exit(2);
             }
         }
@@ -52,6 +54,7 @@ fn main() {
         ("e10", experiments::e10),
         ("a1", experiments::a1),
         ("a2", experiments::a2),
+        ("t1", experiments::t1),
     ];
     for (id, run) in runners {
         if let Some(sel) = &only {

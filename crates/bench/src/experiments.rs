@@ -604,6 +604,57 @@ pub fn a2(scale: Scale) -> Table {
     t
 }
 
+/// T1 — per-scenario critical-path telemetry digest.
+///
+/// Sweeps every registered campaign scenario and summarizes the merged
+/// telemetry registries: decision-latency quantiles on the deterministic
+/// sim-cost clock, cache hit rate, and exploration cost per decision —
+/// the numbers behind the paper's "keep complex choice resolution off the
+/// critical path" claim (§3.4).
+pub fn t1(scale: Scale) -> Table {
+    use cb_harness::prelude::{run_campaign, CampaignConfig};
+    use cb_telemetry::summary::{fmt_rate, summarize};
+
+    let mut t = Table::new(
+        "T1",
+        "Campaign telemetry: decision cost stays off the critical path",
+        "choice resolution must be cheap on the hot path; prediction cost is budgeted (paper 3.4)",
+        &[
+            "scenario",
+            "decisions",
+            "p50 sim us",
+            "p99 sim us",
+            "cache hit",
+            "states/decision",
+            "msgs delivered",
+        ],
+    );
+    let cfg = CampaignConfig {
+        seeds: if scale.full { 8 } else { 2 },
+        check_determinism: false,
+        shrink: false,
+        artifact_dir: None,
+        ..CampaignConfig::default()
+    };
+    for scenario in crate::registry::all_scenarios() {
+        let outcome = run_campaign(scenario.as_ref(), &cfg);
+        let s = summarize(&outcome.telemetry);
+        t.push(vec![
+            scenario.name().to_string(),
+            s.decisions.to_string(),
+            s.decision_p50_sim_us.to_string(),
+            s.decision_p99_sim_us.to_string(),
+            fmt_rate(s.cache_hit_rate),
+            format!("{:.2}", s.states_per_decision),
+            outcome
+                .telemetry
+                .counter(cb_telemetry::keys::NET_MSGS_DELIVERED)
+                .to_string(),
+        ]);
+    }
+    t
+}
+
 /// Runs every experiment at the given scale, in id order.
 pub fn all(scale: Scale) -> Vec<Table> {
     vec![
@@ -618,6 +669,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
         e10(scale),
         a1(scale),
         a2(scale),
+        t1(scale),
     ]
 }
 
@@ -643,6 +695,22 @@ mod tests {
         // At depth 6 the pruning factor must exceed 2x.
         let pruning: f64 = t.rows[5][3].trim_end_matches('x').parse().expect("ratio");
         assert!(pruning > 2.0, "pruning only {pruning}x");
+    }
+
+    #[test]
+    fn t1_covers_all_registered_scenarios() {
+        let t = t1(Scale::quick());
+        let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert_eq!(names, crate::registry::scenario_names());
+        // Runtime-backed scenarios expose choices; the toy ring does not.
+        let decisions = |row: usize| -> u64 { t.rows[row][1].parse().expect("decisions") };
+        assert!(decisions(0) > 0, "randtree made no decisions");
+        assert_eq!(decisions(4), 0, "toy ring has no choice points");
+        // Every scenario moved messages, and the quantile cells parse.
+        for row in &t.rows {
+            assert!(row[6].parse::<u64>().expect("msgs") > 0, "{row:?}");
+            assert!(row[3].parse::<u64>().expect("p99") >= row[2].parse::<u64>().expect("p50"));
+        }
     }
 
     #[test]

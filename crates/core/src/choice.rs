@@ -173,6 +173,15 @@ pub trait Resolver {
     fn last_prediction(&self) -> Option<Prediction> {
         None
     }
+
+    /// Exports resolver-internal telemetry (cache hit/miss/refresh rates,
+    /// lookahead evaluation counts, …) into `reg` under the standard
+    /// `core.*` keys. Snapshot semantics: called at export time, must be
+    /// idempotent (use absolute sets, not increments). Wrapping resolvers
+    /// delegate to their inner resolver. Default: exports nothing.
+    fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
+        let _ = reg;
+    }
 }
 
 /// One resolved decision, kept in the runtime's decision log.

@@ -80,10 +80,11 @@ pub mod prelude {
         LookaheadResolver, PrecomputedResolver, RandomResolver,
     };
     pub use crate::runtime::{
-        Envelope, RuntimeConfig, RuntimeNode, Service, ServiceCtx, SteeringAdvice, SteeringAdvisor,
-        SteeringInput, CONTROLLER_TAG,
+        fleet_telemetry, Envelope, RuntimeConfig, RuntimeNode, Service, ServiceCtx, SteeringAdvice,
+        SteeringAdvisor, SteeringInput, CONTROLLER_TAG,
     };
     pub use crate::steering::{EventFilter, FilterAction, Steering};
     pub use cb_mck::props::Property;
     pub use cb_simnet::prelude::*;
+    pub use cb_telemetry::{Registry, TelemetrySummary};
 }

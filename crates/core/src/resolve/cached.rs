@@ -49,6 +49,7 @@ pub struct CachedResolver<R: Resolver> {
     cache: BTreeMap<CacheKey, CacheEntry>,
     hits: u64,
     misses: u64,
+    refreshes: u64,
 }
 
 impl<R: Resolver> CachedResolver<R> {
@@ -66,17 +67,31 @@ impl<R: Resolver> CachedResolver<R> {
             cache: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            refreshes: 0,
         }
     }
 
-    /// Cache hits served so far.
+    /// Cache hits served so far (no inner resolution).
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Cache misses (inner resolutions) so far.
+    /// Cold misses so far: no usable entry existed (new key, option-set
+    /// hash collision, or post-invalidation), so the inner resolver ran.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Scheduled refreshes so far: an entry existed but had reached its
+    /// reuse budget, so the inner resolver recomputed it.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Total resolves served. Invariant: `hits + misses + refreshes ==
+    /// resolves` — every resolve is exactly one of the three.
+    pub fn resolves(&self) -> u64 {
+        self.hits + self.misses + self.refreshes
     }
 
     /// Drops all cached decisions (e.g. after a detected regime change).
@@ -100,8 +115,13 @@ impl<R: Resolver> Resolver for CachedResolver<R> {
     fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
         assert!(!request.is_empty(), "cannot resolve an empty choice");
         let key = (request.id, request.context, Self::option_set_hash(request));
-        if let Some(entry) = self.cache.get_mut(&key) {
-            if entry.uses < self.refresh_every {
+        // Every resolve is exactly one of hit / miss / refresh:
+        //   hit     — live entry served without touching the inner resolver;
+        //   refresh — entry exists but exhausted its reuse budget;
+        //   miss    — no usable entry (cold key, option-set hash collision,
+        //             or post-invalidation).
+        let is_refresh = match self.cache.get_mut(&key) {
+            Some(entry) if entry.uses < self.refresh_every => {
                 entry.uses += 1;
                 // The cached key must still be present (same option-set hash
                 // guarantees it barring hash collisions).
@@ -113,9 +133,16 @@ impl<R: Resolver> Resolver for CachedResolver<R> {
                     self.hits += 1;
                     return idx;
                 }
+                false // collision: treat as a cold miss
             }
+            Some(_) => true,
+            None => false,
+        };
+        if is_refresh {
+            self.refreshes += 1;
+        } else {
+            self.misses += 1;
         }
-        self.misses += 1;
         let idx = self.inner.resolve(request, eval);
         assert!(
             idx < request.len(),
@@ -142,6 +169,13 @@ impl<R: Resolver> Resolver for CachedResolver<R> {
     fn last_prediction(&self) -> Option<crate::choice::Prediction> {
         self.inner.last_prediction()
     }
+
+    fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
+        reg.set_counter(cb_telemetry::keys::CORE_CACHE_HITS, self.hits);
+        reg.set_counter(cb_telemetry::keys::CORE_CACHE_MISSES, self.misses);
+        reg.set_counter(cb_telemetry::keys::CORE_CACHE_REFRESHES, self.refreshes);
+        self.inner.export_metrics(reg);
+    }
 }
 
 #[cfg(test)]
@@ -165,9 +199,13 @@ mod tests {
         }
         assert_eq!(r.misses(), 1);
         assert_eq!(r.hits(), 5);
-        // Sixth reuse triggers a refresh.
+        assert_eq!(r.refreshes(), 0);
+        // Sixth reuse triggers a refresh (not a cold miss).
         let _ = r.resolve(&req, &mut NullEvaluator);
-        assert_eq!(r.misses(), 2);
+        assert_eq!(r.misses(), 1);
+        assert_eq!(r.refreshes(), 1);
+        assert_eq!(r.resolves(), r.hits() + r.misses() + r.refreshes());
+        assert_eq!(r.resolves(), 7);
     }
 
     #[test]
@@ -215,7 +253,32 @@ mod tests {
         r.resolve(&req, &mut NullEvaluator);
         r.invalidate();
         r.resolve(&req, &mut NullEvaluator);
+        // Post-invalidation resolutions are cold misses, not refreshes.
         assert_eq!(r.misses(), 2);
+        assert_eq!(r.refreshes(), 0);
+    }
+
+    #[test]
+    fn export_metrics_snapshots_absolute_counts() {
+        use cb_telemetry::{keys, Registry};
+        let mut r = CachedResolver::new(RandomResolver::new(1), 2);
+        let o = opts(&[10, 20]);
+        let req = ChoiceRequest::new("c", &o);
+        for _ in 0..6 {
+            r.resolve(&req, &mut NullEvaluator);
+        }
+        let mut reg = Registry::new();
+        r.export_metrics(&mut reg);
+        r.export_metrics(&mut reg); // idempotent
+        assert_eq!(reg.counter(keys::CORE_CACHE_HITS), r.hits());
+        assert_eq!(reg.counter(keys::CORE_CACHE_MISSES), r.misses());
+        assert_eq!(reg.counter(keys::CORE_CACHE_REFRESHES), r.refreshes());
+        assert_eq!(
+            reg.counter(keys::CORE_CACHE_HITS)
+                + reg.counter(keys::CORE_CACHE_MISSES)
+                + reg.counter(keys::CORE_CACHE_REFRESHES),
+            6
+        );
     }
 
     #[test]

@@ -148,6 +148,14 @@ impl<R: Resolver> Resolver for DampedResolver<R> {
     fn name(&self) -> &'static str {
         "damped"
     }
+
+    fn last_prediction(&self) -> Option<crate::choice::Prediction> {
+        self.inner.last_prediction()
+    }
+
+    fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
+        self.inner.export_metrics(reg);
+    }
 }
 
 #[cfg(test)]

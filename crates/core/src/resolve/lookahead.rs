@@ -76,6 +76,13 @@ impl Resolver for LookaheadResolver {
     fn last_prediction(&self) -> Option<Prediction> {
         self.last_prediction
     }
+
+    fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
+        reg.set_counter(
+            cb_telemetry::keys::CORE_LOOKAHEAD_EVALUATIONS,
+            self.evaluations,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -25,9 +25,10 @@ use crate::model::net::NetworkModel;
 use crate::model::state::StateModel;
 use crate::steering::{EventFilter, FilterAction, Steering};
 use cb_simnet::rng::SimRng;
-use cb_simnet::sim::{Actor, Ctx as SimCtx, TimerId};
+use cb_simnet::sim::{Actor, Ctx as SimCtx, Sim, TimerId};
 use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
+use cb_telemetry::{keys, Registry, Stopwatch};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -224,6 +225,12 @@ struct RuntimeCore<M, C> {
     controller_cycles: u64,
     checkpoints_sent: u64,
     checkpoints_received: u64,
+    /// Hot-path telemetry: every standard key (and the resolver-arm
+    /// counter below) is pre-registered in [`RuntimeNode::new`], so
+    /// per-decision updates never allocate.
+    telemetry: Registry,
+    /// Pre-formatted `core.resolver_arm.<name>` counter key.
+    arm_key: String,
 }
 
 /// A node of the distributed system: the service plus the CrystalBall-style
@@ -237,6 +244,14 @@ pub struct RuntimeNode<S: Service> {
 impl<S: Service> RuntimeNode<S> {
     /// Wraps `service` with a runtime configured by `config`.
     pub fn new(service: S, config: RuntimeConfig<S::Checkpoint>) -> Self {
+        let mut telemetry = Registry::new();
+        keys::preregister_standard(&mut telemetry);
+        let arm_key = format!(
+            "{}{}",
+            keys::CORE_RESOLVER_ARM_PREFIX,
+            config.resolver.name()
+        );
+        telemetry.register_counter(&arm_key);
         RuntimeNode {
             service,
             core: RuntimeCore {
@@ -251,6 +266,8 @@ impl<S: Service> RuntimeNode<S> {
                 controller_cycles: 0,
                 checkpoints_sent: 0,
                 checkpoints_received: 0,
+                telemetry,
+                arm_key,
             },
         }
     }
@@ -293,6 +310,26 @@ impl<S: Service> RuntimeNode<S> {
     /// Checkpoints (sent, received).
     pub fn checkpoint_traffic(&self) -> (u64, u64) {
         (self.core.checkpoints_sent, self.core.checkpoints_received)
+    }
+
+    /// Snapshot of this node's telemetry under the standard `core.*` keys:
+    /// the hot-path registry (decision counts and dual-clock latency)
+    /// plus controller/checkpoint/steering counters and whatever the
+    /// resolver exports (cache hit/miss/refresh, lookahead evaluations).
+    /// Idempotent; aggregate nodes with [`Registry::merge`] or use
+    /// [`fleet_telemetry`].
+    pub fn telemetry(&self) -> Registry {
+        let mut reg = self.core.telemetry.clone();
+        reg.set_counter(keys::CORE_CONTROLLER_CYCLES, self.core.controller_cycles);
+        reg.set_counter(keys::CORE_CHECKPOINTS_SENT, self.core.checkpoints_sent);
+        reg.set_counter(
+            keys::CORE_CHECKPOINTS_RECEIVED,
+            self.core.checkpoints_received,
+        );
+        reg.set_counter(keys::CORE_STEERING_DROPPED, self.core.steering.dropped);
+        reg.set_counter(keys::CORE_STEERING_BREAKS, self.core.steering.breaks);
+        self.core.resolver.export_metrics(&mut reg);
+        reg
     }
 
     fn run_controller(&mut self, ctx: &mut SimCtx<'_, Envelope<S::Msg, S::Checkpoint>>) {
@@ -437,6 +474,21 @@ impl<S: Service> Actor for RuntimeNode<S> {
     }
 }
 
+/// Aggregates telemetry across a whole simulated fleet of runtime nodes:
+/// every node's [`RuntimeNode::telemetry`] snapshot merged (counters add,
+/// peak gauges keep the max, histograms merge), plus the simulator's
+/// `net.*` traffic summary. This is the per-run registry campaign
+/// harnesses embed in their artifacts.
+pub fn fleet_telemetry<S: Service>(sim: &Sim<RuntimeNode<S>>) -> Registry {
+    let mut reg = Registry::new();
+    keys::preregister_standard(&mut reg);
+    for n in sim.topology().hosts() {
+        reg.merge(&sim.actor(n).telemetry());
+    }
+    sim.summary().record_into(&mut reg);
+    reg
+}
+
 /// What a service handler sees: the network context plus the runtime's
 /// choice, model, and steering facilities.
 pub struct ServiceCtx<'a, 'b, M, C> {
@@ -573,18 +625,36 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             options,
             context,
         };
+        let stopwatch = Stopwatch::start();
         let chosen = self.core.resolver.resolve(&request, eval);
+        let wall_ns = stopwatch.elapsed_ns();
         assert!(
             chosen < options.len(),
             "resolver returned out-of-range option {chosen}"
         );
+        let prediction = self.core.resolver.last_prediction();
+        // Dual-clock decision accounting. Sim time does not advance inside
+        // a handler, so the deterministic clock records a *modeled* cost:
+        // 1 µs per state the prediction explored (0 for non-predictive
+        // resolvers). The wall clock records the real hardware cost and is
+        // fingerprint-exempt.
+        let states = prediction.map_or(0, |p| p.states_explored);
+        self.core.telemetry.inc(keys::CORE_DECISIONS_TOTAL);
+        self.core.telemetry.add(keys::CORE_STATES_EXPLORED, states);
+        self.core
+            .telemetry
+            .record(keys::CORE_DECISION_LATENCY_SIM_US, states);
+        self.core
+            .telemetry
+            .record(keys::CORE_DECISION_LATENCY_WALL_NS, wall_ns);
+        self.core.telemetry.inc(&self.core.arm_key);
         self.core.decisions.push(DecisionRecord {
             at: self.net.now(),
             id,
             context,
             option_keys: options.iter().map(|o| o.key).collect(),
             chosen,
-            prediction: self.core.resolver.last_prediction(),
+            prediction,
         });
         chosen
     }
@@ -841,6 +911,44 @@ mod tests {
             conf > 0.5,
             "auto-probe left node 1 stale at confidence {conf}"
         );
+    }
+
+    #[test]
+    fn telemetry_tracks_decisions_and_fleet_merge() {
+        let mut sim = build();
+        sim.start_all();
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        let node1 = sim.actor(NodeId(1));
+        let reg = node1.telemetry();
+        // Per-node: one decision per received message, all resolved by the
+        // random arm with zero modeled (sim-clock) latency.
+        assert_eq!(reg.counter(keys::CORE_DECISIONS_TOTAL), 10);
+        assert_eq!(reg.counter("core.resolver_arm.random"), 10);
+        let sim_lat = reg.hist(keys::CORE_DECISION_LATENCY_SIM_US).unwrap();
+        assert_eq!(sim_lat.count(), 10);
+        assert_eq!(sim_lat.max(), 0, "random resolver explores no states");
+        assert_eq!(
+            reg.hist(keys::CORE_DECISION_LATENCY_WALL_NS)
+                .unwrap()
+                .count(),
+            10
+        );
+        assert_eq!(
+            reg.counter(keys::CORE_CONTROLLER_CYCLES),
+            node1.controller_cycles()
+        );
+        // Snapshot is idempotent.
+        assert_eq!(reg, node1.telemetry());
+        // Fleet aggregate: decisions add across nodes, net.* filled in.
+        let fleet = fleet_telemetry(&sim);
+        assert_eq!(fleet.counter(keys::CORE_DECISIONS_TOTAL), 20);
+        assert!(fleet.counter(keys::NET_MSGS_DELIVERED) > 0);
+        assert!(fleet.hist(keys::NET_DELIVERY_LATENCY_US).unwrap().count() > 0);
+        // Deterministic halves match across a re-run after masking.
+        let mut sim2 = build();
+        sim2.start_all();
+        sim2.run_until_quiescent(SimTime::from_secs(30));
+        assert_eq!(fleet.masked(), fleet_telemetry(&sim2).masked());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::swarm::{BlockStrategy, SwarmNode};
 use crate::tracker::{assign_neighbors, TrackerPolicy};
 use cb_core::resolve::random::RandomResolver;
-use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
 use cb_harness::scenario::RunReport;
 use cb_simnet::prelude::*;
@@ -133,6 +133,7 @@ impl Scenario for SwarmCampaign {
         // Request timers and the controller re-arm forever; skip the
         // quiescence oracle.
         RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+            .with_telemetry(fleet_telemetry(&sim))
     }
 }
 

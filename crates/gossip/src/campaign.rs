@@ -9,7 +9,7 @@
 
 use crate::service::{GossipNode, PeerStrategy};
 use cb_core::resolve::random::RandomResolver;
-use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
 use cb_harness::scenario::RunReport;
 use cb_simnet::prelude::*;
@@ -114,6 +114,7 @@ impl Scenario for GossipCampaign {
         )];
         // Gossip rounds never stop; skip the quiescence oracle.
         RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+            .with_telemetry(fleet_telemetry(&sim))
     }
 }
 

@@ -99,6 +99,10 @@ pub struct CampaignOutcome {
     pub nondeterministic_seeds: Vec<u64>,
     /// Total events processed across all runs.
     pub total_events: u64,
+    /// Telemetry merged across every seed's first run (counters add, gauges
+    /// keep peaks, histograms merge) — the per-scenario aggregate that
+    /// `cb-bench` summarizes.
+    pub telemetry: cb_telemetry::Registry,
 }
 
 impl CampaignOutcome {
@@ -163,6 +167,7 @@ pub fn run_campaign(scenario: &dyn Scenario, config: &CampaignConfig) -> Campaig
     };
     for (seed, report, deterministic) in rows {
         outcome.total_events += report.events_processed;
+        outcome.telemetry.merge(&report.telemetry);
         if !deterministic {
             outcome.nondeterministic_seeds.push(seed);
         }

@@ -48,6 +48,7 @@ pub mod json;
 pub mod oracle;
 pub mod plan;
 pub mod scenario;
+pub mod telemetry;
 pub mod toy;
 
 pub use campaign::{
@@ -58,6 +59,7 @@ pub use json::Json;
 pub use oracle::{check_all, Oracle, OracleVerdict};
 pub use plan::{Fault, FaultPlan, PlanParseError};
 pub use scenario::{trace_tail, RunReport, Scenario};
+pub use telemetry::telemetry_json;
 
 /// Everything most campaign authors need, in one import.
 pub mod prelude {
@@ -69,4 +71,6 @@ pub mod prelude {
     pub use crate::oracle::{Oracle, OracleVerdict};
     pub use crate::plan::{Fault, FaultPlan};
     pub use crate::scenario::{RunReport, Scenario};
+    pub use crate::telemetry::telemetry_json;
+    pub use cb_telemetry::{Registry, TelemetrySummary};
 }

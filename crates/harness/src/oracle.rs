@@ -96,7 +96,8 @@ mod tests {
 
     #[test]
     fn closure_is_an_oracle() {
-        let oracle = |w: &u32| OracleVerdict::check("is_even", w % 2 == 0, format!("value={w}"));
+        let oracle =
+            |w: &u32| OracleVerdict::check("is_even", w.is_multiple_of(2), format!("value={w}"));
         assert!(oracle.check(&4).passed);
         assert!(!oracle.check(&3).passed);
     }

@@ -10,7 +10,9 @@
 use crate::json::Json;
 use crate::oracle::OracleVerdict;
 use crate::plan::FaultPlan;
+use crate::telemetry::telemetry_json;
 use cb_simnet::prelude::{Actor, MetricsSummary, Sim, SimTime};
+use cb_telemetry::{keys, Registry};
 
 /// Everything the campaign runner keeps from one seed's run.
 #[derive(Clone, Debug)]
@@ -43,6 +45,10 @@ pub struct RunReport {
     pub verdicts: Vec<OracleVerdict>,
     /// The last few trace lines, captured only when a verdict failed.
     pub last_trace: Vec<String>,
+    /// Full telemetry registry for the run (standard schema pre-registered,
+    /// `net.*` filled from the sim summary; runtime scenarios replace it
+    /// with a fleet-wide registry via [`RunReport::with_telemetry`]).
+    pub telemetry: Registry,
 }
 
 impl RunReport {
@@ -89,6 +95,9 @@ impl RunReport {
             ));
         }
         let summary: MetricsSummary = sim.summary();
+        let mut telemetry = Registry::new();
+        keys::preregister_standard(&mut telemetry);
+        summary.record_into(&mut telemetry);
         let failed = verdicts.iter().any(|v| !v.passed);
         let last_trace = if failed {
             sim.trace()
@@ -112,7 +121,17 @@ impl RunReport {
             bytes_sent: summary.bytes_sent,
             verdicts,
             last_trace,
+            telemetry,
         }
+    }
+
+    /// Replaces the report's telemetry with a richer registry — typically
+    /// [`cb_core::runtime::fleet_telemetry`]'s fleet-wide merge, which
+    /// already contains the `net.*` metrics this report pre-filled (replace,
+    /// not merge, so network counters are not double-counted).
+    pub fn with_telemetry(mut self, telemetry: Registry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Whether any oracle failed.
@@ -149,6 +168,7 @@ impl RunReport {
                     .with("msgs_dropped", self.msgs_dropped)
                     .with("bytes_sent", self.bytes_sent),
             )
+            .with("telemetry", telemetry_json(&self.telemetry))
             .with(
                 "oracles",
                 Json::Arr(

@@ -1,0 +1,160 @@
+//! Rendering a [`Registry`] into the artifact [`Json`] type.
+//!
+//! Every campaign run embeds a `telemetry` section in its JSON artifact.
+//! The rendering is **schema-stable**: keys come out in sorted order (the
+//! registry's maps are sorted) and the standard schema is pre-registered,
+//! so two runs of the same scenario always export the same key set.
+//!
+//! Wall-clock metrics (names containing [`cb_telemetry::WALL_MARKER`]) are
+//! exported with their real, nondeterministic values; determinism checks
+//! must compare `telemetry_json(&reg.masked())` instead, which blanks the
+//! wall-clock payloads while keeping the keys.
+
+use crate::json::Json;
+use cb_telemetry::{summary, Registry};
+
+/// Renders a registry as a JSON object with stable (sorted) key order.
+///
+/// Layout:
+///
+/// ```text
+/// {
+///   "counters":   { "<name>": <u64>, ... },
+///   "gauges":     { "<name>": <i64>, ... },
+///   "histograms": { "<name>": {"count":n,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}, ... },
+///   "summary":    { "decisions":.., "decision_p50_sim_us":.., "decision_p99_sim_us":..,
+///                   "cache_hit_rate":..|null, "states_per_decision":..,
+///                   "states_visited":.., "dedup_ratio":..|null }
+/// }
+/// ```
+///
+/// Counter/gauge values ride the f64-backed JSON number type; the standard
+/// schema's values stay far below the 2^53 precision cliff.
+pub fn telemetry_json(reg: &Registry) -> Json {
+    let mut counters = Json::obj();
+    for (k, v) in reg.counters() {
+        counters.set(k, v);
+    }
+    let mut gauges = Json::obj();
+    for (k, v) in reg.gauges() {
+        gauges.set(k, Json::Num(v as f64));
+    }
+    let mut hists = Json::obj();
+    for (k, h) in reg.hists() {
+        let o = if h.is_empty() {
+            // An empty histogram has no min/max; export just the count so
+            // the schema stays parseable without sentinel values.
+            Json::obj().with("count", 0u64)
+        } else {
+            Json::obj()
+                .with("count", h.count())
+                .with("min", h.min())
+                .with("max", h.max())
+                .with("mean", h.mean())
+                .with("p50", h.quantile(0.5))
+                .with("p90", h.quantile(0.9))
+                .with("p99", h.quantile(0.99))
+        };
+        hists.set(k, o);
+    }
+    let digest = summary::summarize(reg);
+    let opt = |r: Option<f64>| r.map(Json::Num).unwrap_or(Json::Null);
+    let summary_obj = Json::obj()
+        .with("decisions", digest.decisions)
+        .with("decision_p50_sim_us", digest.decision_p50_sim_us)
+        .with("decision_p99_sim_us", digest.decision_p99_sim_us)
+        .with("cache_hit_rate", opt(digest.cache_hit_rate))
+        .with("states_per_decision", digest.states_per_decision)
+        .with("states_visited", digest.states_visited)
+        .with("dedup_ratio", opt(digest.dedup_ratio));
+    Json::obj()
+        .with("counters", counters)
+        .with("gauges", gauges)
+        .with("histograms", hists)
+        .with("summary", summary_obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_telemetry::keys;
+
+    fn sample() -> Registry {
+        let mut reg = Registry::new();
+        keys::preregister_standard(&mut reg);
+        reg.add(keys::CORE_DECISIONS_TOTAL, 4);
+        reg.add(keys::CORE_STATES_EXPLORED, 40);
+        for v in [1u64, 2, 3, 100] {
+            reg.record(keys::CORE_DECISION_LATENCY_SIM_US, v);
+        }
+        reg.record(keys::CORE_DECISION_LATENCY_WALL_NS, 123_456);
+        reg
+    }
+
+    #[test]
+    fn sections_and_summary_are_present() {
+        let j = telemetry_json(&sample());
+        let counters = j.get("counters").expect("counters");
+        assert_eq!(
+            counters
+                .get(keys::CORE_DECISIONS_TOTAL)
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        let hist = j
+            .get("histograms")
+            .and_then(|h| h.get(keys::CORE_DECISION_LATENCY_SIM_US))
+            .expect("latency hist");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(4));
+        assert!(hist.get("p99").and_then(Json::as_u64).unwrap() >= 3);
+        let s = j.get("summary").expect("summary");
+        assert_eq!(s.get("decisions").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            s.get("states_per_decision").and_then(Json::as_f64),
+            Some(10.0)
+        );
+        assert_eq!(s.get("cache_hit_rate"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn empty_histograms_export_a_bare_count() {
+        let j = telemetry_json(&sample());
+        // net.delivery_latency_us is pre-registered but never recorded.
+        let h = j
+            .get("histograms")
+            .and_then(|h| h.get(keys::NET_DELIVERY_LATENCY_US))
+            .expect("empty hist present (schema stability)");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(0));
+        assert!(h.get("min").is_none());
+    }
+
+    #[test]
+    fn masked_rendering_is_stable_across_wall_noise() {
+        let a = sample();
+        let mut b = sample();
+        b.record(keys::CORE_DECISION_LATENCY_WALL_NS, 999);
+        assert_ne!(
+            telemetry_json(&a).to_string_compact(),
+            telemetry_json(&b).to_string_compact()
+        );
+        assert_eq!(
+            telemetry_json(&a.masked()).to_string_compact(),
+            telemetry_json(&b.masked()).to_string_compact()
+        );
+        // Masking keeps the key set: the wall histogram is still exported.
+        let masked = telemetry_json(&a.masked());
+        let h = masked
+            .get("histograms")
+            .and_then(|h| h.get(keys::CORE_DECISION_LATENCY_WALL_NS))
+            .expect("wall hist key survives masking");
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let j = telemetry_json(&sample());
+        let text = j.to_string_pretty();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, j);
+    }
+}

@@ -84,15 +84,8 @@ pub fn predict<T: TransitionSystem>(
         .iter()
         .filter(|p| p.kind() == PropertyKind::Safety)
         .collect();
-    let mut report = ExplorationReport {
-        states_visited: 1,
-        states_expanded: 0,
-        transitions: 0,
-        max_depth_reached: 0,
-        truncated: false,
-        violations: Vec::new(),
-        liveness: Vec::new(),
-    };
+    let mut report = ExplorationReport::new();
+    report.states_visited = 1;
     let mut chains_started = 0;
     let mut chains_exhausted = 0;
 
@@ -126,6 +119,7 @@ pub fn predict<T: TransitionSystem>(
         let frame = stack.last_mut().expect("just pushed");
         frame.path.push(a.clone());
     }
+    report.frontier_peak = stack.len() as u64;
 
     while let Some(frame) = stack.pop() {
         let action = frame
@@ -138,6 +132,9 @@ pub fn predict<T: TransitionSystem>(
         report.max_depth_reached = report.max_depth_reached.max(frame.depth + 1);
         let fp = fingerprint(&next);
         let first_visit = visited.insert(fp);
+        if !first_visit {
+            report.dedup_hits += 1;
+        }
         if first_visit {
             report.states_visited += 1;
             for p in &safety {
@@ -188,6 +185,7 @@ pub fn predict<T: TransitionSystem>(
                 path,
                 depth: frame.depth + 1,
             });
+            report.frontier_peak = report.frontier_peak.max(stack.len() as u64);
         }
         if !extended {
             chains_exhausted += 1;

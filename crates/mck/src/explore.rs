@@ -11,6 +11,7 @@
 use crate::hash::fingerprint;
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
+use cb_telemetry::{keys, Registry};
 use std::collections::{HashSet, VecDeque};
 
 /// Exploration budgets and switches.
@@ -77,6 +78,20 @@ pub struct ExplorationReport<A> {
     pub states_expanded: u64,
     /// Transitions taken (successor generations).
     pub transitions: u64,
+    /// Transitions whose successor had already been visited (the dedup
+    /// ratio is `dedup_hits / transitions`). Deterministic even for the
+    /// level-synchronized parallel search: per level, it equals
+    /// transitions minus unique new states, both pure functions of the
+    /// system.
+    pub dedup_hits: u64,
+    /// Peak size of the pending frontier (BFS queue / DFS stack /
+    /// parallel level), in states.
+    pub frontier_peak: u64,
+    /// Visited-set shard-lock contention events in the parallel search
+    /// (try_lock failures). Scheduling-dependent — exported under a
+    /// `wall` key and masked by determinism checks. Always 0 for the
+    /// sequential searches.
+    pub shard_contention_wall: u64,
     /// Deepest level reached.
     pub max_depth_reached: usize,
     /// True when a budget cut the search short.
@@ -94,16 +109,32 @@ impl<A> ExplorationReport<A> {
         self.violations.is_empty()
     }
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ExplorationReport {
             states_visited: 0,
             states_expanded: 0,
             transitions: 0,
+            dedup_hits: 0,
+            frontier_peak: 0,
+            shard_contention_wall: 0,
             max_depth_reached: 0,
             truncated: false,
             violations: Vec::new(),
             liveness: Vec::new(),
         }
+    }
+
+    /// Accumulates this report's exploration budget into a telemetry
+    /// registry under the standard `mck.*` keys: counters add (multiple
+    /// explorations per run sum), peak gauges keep the maximum.
+    pub fn record_into(&self, reg: &mut Registry) {
+        reg.add(keys::MCK_STATES_VISITED, self.states_visited);
+        reg.add(keys::MCK_STATES_EXPANDED, self.states_expanded);
+        reg.add(keys::MCK_TRANSITIONS, self.transitions);
+        reg.add(keys::MCK_DEDUP_HITS, self.dedup_hits);
+        reg.add(keys::MCK_SHARD_CONTENTION_WALL, self.shard_contention_wall);
+        reg.gauge_raise(keys::MCK_FRONTIER_PEAK, self.frontier_peak as i64);
+        reg.gauge_raise(keys::MCK_MAX_DEPTH, self.max_depth_reached as i64);
     }
 }
 
@@ -209,6 +240,7 @@ pub fn bfs<T: TransitionSystem>(
     // pending expansion, bounding live memory to the frontier.
     let mut queue: VecDeque<(usize, T::State)> = VecDeque::new();
     queue.push_back((0, initial));
+    report.frontier_peak = 1;
 
     let finish_path =
         |idx: usize, arena: &[SearchNode<T::Action>], liveness: &mut Vec<LivenessOutcome>| {
@@ -240,6 +272,7 @@ pub fn bfs<T: TransitionSystem>(
             let next = sys.step(&state, &action);
             let fp = fingerprint(&next);
             if !visited.insert(fp) {
+                report.dedup_hits += 1;
                 continue;
             }
             any_new = true;
@@ -285,6 +318,7 @@ pub fn bfs<T: TransitionSystem>(
                 return report;
             }
             queue.push_back((child, next));
+            report.frontier_peak = report.frontier_peak.max(queue.len() as u64);
         }
         if !any_new {
             // Every successor was already visited: treat as a path end for
@@ -336,6 +370,7 @@ pub fn dfs<T: TransitionSystem>(
         }
     }
     let mut stack: Vec<(usize, T::State)> = vec![(0, initial)];
+    report.frontier_peak = 1;
     while let Some((idx, state)) = stack.pop() {
         let depth = arena[idx].depth;
         report.max_depth_reached = report.max_depth_reached.max(depth);
@@ -348,6 +383,7 @@ pub fn dfs<T: TransitionSystem>(
             let next = sys.step(&state, &action);
             let fp = fingerprint(&next);
             if !visited.insert(fp) {
+                report.dedup_hits += 1;
                 continue;
             }
             report.states_visited += 1;
@@ -376,6 +412,7 @@ pub fn dfs<T: TransitionSystem>(
                 return report;
             }
             stack.push((child, next));
+            report.frontier_peak = report.frontier_peak.max(stack.len() as u64);
         }
     }
     report
@@ -394,6 +431,8 @@ pub fn iddfs<T: TransitionSystem>(
     cfg: &ExploreConfig,
 ) -> ExplorationReport<T::Action> {
     let mut total_transitions = 0;
+    let mut total_dedup = 0;
+    let mut peak = 0;
     for depth in 1..=cfg.max_depth.max(1) {
         let round_cfg = ExploreConfig {
             max_depth: depth,
@@ -401,8 +440,12 @@ pub fn iddfs<T: TransitionSystem>(
         };
         let mut report = dfs(sys, props, &round_cfg);
         total_transitions += report.transitions;
+        total_dedup += report.dedup_hits;
+        peak = peak.max(report.frontier_peak);
         if !report.safe() || report.truncated || depth == cfg.max_depth.max(1) {
             report.transitions = total_transitions;
+            report.dedup_hits = total_dedup;
+            report.frontier_peak = peak;
             return report;
         }
     }

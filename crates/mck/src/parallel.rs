@@ -14,38 +14,70 @@ use crate::hash::fingerprint;
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A worker's level output: (next frontier with paths, transitions, violations).
-type LevelResult<S, A> = (Vec<(S, Vec<A>)>, u64, Vec<Violation<A>>);
+/// A worker's level output:
+/// (next frontier with paths, transitions, dedup hits, violations).
+type LevelResult<S, A> = (Vec<(S, Vec<A>)>, u64, u64, Vec<Violation<A>>);
 
 /// Number of visited-set shards; a power of two for cheap masking.
 const SHARDS: usize = 64;
 
+/// A sharded concurrent set of state fingerprints.
+///
+/// # Snapshot invariant
+///
+/// [`ShardedSet::len`] sums the shard sizes **without locking** and is
+/// therefore only meaningful when no worker can be inserting concurrently
+/// — i.e. at a *level barrier* of the level-synchronized BFS. It used to
+/// take the 64 shard locks one after another, which reads a torn total if
+/// called mid-exploration (shards already summed keep growing while later
+/// shards are read). Instead of documenting that foot-gun away, the
+/// receiver is now `&mut self`: exclusive access is a compile-time proof
+/// that every worker borrow (`&ShardedSet`) has ended, so the snapshot is
+/// exact by construction and `Mutex::get_mut` can skip locking entirely.
 struct ShardedSet {
     shards: Vec<Mutex<HashSet<u64>>>,
+    /// Times `insert` found its shard lock held by another worker
+    /// (scheduling-dependent; exported under a `wall` telemetry key).
+    contention: AtomicU64,
 }
 
 impl ShardedSet {
     fn new() -> Self {
         ShardedSet {
             shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            contention: AtomicU64::new(0),
         }
     }
 
     /// Inserts; returns true when the value was new.
     fn insert(&self, fp: u64) -> bool {
-        self.shards[(fp as usize) & (SHARDS - 1)]
-            .lock()
-            .expect("shard poisoned")
-            .insert(fp)
+        let shard = &self.shards[(fp as usize) & (SHARDS - 1)];
+        let mut guard = match shard.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                shard.lock().expect("shard poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("shard poisoned"),
+        };
+        guard.insert(fp)
     }
 
-    fn len(&self) -> usize {
+    /// Number of distinct fingerprints. **Level-barrier only** — see the
+    /// type-level invariant; the `&mut` receiver enforces it.
+    fn len(&mut self) -> usize {
         self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
+            .iter_mut()
+            .map(|s| s.get_mut().expect("shard poisoned").len())
             .sum()
+    }
+
+    /// Contention events observed so far (nondeterministic).
+    fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
     }
 }
 
@@ -77,15 +109,8 @@ where
         .filter(|p| p.kind() == PropertyKind::Safety)
         .collect();
 
-    let mut report = ExplorationReport {
-        states_visited: 1,
-        states_expanded: 0,
-        transitions: 0,
-        max_depth_reached: 0,
-        truncated: false,
-        violations: Vec::new(),
-        liveness: Vec::new(),
-    };
+    let mut report = ExplorationReport::new();
+    report.states_visited = 1;
     let initial = sys.initial();
     for p in &safety {
         if !p.holds(&initial) {
@@ -96,15 +121,17 @@ where
             });
         }
     }
-    let visited = ShardedSet::new();
+    let mut visited = ShardedSet::new();
     visited.insert(fingerprint(&initial));
 
     // Frontier entries carry their full path: simpler to keep deterministic
     // across threads than a shared arena, and fine for bounded depths.
     let mut frontier: Vec<(T::State, Vec<T::Action>)> = vec![(initial, Vec::new())];
+    report.frontier_peak = 1;
     let mut depth = 0;
     while !frontier.is_empty() && depth < cfg.max_depth {
         report.states_expanded += frontier.len() as u64;
+        report.frontier_peak = report.frontier_peak.max(frontier.len() as u64);
         let chunk = frontier.len().div_ceil(threads);
         let results: Vec<LevelResult<T::State, T::Action>> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -114,12 +141,17 @@ where
                 handles.push(scope.spawn(move || {
                     let mut next_frontier = Vec::new();
                     let mut transitions = 0u64;
+                    let mut dedup_hits = 0u64;
                     let mut violations = Vec::new();
                     for (state, path) in piece {
                         for action in sys.actions(state) {
                             transitions += 1;
                             let next = sys.step(state, &action);
                             if !visited.insert(fingerprint(&next)) {
+                                // Per level this sums to (transitions −
+                                // unique new states): deterministic even
+                                // though which worker counts it is not.
+                                dedup_hits += 1;
                                 continue;
                             }
                             let mut next_path = path.clone();
@@ -136,7 +168,7 @@ where
                             next_frontier.push((next, next_path));
                         }
                     }
-                    (next_frontier, transitions, violations)
+                    (next_frontier, transitions, dedup_hits, violations)
                 }));
             }
             handles
@@ -146,20 +178,31 @@ where
         });
 
         let mut next = Vec::new();
-        for (nf, transitions, violations) in results {
+        for (nf, transitions, dedup_hits, violations) in results {
             next.extend(nf);
             report.transitions += transitions;
+            report.dedup_hits += dedup_hits;
             report.violations.extend(violations);
         }
         depth += 1;
-        report.max_depth_reached = depth;
-        report.states_visited = visited.len() as u64;
-        if visited.len() >= cfg.max_states {
+        if !next.is_empty() {
+            // Matches the sequential engines: the deepest *visited* state,
+            // not the deepest level whose (empty) expansion we attempted.
+            report.max_depth_reached = depth;
+        }
+        // Level barrier: the worker scope above has ended, so `&mut
+        // visited` proves no insertion races this snapshot. Taken exactly
+        // once per level — the budget check and the report must agree on
+        // the same number.
+        let visited_now = visited.len();
+        report.states_visited = visited_now as u64;
+        if visited_now >= cfg.max_states {
             report.truncated = true;
             break;
         }
         frontier = next;
     }
+    report.shard_contention_wall = visited.contention();
     // Deterministic violation order irrespective of thread scheduling.
     report.violations.sort_by(|a, b| {
         (a.property.as_str(), a.path.len(), format!("{:?}", a.path)).cmp(&(
@@ -261,5 +304,56 @@ mod tests {
     fn zero_threads_panics() {
         let sys = CounterRing { n: 1, modulus: 2 };
         let _ = parallel_bfs(&sys, &[], &ExploreConfig::depth(1), 0);
+    }
+
+    /// The barrier snapshot must count every insert exactly once. The
+    /// `&mut self` receiver on `len` makes a mid-exploration call a
+    /// *compile* error (workers hold `&ShardedSet`), so this test pounds
+    /// the set from many threads, joins them, and checks the total.
+    #[test]
+    fn sharded_len_is_exact_at_a_barrier() {
+        let mut set = ShardedSet::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let set = &set;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        // Distinct values across threads, spread over shards.
+                        set.insert((t * 1_000 + i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    }
+                });
+            }
+        });
+        assert_eq!(set.len(), 8 * 1_000);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_not_double_counted() {
+        let mut set = ShardedSet::new();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert_eq!(set.len(), 1);
+    }
+
+    /// Every transition either discovers a new state or dedups; the split
+    /// is deterministic and agrees with the sequential search.
+    #[test]
+    fn dedup_accounting_balances_and_matches_sequential() {
+        let sys = CounterRing { n: 3, modulus: 3 };
+        let cfg = ExploreConfig {
+            max_depth: 6,
+            max_states: 1_000_000,
+            ..Default::default()
+        };
+        let seq = bfs(&sys, &[], &cfg);
+        assert_eq!(seq.transitions, seq.dedup_hits + seq.states_visited - 1);
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_bfs(&sys, &[], &cfg, threads);
+            assert_eq!(par.transitions, par.dedup_hits + par.states_visited - 1);
+            assert_eq!(par.dedup_hits, seq.dedup_hits, "threads={threads}");
+            // (frontier_peak is not compared: the sequential queue spans
+            // two levels, the parallel frontier is exactly one level.)
+            assert!(par.frontier_peak > 0, "threads={threads}");
+        }
     }
 }

@@ -17,7 +17,7 @@ use crate::client::{Client, ProposerRegime};
 use crate::node::PaxosNode;
 use crate::replica::{Replica, SlotOwnership};
 use cb_core::resolve::random::RandomResolver;
-use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
 use cb_harness::scenario::RunReport;
 use cb_simnet::prelude::*;
@@ -161,6 +161,7 @@ impl Scenario for PaxosCampaign {
         // Clients keep resubmit timers armed and the controller re-arms
         // forever; skip the quiescence oracle.
         RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+            .with_telemetry(fleet_telemetry(&sim))
     }
 }
 

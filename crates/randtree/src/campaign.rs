@@ -14,7 +14,7 @@
 use crate::choice::ChoiceRandTree;
 use crate::metrics::tree_stats;
 use cb_core::resolve::random::RandomResolver;
-use cb_core::runtime::{RuntimeConfig, RuntimeNode};
+use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
 use cb_harness::scenario::RunReport;
 use cb_simnet::prelude::*;
@@ -100,6 +100,7 @@ impl Scenario for RandTreeCampaign {
         // The runtime's controller timer re-arms forever, so RuntimeNode
         // scenarios never quiesce; skip the generic quiescence oracle.
         RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+            .with_telemetry(fleet_telemetry(&sim))
     }
 }
 

@@ -48,7 +48,7 @@ pub mod trace;
 
 /// Everything most users need, in one import.
 pub mod prelude {
-    pub use crate::metrics::{Histogram, MetricsSummary, NodeMetrics};
+    pub use crate::metrics::{Histogram, HistogramExt, MetricsSummary, NodeMetrics};
     pub use crate::rng::SimRng;
     pub use crate::sim::{Actor, Ctx, Sim, TimerId, DEFAULT_MSG_BYTES};
     pub use crate::time::{SimDuration, SimTime};

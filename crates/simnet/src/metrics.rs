@@ -1,194 +1,31 @@
 //! Lightweight metrics: counters, gauges, and latency histograms.
 //!
-//! Experiments read these after a run; protocols update them from the hot
-//! path, so everything here is allocation-free after construction. The
-//! histogram uses logarithmically spaced buckets (HdrHistogram-style, base-2
-//! with 8 sub-buckets) which keeps quantile error under ~12% across nine
-//! orders of magnitude — plenty for comparing strategies.
+//! The primitive types ([`Counter`], [`Gauge`], [`Histogram`]) started
+//! life in this module and now live in the workspace-wide `cb-telemetry`
+//! crate; they are re-exported here so existing `cb_simnet::metrics` users
+//! keep compiling unchanged. This module keeps the simulator-specific
+//! parts: per-node traffic metrics, their aggregate, the
+//! [`HistogramExt::record_duration`] convenience for [`SimDuration`]
+//! samples, and the bridge into a telemetry [`Registry`] under the
+//! standard `net.*` keys.
 
 use crate::time::SimDuration;
-use std::collections::BTreeMap;
-use std::fmt;
+use cb_telemetry::{keys, Registry};
+pub use cb_telemetry::{Counter, Gauge, Histogram};
 
-/// A monotonically increasing counter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Counter(u64);
-
-impl Counter {
-    /// Increments by one.
-    pub fn inc(&mut self) {
-        self.0 += 1;
-    }
-
-    /// Increments by `n`.
-    pub fn add(&mut self, n: u64) {
-        self.0 += n;
-    }
-
-    /// Current value.
-    pub fn get(self) -> u64 {
-        self.0
-    }
-}
-
-/// A histogram of `u64` samples with log-spaced buckets.
+/// Simulator-side extension for recording [`SimDuration`] samples.
 ///
-/// # Examples
-///
-/// ```
-/// use cb_simnet::metrics::Histogram;
-///
-/// let mut h = Histogram::new();
-/// for v in [1, 2, 3, 100] {
-///     h.record(v);
-/// }
-/// assert_eq!(h.count(), 4);
-/// assert!(h.quantile(0.5) >= 2);
-/// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Histogram {
-    /// bucket index -> count; BTreeMap keeps iteration ordered by magnitude.
-    buckets: BTreeMap<u32, u64>,
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
-
-/// Number of linear sub-buckets per power of two.
-const SUB_BUCKETS: u64 = 8;
-
-fn bucket_of(v: u64) -> u32 {
-    if v < SUB_BUCKETS {
-        return v as u32;
-    }
-    let exp = 63 - v.leading_zeros(); // floor(log2 v), >= 3 here
-    let sub = (v >> (exp - 3)) as u32 & 0x7; // the 3 bits after the leading 1
-    8 + (exp - 3) * SUB_BUCKETS as u32 + sub
-}
-
-fn bucket_low(b: u32) -> u64 {
-    if (b as u64) < SUB_BUCKETS {
-        return b as u64;
-    }
-    let exp = (b - 8) / SUB_BUCKETS as u32 + 3;
-    let sub = ((b - 8) % SUB_BUCKETS as u32) as u64;
-    (1u64 << exp) | (sub << (exp - 3))
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: BTreeMap::new(),
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
+/// (`Histogram` lives in `cb-telemetry`, below this crate, so it cannot
+/// know about sim time; the extension trait restores the old inherent
+/// method.)
+pub trait HistogramExt {
     /// Records a duration in microseconds.
-    pub fn record_duration(&mut self, d: SimDuration) {
-        self.record(d.as_micros());
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// True when no sample has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Exact mean of the recorded samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Exact minimum (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Exact maximum (0 when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Approximate value at quantile `q` in `[0, 1]`.
-    ///
-    /// Returns the lower bound of the bucket containing the `q`-th sample,
-    /// clamped to the exact observed min/max. Returns 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        if rank >= self.count {
-            return self.max;
-        }
-        let mut seen = 0;
-        for (&b, &c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return bucket_low(b).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (&b, &c) in &other.buckets {
-            *self.buckets.entry(b).or_insert(0) += c;
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
-    }
+    fn record_duration(&mut self, d: SimDuration);
 }
 
-impl fmt::Display for Histogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.1} p50={} p99={} max={}",
-            self.count,
-            self.mean(),
-            self.quantile(0.5),
-            self.quantile(0.99),
-            self.max()
-        )
+impl HistogramExt for Histogram {
+    fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
     }
 }
 
@@ -208,6 +45,10 @@ pub struct NodeMetrics {
     pub bytes_received: Counter,
     /// Timers fired.
     pub timers_fired: Counter,
+    /// Connections that completed the handshake and became established.
+    pub conns_established: Counter,
+    /// Established connections torn down by faults or endpoint death.
+    pub conns_broken: Counter,
     /// One-way delivery latency of received messages, microseconds.
     pub delivery_latency: Histogram,
 }
@@ -223,6 +64,10 @@ pub struct MetricsSummary {
     pub msgs_dropped: u64,
     /// Total payload bytes sent.
     pub bytes_sent: u64,
+    /// Total connections established across all nodes (both endpoints count).
+    pub conns_established: u64,
+    /// Total established connections broken (both endpoints count).
+    pub conns_broken: u64,
     /// Merged delivery-latency histogram, microseconds.
     pub delivery_latency: Histogram,
 }
@@ -236,97 +81,30 @@ impl MetricsSummary {
             s.msgs_delivered += m.msgs_delivered.get();
             s.msgs_dropped += m.msgs_dropped.get();
             s.bytes_sent += m.bytes_sent.get();
+            s.conns_established += m.conns_established.get();
+            s.conns_broken += m.conns_broken.get();
             s.delivery_latency.merge(&m.delivery_latency);
         }
         s
+    }
+
+    /// Exports the summary into a telemetry registry under the standard
+    /// `net.*` keys. Idempotent (absolute sets / whole-histogram merge into
+    /// a pre-registered empty slot), so exporters can run defensively.
+    pub fn record_into(&self, reg: &mut Registry) {
+        reg.set_counter(keys::NET_MSGS_SENT, self.msgs_sent);
+        reg.set_counter(keys::NET_MSGS_DELIVERED, self.msgs_delivered);
+        reg.set_counter(keys::NET_MSGS_DROPPED, self.msgs_dropped);
+        reg.set_counter(keys::NET_BYTES_SENT, self.bytes_sent);
+        reg.set_counter(keys::NET_CONNS_ESTABLISHED, self.conns_established);
+        reg.set_counter(keys::NET_CONNS_BROKEN, self.conns_broken);
+        reg.set_hist(keys::NET_DELIVERY_LATENCY_US, &self.delivery_latency);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn counter_counts() {
-        let mut c = Counter::default();
-        c.inc();
-        c.add(4);
-        assert_eq!(c.get(), 5);
-    }
-
-    #[test]
-    fn bucket_mapping_is_monotone_and_tight() {
-        let mut last = 0;
-        for v in 0..100_000u64 {
-            let b = bucket_of(v);
-            assert!(b >= last, "bucket order broke at {v}");
-            last = b;
-            assert!(
-                bucket_low(b) <= v,
-                "bucket_low({b})={} > {v}",
-                bucket_low(b)
-            );
-        }
-        // Relative error of the bucket lower bound is bounded.
-        for v in [100u64, 1_000, 50_000, 1_000_000, u32::MAX as u64] {
-            let lo = bucket_low(bucket_of(v));
-            assert!(
-                (v - lo) as f64 / v as f64 <= 0.13,
-                "error too big at {v}: lo={lo}"
-            );
-        }
-    }
-
-    #[test]
-    fn empty_histogram_is_calm() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert!(h.is_empty());
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 0);
-    }
-
-    #[test]
-    fn exact_stats_track_samples() {
-        let mut h = Histogram::new();
-        for v in [10u64, 20, 30, 40] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 4);
-        assert_eq!(h.mean(), 25.0);
-        assert_eq!(h.min(), 10);
-        assert_eq!(h.max(), 40);
-    }
-
-    #[test]
-    fn quantiles_are_ordered_and_bounded() {
-        let mut h = Histogram::new();
-        for v in 1..=1000u64 {
-            h.record(v);
-        }
-        let p50 = h.quantile(0.5);
-        let p90 = h.quantile(0.9);
-        let p99 = h.quantile(0.99);
-        assert!(p50 <= p90 && p90 <= p99);
-        assert!((450..=550).contains(&p50), "p50={p50}");
-        assert!((850..=960).contains(&p90), "p90={p90}");
-        assert!(h.quantile(0.0) == 1);
-        assert_eq!(h.quantile(1.0), 1000);
-    }
-
-    #[test]
-    fn merge_combines_everything() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(5);
-        b.record(500);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.min(), 5);
-        assert_eq!(a.max(), 500);
-    }
 
     #[test]
     fn duration_recording_uses_micros() {
@@ -341,18 +119,36 @@ mod tests {
         let mut m2 = NodeMetrics::default();
         m1.msgs_sent.add(3);
         m2.msgs_sent.add(4);
+        m1.conns_established.inc();
+        m2.conns_broken.inc();
         m1.delivery_latency.record(10);
         m2.delivery_latency.record(20);
         let s = MetricsSummary::aggregate([&m1, &m2].into_iter());
         assert_eq!(s.msgs_sent, 7);
+        assert_eq!(s.conns_established, 1);
+        assert_eq!(s.conns_broken, 1);
         assert_eq!(s.delivery_latency.count(), 2);
     }
 
     #[test]
-    fn display_is_stable() {
-        let mut h = Histogram::new();
-        h.record(7);
-        let text = format!("{h}");
-        assert!(text.contains("n=1"), "display: {text}");
+    fn summary_exports_standard_net_keys() {
+        let mut m = NodeMetrics::default();
+        m.msgs_sent.add(5);
+        m.msgs_delivered.add(4);
+        m.msgs_dropped.add(1);
+        m.bytes_sent.add(640);
+        m.delivery_latency.record(250);
+        let s = MetricsSummary::aggregate([&m].into_iter());
+        let mut reg = Registry::new();
+        s.record_into(&mut reg);
+        assert_eq!(reg.counter(keys::NET_MSGS_SENT), 5);
+        assert_eq!(reg.counter(keys::NET_MSGS_DELIVERED), 4);
+        assert_eq!(reg.counter(keys::NET_MSGS_DROPPED), 1);
+        assert_eq!(reg.counter(keys::NET_BYTES_SENT), 640);
+        assert_eq!(reg.hist(keys::NET_DELIVERY_LATENCY_US).unwrap().count(), 1);
+        // Running the exporter again must not double-count.
+        s.record_into(&mut reg);
+        assert_eq!(reg.counter(keys::NET_MSGS_SENT), 5);
+        assert_eq!(reg.hist(keys::NET_DELIVERY_LATENCY_US).unwrap().count(), 1);
     }
 }

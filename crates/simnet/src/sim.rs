@@ -27,7 +27,7 @@
 //! Nodes crash (lose all state) and restart (fresh actor from the factory,
 //! same identity). Directed blackholes ([`Sim::block`]) model partitions.
 
-use crate::metrics::{MetricsSummary, NodeMetrics};
+use crate::metrics::{HistogramExt, MetricsSummary, NodeMetrics};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, PathProps, Topology};
@@ -255,8 +255,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 },
             );
             let key = conn_key(from, to);
-            self.conns.entry(key).or_default().established = false;
-            self.conns.entry(key).or_default().epoch += 1;
+            let conn = self.conns.entry(key).or_default();
+            let was_established = conn.established;
+            conn.established = false;
+            conn.epoch += 1;
+            if was_established {
+                self.metrics[from.index()].conns_broken.inc();
+                self.metrics[to.index()].conns_broken.inc();
+            }
             return;
         }
         let path = self.topo.path(from, to);
@@ -266,6 +272,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         if !conn.established {
             conn.established = true;
             extra += path.latency * 2; // SYN handshake
+            self.metrics[from.index()].conns_established.inc();
         }
         let epoch = conn.epoch;
         // Loss becomes retransmission delay on the reliable transport.
@@ -383,7 +390,12 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         let key = conn_key(a, b);
         let conn = self.conns.entry(key).or_default();
         conn.epoch += 1;
+        let was_established = conn.established;
         conn.established = false;
+        if was_established {
+            self.metrics[a.index()].conns_broken.inc();
+            self.metrics[b.index()].conns_broken.inc();
+        }
         self.flows.remove(&(a, b));
         self.flows.remove(&(b, a));
         self.trace.push(self.now, TraceEvent::ConnBroken { a, b });

@@ -1,0 +1,178 @@
+//! The standard metric-name schema for the workspace.
+//!
+//! Components record under fixed dotted names so artifacts from different
+//! scenarios, runs, and campaigns line up key-for-key. Names containing
+//! the [`crate::WALL_MARKER`] substring (`"wall"`) are wall-clock metrics:
+//! real hardware cost, nondeterministic, and therefore blanked by
+//! [`crate::Registry::masked`] before determinism comparisons. Everything
+//! else must be a pure function of `(scenario, seed, plan)`.
+//!
+//! [`preregister_standard`] pre-creates the whole schema at zero so hot
+//! paths never allocate map keys and the exported key set is stable even
+//! for components that never fire (e.g. the cache counters of a scenario
+//! that runs a plain `RandomResolver`).
+
+use crate::registry::Registry;
+
+// ---- cb-core runtime: per-choice-point decision accounting ----
+
+/// Total choice-point resolutions the runtime performed.
+pub const CORE_DECISIONS_TOTAL: &str = "core.decisions_total";
+/// Deterministic modeled decision cost, in sim-cost µs (1 µs per state the
+/// resolver's prediction explored; 0 for non-predictive resolvers).
+pub const CORE_DECISION_LATENCY_SIM_US: &str = "core.decision_latency_sim_us";
+/// Real wall-clock decision latency, ns. Fingerprint-exempt.
+pub const CORE_DECISION_LATENCY_WALL_NS: &str = "core.decision_latency_wall_ns";
+/// Shared base for the dual-clock decision-latency pair.
+pub const CORE_DECISION_LATENCY_BASE: &str = "core.decision_latency";
+/// Sum of `Prediction.states_explored` over all decisions.
+pub const CORE_STATES_EXPLORED: &str = "core.states_explored";
+/// Cache lookups served from a live entry.
+pub const CORE_CACHE_HITS: &str = "core.cache.hits";
+/// Cache lookups that found no usable entry (cold key, collision, or
+/// post-invalidation) and resolved inner.
+pub const CORE_CACHE_MISSES: &str = "core.cache.misses";
+/// Cache lookups that found a stale entry and re-resolved inner.
+pub const CORE_CACHE_REFRESHES: &str = "core.cache.refreshes";
+/// Full lookahead evaluations performed by a `LookaheadResolver`.
+pub const CORE_LOOKAHEAD_EVALUATIONS: &str = "core.lookahead.evaluations";
+/// Options dropped by the safety steering filter.
+pub const CORE_STEERING_DROPPED: &str = "core.steering.dropped";
+/// Times steering filtered every option (fell back to unsteered choice).
+pub const CORE_STEERING_BREAKS: &str = "core.steering.breaks";
+/// Controller (background prediction) cycles executed.
+pub const CORE_CONTROLLER_CYCLES: &str = "core.controller.cycles";
+/// Checkpoints sent to neighbors.
+pub const CORE_CHECKPOINTS_SENT: &str = "core.checkpoints.sent";
+/// Checkpoints received from neighbors.
+pub const CORE_CHECKPOINTS_RECEIVED: &str = "core.checkpoints.received";
+/// Prefix for per-resolver-arm decision counters: the full key is
+/// `core.resolver_arm.<arm>` where `<arm>` is [`crate::keys`]-free text
+/// supplied by the resolver (e.g. `random`, `first`, `lookahead`, `cached`).
+pub const CORE_RESOLVER_ARM_PREFIX: &str = "core.resolver_arm.";
+
+// ---- cb-simnet: network-level counters ----
+
+/// Messages handed to the network.
+pub const NET_MSGS_SENT: &str = "net.msgs_sent";
+/// Messages delivered to a live destination.
+pub const NET_MSGS_DELIVERED: &str = "net.msgs_delivered";
+/// Messages dropped (loss, partition, or dead destination).
+pub const NET_MSGS_DROPPED: &str = "net.msgs_dropped";
+/// Payload bytes handed to the network.
+pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+/// Connections that reached the established state.
+pub const NET_CONNS_ESTABLISHED: &str = "net.conns_established";
+/// Established connections torn down by faults.
+pub const NET_CONNS_BROKEN: &str = "net.conns_broken";
+/// End-to-end delivery latency histogram, sim µs (deterministic).
+pub const NET_DELIVERY_LATENCY_US: &str = "net.delivery_latency_us";
+
+// ---- cb-mck: model-checker exploration budgets ----
+
+/// Unique states inserted into the visited set.
+pub const MCK_STATES_VISITED: &str = "mck.states_visited";
+/// States popped and expanded.
+pub const MCK_STATES_EXPANDED: &str = "mck.states_expanded";
+/// Transitions (edges) examined.
+pub const MCK_TRANSITIONS: &str = "mck.transitions";
+/// Transitions that led to an already-visited state (dedup ratio is
+/// `dedup_hits / transitions`).
+pub const MCK_DEDUP_HITS: &str = "mck.dedup_hits";
+/// Peak frontier size (gauge; merge keeps the max).
+pub const MCK_FRONTIER_PEAK: &str = "mck.frontier_peak";
+/// Deepest level reached (gauge; merge keeps the max).
+pub const MCK_MAX_DEPTH: &str = "mck.max_depth";
+/// Parallel-BFS shard-lock contention events (try_lock failures).
+/// Scheduling-dependent, hence `wall`: fingerprint-exempt.
+pub const MCK_SHARD_CONTENTION_WALL: &str = "mck.shard_contention_wall";
+
+/// Pre-creates every standard metric at its zero value (idempotent).
+///
+/// Call once per registry before the run starts. This keeps the steady
+/// state allocation-free and — just as important for artifact diffing —
+/// makes every run export the same key set regardless of which components
+/// actually fired.
+pub fn preregister_standard(reg: &mut Registry) {
+    for c in [
+        CORE_DECISIONS_TOTAL,
+        CORE_STATES_EXPLORED,
+        CORE_CACHE_HITS,
+        CORE_CACHE_MISSES,
+        CORE_CACHE_REFRESHES,
+        CORE_LOOKAHEAD_EVALUATIONS,
+        CORE_STEERING_DROPPED,
+        CORE_STEERING_BREAKS,
+        CORE_CONTROLLER_CYCLES,
+        CORE_CHECKPOINTS_SENT,
+        CORE_CHECKPOINTS_RECEIVED,
+        NET_MSGS_SENT,
+        NET_MSGS_DELIVERED,
+        NET_MSGS_DROPPED,
+        NET_BYTES_SENT,
+        NET_CONNS_ESTABLISHED,
+        NET_CONNS_BROKEN,
+        MCK_STATES_VISITED,
+        MCK_STATES_EXPANDED,
+        MCK_TRANSITIONS,
+        MCK_DEDUP_HITS,
+        MCK_SHARD_CONTENTION_WALL,
+    ] {
+        reg.register_counter(c);
+    }
+    for g in [MCK_FRONTIER_PEAK, MCK_MAX_DEPTH] {
+        reg.register_gauge(g);
+    }
+    for h in [
+        CORE_DECISION_LATENCY_SIM_US,
+        CORE_DECISION_LATENCY_WALL_NS,
+        NET_DELIVERY_LATENCY_US,
+    ] {
+        reg.register_hist(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::is_wall_key;
+
+    #[test]
+    fn preregister_is_idempotent_and_zero() {
+        let mut r = Registry::new();
+        preregister_standard(&mut r);
+        r.inc(CORE_DECISIONS_TOTAL);
+        preregister_standard(&mut r);
+        assert_eq!(r.counter(CORE_DECISIONS_TOTAL), 1);
+        assert_eq!(r.counter(NET_MSGS_SENT), 0);
+        assert_eq!(r.gauge(MCK_FRONTIER_PEAK), 0);
+        assert!(r.hist(CORE_DECISION_LATENCY_SIM_US).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wall_exemptions_are_exactly_the_wall_keys() {
+        assert!(is_wall_key(CORE_DECISION_LATENCY_WALL_NS));
+        assert!(is_wall_key(MCK_SHARD_CONTENTION_WALL));
+        for deterministic in [
+            CORE_DECISIONS_TOTAL,
+            CORE_DECISION_LATENCY_SIM_US,
+            NET_DELIVERY_LATENCY_US,
+            MCK_STATES_VISITED,
+            MCK_DEDUP_HITS,
+        ] {
+            assert!(!is_wall_key(deterministic), "{deterministic}");
+        }
+    }
+
+    #[test]
+    fn dual_clock_names_share_the_base() {
+        assert_eq!(
+            CORE_DECISION_LATENCY_SIM_US,
+            format!("{CORE_DECISION_LATENCY_BASE}_sim_us")
+        );
+        assert_eq!(
+            CORE_DECISION_LATENCY_WALL_NS,
+            format!("{CORE_DECISION_LATENCY_BASE}_wall_ns")
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! `cb-telemetry`: workspace-wide observability.
+//!
+//! The paper's central engineering claim (§3.4) is that complex choice
+//! resolution must stay **off the critical path**. This crate is the
+//! measurement substrate that makes the claim checkable: an
+//! allocation-free-after-construction [`Registry`] of named counters,
+//! gauges, and log-bucketed [`Histogram`]s, with **dual-clock** latency
+//! accounting (deterministic sim-cost and real wall-clock) and labeled
+//! scopes.
+//!
+//! Layering: this crate is dependency-free and sits at the bottom of the
+//! workspace. `cb-simnet` re-exports the metric primitives (they started
+//! life there), `cb-core`/`cb-mck` record into registries, `cb-harness`
+//! embeds them in campaign artifacts, and `cb-bench` renders tables.
+//!
+//! The standard metric-name schema for the workspace lives in [`keys`];
+//! derived summary statistics (cache hit rate, states/decision, latency
+//! quantiles) live in [`summary`].
+
+pub mod keys;
+pub mod metrics;
+pub mod registry;
+pub mod summary;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{is_wall_key, Registry, Scoped, Stopwatch, WALL_MARKER};
+pub use summary::TelemetrySummary;

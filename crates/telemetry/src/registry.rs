@@ -1,0 +1,443 @@
+//! The metrics registry: named counters, gauges, and histograms with
+//! labeled scopes and dual-clock latency accounting.
+//!
+//! A [`Registry`] is a plain value — no globals, no locks. Every component
+//! that wants to be observable owns (or borrows) one, and aggregation is
+//! explicit via [`Registry::merge`]: per-node runtime registries merge into
+//! a per-run registry, per-run registries merge into a per-campaign one.
+//!
+//! **Allocation discipline.** Metric names are `&str` keys into sorted
+//! maps. The first touch of a name allocates its key; every later update
+//! is an allocation-free `O(log n)` lookup. Hot paths should
+//! [`Registry::register_counter`] / [`Registry::register_hist`] their
+//! names up front (the standard schema in [`crate::keys`] does this for
+//! the whole workspace) so steady-state updates never allocate.
+//!
+//! **Dual clocks.** Latency is accounted on two clocks at once:
+//!
+//! * a **deterministic** clock in *sim-cost microseconds* — a modeled cost
+//!   that is a pure function of the work done (e.g. 1 µs per state a
+//!   predictive resolver explored), so it is byte-identical across
+//!   same-seed runs;
+//! * the **wall clock** in nanoseconds, measured with a [`Stopwatch`] —
+//!   real hardware cost, inherently nondeterministic.
+//!
+//! Wall-clock metrics are *fingerprint-exempt*: any metric whose name
+//! contains the [`WALL_MARKER`] substring (`"wall"`) is cleared by
+//! [`Registry::masked`], which determinism checks apply before comparing
+//! two same-seed runs' exported telemetry.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+
+/// Substring marking a metric as wall-clock (nondeterministic, exempt from
+/// determinism fingerprinting). Convention: suffix names with `_wall_ns`
+/// (histograms) or `_wall` (counters/gauges).
+pub const WALL_MARKER: &str = "wall";
+
+/// True when `name` denotes a wall-clock (fingerprint-exempt) metric.
+pub fn is_wall_key(name: &str) -> bool {
+    name.contains(WALL_MARKER)
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use cb_telemetry::{Registry, Stopwatch};
+///
+/// let mut reg = Registry::new();
+/// reg.register_hist("core.decision_latency_sim_us");
+/// reg.register_hist("core.decision_latency_wall_ns");
+///
+/// let sw = Stopwatch::start();
+/// let states_explored = 12u64; // ... do the expensive decision ...
+/// reg.record("core.decision_latency_sim_us", states_explored);
+/// reg.record("core.decision_latency_wall_ns", sw.elapsed_ns());
+/// reg.inc("core.decisions_total");
+///
+/// assert_eq!(reg.counter("core.decisions_total"), 1);
+/// assert_eq!(reg.hist("core.decision_latency_sim_us").unwrap().max(), 12);
+/// // Masking clears only the wall-clock side.
+/// let masked = reg.masked();
+/// assert_eq!(masked.hist("core.decision_latency_wall_ns").unwrap().count(), 0);
+/// assert_eq!(masked.hist("core.decision_latency_sim_us").unwrap().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// True when nothing has been registered or recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Pre-creates a counter at 0 (idempotent). Registration up front keeps
+    /// later updates allocation-free and makes the exported key set stable
+    /// even for components that never fire.
+    pub fn register_counter(&mut self, name: &str) {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), Counter::default());
+        }
+    }
+
+    /// Pre-creates a gauge at 0 (idempotent).
+    pub fn register_gauge(&mut self, name: &str) {
+        if !self.gauges.contains_key(name) {
+            self.gauges.insert(name.to_string(), Gauge::default());
+        }
+    }
+
+    /// Pre-creates an empty histogram (idempotent).
+    pub fn register_hist(&mut self, name: &str) {
+        if !self.hists.contains_key(name) {
+            self.hists.insert(name.to_string(), Histogram::new());
+        }
+    }
+
+    /// Increments a counter by one (creating it on first touch).
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to a counter (creating it on first touch).
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            c.add(n);
+        } else {
+            let mut c = Counter::default();
+            c.add(n);
+            self.counters.insert(name.to_string(), c);
+        }
+    }
+
+    /// Sets a counter to an absolute value (used by snapshot exporters that
+    /// may run more than once and must stay idempotent).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        let mut c = Counter::default();
+        c.add(v);
+        self.counters.insert(name.to_string(), c);
+    }
+
+    /// Current counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            g.set(v);
+        } else {
+            let mut g = Gauge::default();
+            g.set(v);
+            self.gauges.insert(name.to_string(), g);
+        }
+    }
+
+    /// Raises a gauge to `v` if larger (peak tracking).
+    pub fn gauge_raise(&mut self, name: &str, v: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            g.raise_to(v);
+        } else {
+            let mut g = Gauge::default();
+            g.raise_to(v);
+            self.gauges.insert(name.to_string(), g);
+        }
+    }
+
+    /// Current gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).map_or(0, |g| g.get())
+    }
+
+    /// Records a histogram sample (creating the histogram on first touch).
+    pub fn record(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Dual-clock latency sample: records `sim_us` into `{base}_sim_us`
+    /// (deterministic modeled cost) and `wall_ns` into `{base}_wall_ns`
+    /// (real, fingerprint-exempt).
+    pub fn record_dual(&mut self, base: &str, sim_us: u64, wall_ns: u64) {
+        // Two formats per call: acceptable off the hottest paths; hot paths
+        // pre-register both full names and call `record` directly.
+        self.record(&format!("{base}_sim_us"), sim_us);
+        self.record(&format!("{base}_wall_ns"), wall_ns);
+    }
+
+    /// Merges a whole histogram into the named slot.
+    pub fn merge_hist(&mut self, name: &str, h: &Histogram) {
+        if let Some(mine) = self.hists.get_mut(name) {
+            mine.merge(h);
+        } else {
+            self.hists.insert(name.to_string(), h.clone());
+        }
+    }
+
+    /// Replaces the named histogram with a copy of `h` (idempotent
+    /// counterpart of [`Registry::merge_hist`], for snapshot exporters).
+    pub fn set_hist(&mut self, name: &str, h: &Histogram) {
+        self.hists.insert(name.to_string(), h.clone());
+    }
+
+    /// The named histogram, when present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Sorted iteration over counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, c)| (k.as_str(), c.get()))
+    }
+
+    /// Sorted iteration over gauges.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, g)| (k.as_str(), g.get()))
+    }
+
+    /// Sorted iteration over histograms.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Merges `other` into `self`: counters add, gauges keep the maximum
+    /// (the convention is that gauges hold peaks), histograms merge.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, c) in &other.counters {
+            self.add(k, c.get());
+        }
+        for (k, g) in &other.gauges {
+            self.gauge_raise(k, g.get());
+        }
+        for (k, h) in &other.hists {
+            self.merge_hist(k, h);
+        }
+    }
+
+    /// A copy with every wall-clock metric (name contains [`WALL_MARKER`])
+    /// reset to its zero value — keys are kept so the exported schema is
+    /// identical, only the nondeterministic payloads are blanked. Apply
+    /// before byte-comparing two same-seed runs' telemetry.
+    pub fn masked(&self) -> Registry {
+        let mut out = self.clone();
+        for (k, c) in out.counters.iter_mut() {
+            if is_wall_key(k) {
+                *c = Counter::default();
+            }
+        }
+        for (k, g) in out.gauges.iter_mut() {
+            if is_wall_key(k) {
+                *g = Gauge::default();
+            }
+        }
+        for (k, h) in out.hists.iter_mut() {
+            if is_wall_key(k) {
+                *h = Histogram::new();
+            }
+        }
+        out
+    }
+
+    /// A scoped view that prefixes every metric name with `{scope}.`.
+    /// Convenient for wiring (non-hot-path) exporters; hot paths use the
+    /// full pre-registered names directly.
+    pub fn scoped<'a>(&'a mut self, scope: &'a str) -> Scoped<'a> {
+        Scoped { reg: self, scope }
+    }
+}
+
+/// A labeled scope over a registry: every operation is applied under
+/// `{scope}.{name}`.
+pub struct Scoped<'a> {
+    reg: &'a mut Registry,
+    scope: &'a str,
+}
+
+impl Scoped<'_> {
+    fn key(&self, name: &str) -> String {
+        format!("{}.{}", self.scope, name)
+    }
+
+    /// Adds `n` to the scoped counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        let k = self.key(name);
+        self.reg.add(&k, n);
+    }
+
+    /// Sets the scoped counter to an absolute value.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        let k = self.key(name);
+        self.reg.set_counter(&k, v);
+    }
+
+    /// Raises the scoped gauge to `v` if larger.
+    pub fn gauge_raise(&mut self, name: &str, v: i64) {
+        let k = self.key(name);
+        self.reg.gauge_raise(&k, v);
+    }
+
+    /// Records a sample into the scoped histogram.
+    pub fn record(&mut self, name: &str, v: u64) {
+        let k = self.key(name);
+        self.reg.record(&k, v);
+    }
+
+    /// Merges a whole histogram into the scoped slot.
+    pub fn merge_hist(&mut self, name: &str, h: &Histogram) {
+        let k = self.key(name);
+        self.reg.merge_hist(&k, h);
+    }
+}
+
+/// A wall-clock stopwatch for the nondeterministic half of dual-clock
+/// accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_hists_round_trip() {
+        let mut r = Registry::new();
+        r.inc("a.count");
+        r.add("a.count", 4);
+        r.gauge_set("a.level", 3);
+        r.gauge_raise("a.level", 7);
+        r.gauge_raise("a.level", 2);
+        r.record("a.lat_us", 10);
+        r.record("a.lat_us", 30);
+        assert_eq!(r.counter("a.count"), 5);
+        assert_eq!(r.gauge("a.level"), 7);
+        assert_eq!(r.hist("a.lat_us").unwrap().count(), 2);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("missing"), 0);
+        assert!(r.hist("missing").is_none());
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_stabilizes_keys() {
+        let mut r = Registry::new();
+        r.register_counter("x");
+        r.inc("x");
+        r.register_counter("x"); // must not reset
+        assert_eq!(r.counter("x"), 1);
+        r.register_hist("h");
+        assert_eq!(r.hist("h").unwrap().count(), 0);
+        let keys: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["x"]);
+    }
+
+    #[test]
+    fn set_counter_is_idempotent() {
+        let mut r = Registry::new();
+        r.set_counter("snap", 9);
+        r.set_counter("snap", 9);
+        assert_eq!(r.counter("snap"), 9);
+    }
+
+    #[test]
+    fn merge_adds_counters_peaks_gauges_merges_hists() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.add("c", 2);
+        b.add("c", 3);
+        a.gauge_raise("g", 5);
+        b.gauge_raise("g", 4);
+        a.record("h", 1);
+        b.record("h", 100);
+        b.add("only_b", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), 5);
+        assert_eq!(a.hist("h").unwrap().count(), 2);
+        assert_eq!(a.counter("only_b"), 7);
+    }
+
+    #[test]
+    fn masked_blanks_only_wall_metrics() {
+        let mut r = Registry::new();
+        r.record_dual("scope.lat", 5, 123_456);
+        r.add("scope.contention_wall", 9);
+        r.add("scope.events", 2);
+        let m = r.masked();
+        assert_eq!(m.hist("scope.lat_sim_us").unwrap().count(), 1);
+        assert_eq!(m.hist("scope.lat_wall_ns").unwrap().count(), 0);
+        assert_eq!(m.counter("scope.contention_wall"), 0);
+        assert_eq!(m.counter("scope.events"), 2);
+        // The key set survives masking (schema stability).
+        let before: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        let after: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn masked_registries_of_equal_deterministic_halves_are_equal() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.record_dual("d.lat", 7, 111);
+        b.record_dual("d.lat", 7, 999_999);
+        assert_ne!(a, b);
+        assert_eq!(a.masked(), b.masked());
+    }
+
+    #[test]
+    fn scoped_prefixes_names() {
+        let mut r = Registry::new();
+        {
+            let mut s = r.scoped("mck");
+            s.add("states_visited", 10);
+            s.gauge_raise("frontier_peak", 4);
+            s.record("lat", 3);
+        }
+        assert_eq!(r.counter("mck.states_visited"), 10);
+        assert_eq!(r.gauge("mck.frontier_peak"), 4);
+        assert_eq!(r.hist("mck.lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_key_detection() {
+        assert!(is_wall_key("core.decision_latency_wall_ns"));
+        assert!(is_wall_key("mck.shard_contention_wall"));
+        assert!(!is_wall_key("core.decision_latency_sim_us"));
+    }
+}

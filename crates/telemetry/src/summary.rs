@@ -1,0 +1,124 @@
+//! Derived summary statistics over a [`Registry`] using the standard
+//! schema in [`crate::keys`] — the numbers `cb-bench` prints and humans
+//! compare: decision-latency quantiles, cache hit rate, and exploration
+//! cost per decision.
+
+use crate::keys;
+use crate::registry::Registry;
+
+/// A per-run (or per-scenario, after merging) telemetry digest.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Choice-point resolutions.
+    pub decisions: u64,
+    /// Sim-cost decision latency p50, µs.
+    pub decision_p50_sim_us: u64,
+    /// Sim-cost decision latency p99, µs.
+    pub decision_p99_sim_us: u64,
+    /// Cache hit rate in `[0, 1]`, or `None` when no cache ever resolved.
+    pub cache_hit_rate: Option<f64>,
+    /// Mean states explored per decision (0 when no decisions).
+    pub states_per_decision: f64,
+    /// Total model-checker states visited (runtime predictions + offline).
+    pub states_visited: u64,
+    /// Transition dedup ratio in `[0, 1]`, or `None` without transitions.
+    pub dedup_ratio: Option<f64>,
+}
+
+/// Cache hit rate: `hits / (hits + misses + refreshes)`. `None` when the
+/// denominator is zero (no cached resolver in the loop).
+pub fn cache_hit_rate(reg: &Registry) -> Option<f64> {
+    let hits = reg.counter(keys::CORE_CACHE_HITS);
+    let total =
+        hits + reg.counter(keys::CORE_CACHE_MISSES) + reg.counter(keys::CORE_CACHE_REFRESHES);
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
+}
+
+/// Transition dedup ratio: `dedup_hits / transitions`. `None` when the
+/// checker never ran.
+pub fn dedup_ratio(reg: &Registry) -> Option<f64> {
+    let t = reg.counter(keys::MCK_TRANSITIONS);
+    if t == 0 {
+        None
+    } else {
+        Some(reg.counter(keys::MCK_DEDUP_HITS) as f64 / t as f64)
+    }
+}
+
+/// Mean states explored per decision (0 when no decisions happened).
+pub fn states_per_decision(reg: &Registry) -> f64 {
+    let d = reg.counter(keys::CORE_DECISIONS_TOTAL);
+    if d == 0 {
+        0.0
+    } else {
+        reg.counter(keys::CORE_STATES_EXPLORED) as f64 / d as f64
+    }
+}
+
+/// Builds the digest from a registry following the standard schema.
+pub fn summarize(reg: &Registry) -> TelemetrySummary {
+    let lat = reg.hist(keys::CORE_DECISION_LATENCY_SIM_US);
+    TelemetrySummary {
+        decisions: reg.counter(keys::CORE_DECISIONS_TOTAL),
+        decision_p50_sim_us: lat.map_or(0, |h| h.quantile(0.5)),
+        decision_p99_sim_us: lat.map_or(0, |h| h.quantile(0.99)),
+        cache_hit_rate: cache_hit_rate(reg),
+        states_per_decision: states_per_decision(reg),
+        states_visited: reg.counter(keys::MCK_STATES_VISITED),
+        dedup_ratio: dedup_ratio(reg),
+    }
+}
+
+/// Formats an optional rate as a percentage, `-` when absent.
+pub fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_summarizes_to_zeroes() {
+        let s = summarize(&Registry::new());
+        assert_eq!(s.decisions, 0);
+        assert_eq!(s.cache_hit_rate, None);
+        assert_eq!(s.dedup_ratio, None);
+        assert_eq!(s.states_per_decision, 0.0);
+    }
+
+    #[test]
+    fn digest_reflects_recorded_metrics() {
+        let mut r = Registry::new();
+        r.add(keys::CORE_DECISIONS_TOTAL, 4);
+        r.add(keys::CORE_STATES_EXPLORED, 40);
+        r.add(keys::CORE_CACHE_HITS, 3);
+        r.add(keys::CORE_CACHE_MISSES, 1);
+        r.add(keys::CORE_CACHE_REFRESHES, 1);
+        r.add(keys::MCK_TRANSITIONS, 10);
+        r.add(keys::MCK_DEDUP_HITS, 4);
+        for v in [1u64, 2, 3, 100] {
+            r.record(keys::CORE_DECISION_LATENCY_SIM_US, v);
+        }
+        let s = summarize(&r);
+        assert_eq!(s.decisions, 4);
+        assert_eq!(s.states_per_decision, 10.0);
+        assert_eq!(s.cache_hit_rate, Some(0.6));
+        assert_eq!(s.dedup_ratio, Some(0.4));
+        assert!(s.decision_p50_sim_us >= 2);
+        assert!(s.decision_p99_sim_us >= s.decision_p50_sim_us);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(None), "-");
+        assert_eq!(fmt_rate(Some(0.5)), "50.0%");
+    }
+}

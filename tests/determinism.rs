@@ -129,6 +129,88 @@ fn campaign_plan_spec_round_trip_preserves_the_run() {
 }
 
 #[test]
+fn artifact_telemetry_is_deterministic_after_wall_masking() {
+    // The telemetry section of a campaign artifact must be byte-identical
+    // across same-seed runs once the wall-clock (fingerprint-exempt)
+    // metrics are masked — and the masking must not disturb the key set.
+    use cb_harness::prelude::*;
+    use cb_harness::telemetry_json;
+
+    let scenario = cb_randtree::RandTreeCampaign::default();
+    let plan = scenario.default_plan(11);
+    let a = scenario.run(11, &plan);
+    let b = scenario.run(11, &plan);
+    assert_eq!(a.fingerprint, b.fingerprint, "trace fingerprints agree");
+
+    // Decisions happened, so the registries are non-trivial.
+    assert!(
+        a.telemetry
+            .counter(cb_telemetry::keys::CORE_DECISIONS_TOTAL)
+            > 0,
+        "randtree exposes choices; decisions expected"
+    );
+    // The raw sections contain real wall-clock samples and therefore differ…
+    let wall = a
+        .telemetry
+        .hist(cb_telemetry::keys::CORE_DECISION_LATENCY_WALL_NS)
+        .expect("wall histogram present");
+    assert!(!wall.is_empty(), "wall-clock side was sampled");
+    // …but masking blanks exactly the wall keys, making the rendered JSON
+    // byte-identical.
+    let ja = telemetry_json(&a.telemetry.masked()).to_string_pretty();
+    let jb = telemetry_json(&b.telemetry.masked()).to_string_pretty();
+    assert_eq!(ja, jb, "masked telemetry sections must be byte-identical");
+
+    // Masking preserves the schema: same counter keys before and after.
+    let keys_raw: Vec<&str> = a.telemetry.counters().map(|(k, _)| k).collect();
+    let masked = a.telemetry.masked();
+    let keys_masked: Vec<&str> = masked.counters().map(|(k, _)| k).collect();
+    assert_eq!(keys_raw, keys_masked);
+
+    // A different seed produces different deterministic telemetry (the
+    // masked section is a function of the seed, not a constant).
+    let plan2 = scenario.default_plan(12);
+    let c = scenario.run(12, &plan2);
+    let jc = telemetry_json(&c.telemetry.masked()).to_string_pretty();
+    assert_ne!(ja, jc, "different seeds should differ even after masking");
+}
+
+#[test]
+fn full_artifact_json_telemetry_section_is_well_formed() {
+    // The embedded `telemetry` section of a run report parses back and
+    // carries the required critical-path statistics.
+    use cb_harness::prelude::*;
+
+    let scenario = cb_randtree::RandTreeCampaign::default();
+    let plan = scenario.default_plan(3);
+    let report = scenario.run(3, &plan);
+    let json = report.to_json();
+    let text = json.to_string_pretty();
+    let back = Json::parse(&text).expect("artifact JSON parses");
+    let tel = back.get("telemetry").expect("telemetry section present");
+    for section in ["counters", "gauges", "histograms", "summary"] {
+        assert!(tel.get(section).is_some(), "missing {section}");
+    }
+    let summary = tel.get("summary").unwrap();
+    assert!(summary.get("decisions").and_then(Json::as_u64).unwrap() > 0);
+    assert!(summary
+        .get("decision_p50_sim_us")
+        .and_then(Json::as_u64)
+        .is_some());
+    assert!(summary
+        .get("decision_p99_sim_us")
+        .and_then(Json::as_u64)
+        .is_some());
+    // Cache hit rate is present as a key even when no cached resolver ran.
+    assert!(summary.get("cache_hit_rate").is_some());
+    let hists = tel.get("histograms").unwrap();
+    let lat = hists
+        .get(cb_telemetry::keys::CORE_DECISION_LATENCY_SIM_US)
+        .expect("decision latency histogram");
+    assert!(lat.get("count").and_then(Json::as_u64).unwrap() > 0);
+}
+
+#[test]
 fn raw_sim_trace_fingerprints_match() {
     struct Echo;
     impl Actor for Echo {

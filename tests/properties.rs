@@ -264,7 +264,7 @@ proptest! {
         prop_assert_eq!(shrunk_report.failing_oracles(), report.failing_oracles());
         prop_assert!(shrunk.is_subset_of(&plan), "shrunk {} not a subset of {}", shrunk, plan);
         prop_assert!(shrunk.len() <= plan.len());
-        prop_assert!(shrunk.len() >= 1, "an empty plan cannot violate");
+        prop_assert!(!shrunk.is_empty(), "an empty plan cannot violate");
     }
 
     #[test]
