@@ -3,7 +3,7 @@
 //! ```text
 //! campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
-//!          [--telemetry]
+//!          [--telemetry] [--lookahead] [--no-evalcache]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -16,6 +16,12 @@
 //! `--telemetry` prints a per-scenario digest of the merged telemetry
 //! (decision-latency p50/p99 on the sim-cost clock, cache hit rate,
 //! states explored per decision) after each summary line.
+//! `--lookahead` switches the randtree scenario to its predictive-lookahead
+//! arm (every decision runs the fused evaluator), and `--no-evalcache`
+//! disables the per-decision EvalCache there — running a sweep with and
+//! without it and diffing the masked artifacts is the operational
+//! cache-transparency check (the `cache_transparency` integration test in
+//! `cb-randtree` automates it).
 //! Exit status: 0 = all oracles passed, 1 = violations (or a replay that
 //! did reproduce the recorded violation — that's what a repro is for),
 //! 2 = usage error.
@@ -29,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]\n\
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
-         \x20               [--telemetry]\n\
+         \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -43,6 +49,8 @@ fn main() {
     let mut scenario_arg: Option<String> = None;
     let mut replay: Option<PathBuf> = None;
     let mut show_telemetry = false;
+    let mut lookahead = false;
+    let mut evalcache = true;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -93,6 +101,8 @@ fn main() {
                     })
             }
             "--no-shrink" => cfg.shrink = false,
+            "--lookahead" => lookahead = true,
+            "--no-evalcache" => evalcache = false,
             "--telemetry" => show_telemetry = true,
             "--no-determinism" => cfg.check_determinism = false,
             "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
@@ -147,7 +157,7 @@ fn main() {
         }
     }
 
-    let scenarios: Vec<Box<dyn Scenario>> = match &scenario_arg {
+    let mut scenarios: Vec<Box<dyn Scenario>> = match &scenario_arg {
         Some(name) => match scenario_by_name(name) {
             Some(s) => vec![s],
             None => {
@@ -157,6 +167,21 @@ fn main() {
         },
         None => cb_bench::registry::all_scenarios(),
     };
+    if lookahead || !evalcache {
+        // The lookahead/evalcache knobs live on the randtree scenario —
+        // the one campaign protocol whose choices route through the
+        // predictive evaluator. Swap its registry entry for a configured
+        // instance; other scenarios are unaffected.
+        let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "randtree") else {
+            eprintln!("--lookahead/--no-evalcache apply to the randtree scenario");
+            usage();
+        };
+        *slot = Box::new(cb_randtree::RandTreeCampaign {
+            lookahead,
+            evalcache,
+            ..Default::default()
+        });
+    }
 
     let mut any_failed = false;
     for scenario in &scenarios {

@@ -1,0 +1,72 @@
+//! The decision hot-path benchmark. Usage:
+//!
+//! ```text
+//! decisions [--quick] [--out PATH]
+//! ```
+//!
+//! Resolves a stream of predictive decisions for every registered scenario
+//! (randtree/gossip/paxos/dissem/ring) through the pre-fusion three-pass
+//! evaluator (baseline) and the fused single-pass + EvalCache pipeline
+//! (optimized), then writes the before/after record to `PATH` (default:
+//! `BENCH_decision.json` at the current directory). All reported costs are
+//! deterministic sim-costs — states explored per resolved decision at the
+//! runtime's 1 µs/state rate — so the artifact is byte-stable across
+//! machines. `--quick` shrinks the decision stream for CI smoke runs.
+//!
+//! Exit status: 0 when at least 3 of the 5 scenarios show a ≥ 2× reduction
+//! (the bench's regression bar), 1 otherwise.
+
+use cb_bench::decisions::{run_all, to_json, ScenarioBench};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_decision.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: decisions [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let decisions = if quick { 2 } else { 8 };
+    let benches = run_all(decisions);
+    println!("decision hot path: states explored per resolved decision (sim-cost, 1 us/state)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>10}",
+        "scenario", "baseline", "optimized", "speedup", "agreement"
+    );
+    let mut at_2x = 0;
+    for b in &benches {
+        let base = ScenarioBench::states_per_decision(&b.baseline, b.decisions);
+        let opt = ScenarioBench::states_per_decision(&b.optimized, b.decisions);
+        let red = b.reduction();
+        if red >= 2.0 {
+            at_2x += 1;
+        }
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8.2}x {:>9.0}%",
+            b.scenario,
+            base,
+            opt,
+            red,
+            b.agreement * 100.0
+        );
+    }
+    let json = to_json(&benches, decisions, quick);
+    std::fs::write(&out, json.to_string_pretty()).expect("write bench artifact");
+    println!("wrote {out}");
+    if at_2x < 3 {
+        eprintln!("regression: only {at_2x} of 5 scenarios at >=2x reduction");
+        std::process::exit(1);
+    }
+}

@@ -3,11 +3,14 @@
 //! Regenerates every table and figure of the paper's evaluation (and the
 //! quantified §3.1 claims) over the crates of this workspace. The
 //! `tables` binary prints them; the `campaign` binary sweeps seeds with
-//! fault injection over the registered scenarios (see [`registry`]). See
-//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
-//! record and `DESIGN.md` for the experiment index.
+//! fault injection over the registered scenarios (see [`registry`]); the
+//! `decisions` binary benchmarks the choice-resolution hot path (see
+//! [`decisions`]) and emits `BENCH_decision.json`. See `EXPERIMENTS.md` at
+//! the repository root for the paper-vs-measured record and `DESIGN.md`
+//! for the experiment index.
 
 pub mod codemetrics;
+pub mod decisions;
 pub mod experiments;
 pub mod models;
 pub mod registry;

@@ -127,6 +127,16 @@ impl Prediction {
 pub trait OptionEvaluator {
     /// Predicts the outcome of picking option `index`.
     fn evaluate(&mut self, index: usize) -> Prediction;
+
+    /// Accumulates evaluator-internal telemetry (evaluation-cache hit/miss
+    /// counts, fused-pass savings, …) into `reg` under the standard
+    /// `core.*` keys. Unlike [`Resolver::export_metrics`] this has *delta*
+    /// semantics: the runtime calls it exactly once per decision, after
+    /// resolution, and implementations `add` what this evaluator observed.
+    /// Default: exports nothing.
+    fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
+        let _ = reg;
+    }
 }
 
 /// An evaluator with no predictive model: every option looks the same.

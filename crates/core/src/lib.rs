@@ -56,6 +56,7 @@
 //! ```
 
 pub mod choice;
+pub mod evalcache;
 pub mod model;
 pub mod nfa;
 pub mod objective;
@@ -70,6 +71,7 @@ pub mod prelude {
         ChoiceId, ChoiceRequest, ContextKey, DecisionRecord, FnEvaluator, NullEvaluator,
         OptionDesc, OptionEvaluator, Prediction, Resolver,
     };
+    pub use crate::evalcache::EvalCache;
     pub use crate::model::net::NetworkModel;
     pub use crate::model::state::{NodeView, Snapshot, StateModel};
     pub use crate::nfa::{Dispatch, HandlerSet};

@@ -5,23 +5,46 @@
 //! behalf) supplies a factory that builds a [`TransitionSystem`] modelling
 //! the system's near future *as if option `i` had been chosen* — typically
 //! instantiated from the latest consistent snapshot plus the network model,
-//! exactly as Figure 1 of the paper wires it. Evaluation then:
+//! exactly as Figure 1 of the paper wires it. Evaluation then runs a
+//! **fused single pass**:
 //!
-//! 1. runs **consequence prediction** over that system to count predicted
-//!    safety violations, and
-//! 2. runs **weighted random walks** to estimate the expected objective
-//!    score of the reachable futures (the "model checker as simulator").
+//! 1. one exploration (**consequence prediction** or BFS) that checks
+//!    safety *and* judges bounded liveness in the same traversal, and
+//! 2. **weighted random walks** to estimate the expected objective score of
+//!    the reachable futures (the "model checker as simulator").
+//!
+//! Earlier revisions ran up to three searches per option — a violation
+//! search, the walks, and a *second full BFS* just for liveness
+//! satisfaction. The exploration kernels now carry liveness bitmasks
+//! through every search, so the dedicated liveness pass is gone; the
+//! pre-fusion behavior survives as [`ModelEvaluator::evaluate_multipass`]
+//! for differential tests and as the perf-bench baseline. Property verdicts
+//! and objective scores are additionally memoized **across the options of
+//! one choice** by an [`EvalCache`] (sibling options explore almost the
+//! same futures), without ever changing what gets picked — see the
+//! [`crate::evalcache`] module docs for the transparency argument.
+//!
+//! Note one semantic refinement of the fusion: with
+//! [`PredictConfig::consequence`] enabled, liveness satisfaction is now
+//! judged over the *same causally related futures* the violation search
+//! explores, instead of over a separate exhaustive BFS. The two agree
+//! exactly in BFS mode.
 //!
 //! The result is a [`Prediction`] the [`LookaheadResolver`] can rank.
 //!
 //! [`LookaheadResolver`]: crate::resolve::lookahead::LookaheadResolver
 
 use crate::choice::{OptionEvaluator, Prediction};
+use crate::evalcache::{EvalCache, MAX_CACHED_PROPS};
 use crate::objective::ObjectiveSet;
 use cb_mck::explore::ExploreConfig;
+use cb_mck::hash::fingerprint;
+use cb_mck::props::{Property, PropertyKind};
 use cb_mck::system::TransitionSystem;
 use cb_mck::walk::{random_walks, WalkConfig};
 use cb_simnet::rng::SimRng;
+use cb_telemetry::{keys, Registry};
+use std::sync::Arc;
 
 /// Budget and mode of a predictive evaluation.
 #[derive(Clone, Debug)]
@@ -39,8 +62,12 @@ pub struct PredictConfig {
     /// Weight of bounded-liveness satisfaction in the objective: each
     /// `eventually` property contributes `weight × satisfaction` (paper
     /// §3.2: the number of liveness properties expected to hold is a
-    /// generically useful objective). 0 skips the liveness search.
+    /// generically useful objective). 0 skips liveness scoring.
     pub liveness_weight: f64,
+    /// Memoize property verdicts and objective scores across the options
+    /// of one choice (see [`EvalCache`]). Transparent: resolution picks the
+    /// same option with the cache on or off.
+    pub cache: bool,
 }
 
 impl Default for PredictConfig {
@@ -51,6 +78,7 @@ impl Default for PredictConfig {
             walks: 24,
             consequence: true,
             liveness_weight: 1.0,
+            cache: true,
         }
     }
 }
@@ -59,7 +87,11 @@ impl Default for PredictConfig {
 ///
 /// `F` builds the transition system for a given option index. The same
 /// evaluator is handed to the resolver for one choice and then discarded —
-/// it borrows the models that back the factory.
+/// it borrows the models that back the factory. Its [`EvalCache`] spans all
+/// options of that one choice; to additionally share memoized verdicts
+/// across refreshes of the same choice epoch, build the evaluator with
+/// [`ModelEvaluator::with_cache`] and [`clear`](EvalCache::clear) the cache
+/// whenever the underlying snapshot advances.
 pub struct ModelEvaluator<'a, T, F>
 where
     T: TransitionSystem,
@@ -69,6 +101,13 @@ where
     objectives: &'a ObjectiveSet<T::State>,
     cfg: PredictConfig,
     rng: SimRng,
+    cache: Option<Arc<EvalCache>>,
+    /// Cache counters already present at construction (epoch-shared
+    /// caches): exports report only this evaluator's delta.
+    base_hits: u64,
+    base_misses: u64,
+    /// Dedicated liveness searches the fused pass avoided.
+    fused_searches_saved: u64,
 }
 
 impl<'a, T, F> ModelEvaluator<'a, T, F>
@@ -76,7 +115,8 @@ where
     T: TransitionSystem,
     F: FnMut(usize) -> T,
 {
-    /// Creates an evaluator.
+    /// Creates an evaluator with a fresh per-decision [`EvalCache`] (when
+    /// `cfg.cache` is set).
     ///
     /// `rng` seeds the walk sampler; fork it from the node's stream so
     /// evaluation stays deterministic per run.
@@ -86,30 +126,126 @@ where
         cfg: PredictConfig,
         rng: SimRng,
     ) -> Self {
+        let cache = cfg.cache.then(|| Arc::new(EvalCache::new()));
         ModelEvaluator {
             make_system,
             objectives,
             cfg,
             rng,
+            cache,
+            base_hits: 0,
+            base_misses: 0,
+            fused_searches_saved: 0,
         }
     }
-}
 
-impl<'a, T, F> OptionEvaluator for ModelEvaluator<'a, T, F>
-where
-    T: TransitionSystem,
-    F: FnMut(usize) -> T,
-{
-    fn evaluate(&mut self, index: usize) -> Prediction {
-        let sys = (self.make_system)(index);
-        let props = self.objectives.properties();
-        let explore_cfg = ExploreConfig {
+    /// Creates an evaluator sharing an existing [`EvalCache`] — the
+    /// cross-refresh form: a service re-evaluating the same choice epoch
+    /// hands every evaluator the same cache (and clears it when the epoch
+    /// advances). Implies caching regardless of `cfg.cache`.
+    pub fn with_cache(
+        make_system: F,
+        objectives: &'a ObjectiveSet<T::State>,
+        cfg: PredictConfig,
+        rng: SimRng,
+        cache: Arc<EvalCache>,
+    ) -> Self {
+        let (base_hits, base_misses) = (cache.hits(), cache.misses());
+        ModelEvaluator {
+            make_system,
+            objectives,
+            cfg,
+            rng,
+            cache: Some(cache),
+            base_hits,
+            base_misses,
+            fused_searches_saved: 0,
+        }
+    }
+
+    /// The evaluation cache, when caching is enabled.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Dedicated liveness searches the fused pass avoided so far.
+    pub fn fused_searches_saved(&self) -> u64 {
+        self.fused_searches_saved
+    }
+
+    fn explore_cfg(&self) -> ExploreConfig {
+        ExploreConfig {
             max_depth: self.cfg.depth,
             max_states: self.cfg.max_states,
             stop_at_first_violation: false,
-            max_violations: 64,
+            // Never cut the traversal on violation count: the fused pass
+            // must finish its liveness accounting, and rankings get full
+            // violation resolution.
+            max_violations: usize::MAX,
+        }
+    }
+
+    fn want_liveness(&self) -> bool {
+        self.cfg.liveness_weight != 0.0 && !self.objectives.liveness_properties().is_empty()
+    }
+}
+
+impl<'a, T, F> ModelEvaluator<'a, T, F>
+where
+    T: TransitionSystem,
+    T::State: 'static,
+    F: FnMut(usize) -> T,
+{
+    /// The properties the search should check — wrapped in memoizing
+    /// predicates when the cache is on (and the property count fits the
+    /// cache's bitmask).
+    fn effective_props(&self) -> Vec<Property<T::State>> {
+        let props = self.objectives.properties();
+        let Some(cache) = &self.cache else {
+            return props;
         };
-        // Violation search over causally related futures.
+        if props.len() > MAX_CACHED_PROPS {
+            return props;
+        }
+        props
+            .iter()
+            .enumerate()
+            .map(|(slot, p)| {
+                let cache = Arc::clone(cache);
+                let orig = p.clone();
+                let pred = move |s: &T::State| {
+                    let fp = fingerprint(s);
+                    cache.verdict(slot, fp, || orig.holds(s))
+                };
+                match p.kind() {
+                    PropertyKind::Safety => Property::safety(p.name().to_string(), pred),
+                    PropertyKind::EventuallyWithinHorizon => {
+                        Property::eventually(p.name().to_string(), pred)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn scored(&self, state: &T::State) -> f64 {
+        match &self.cache {
+            Some(cache) => cache.score(fingerprint(state), || self.objectives.score(state)),
+            None => self.objectives.score(state),
+        }
+    }
+
+    /// The pre-fusion reference evaluation: a violation-only search, the
+    /// walks, and a **second full BFS** for liveness satisfaction. No
+    /// memoization. Kept (a) as the baseline the decision perf bench
+    /// measures against, and (b) for differential tests pinning that fusion
+    /// did not change predictions — in BFS mode the two return identical
+    /// `Prediction`s up to `states_explored`, which is exactly the cost the
+    /// fusion removes.
+    pub fn evaluate_multipass(&mut self, index: usize) -> Prediction {
+        let sys = (self.make_system)(index);
+        let props = self.objectives.properties();
+        let explore_cfg = self.explore_cfg();
+        // Pass 1: violation search over causally related futures.
         let (violations, states_a) = if self.cfg.consequence {
             let r = cb_mck::consequence::predict(&sys, &props, &explore_cfg);
             (r.report.violations.len() as u64, r.report.states_visited)
@@ -117,7 +253,7 @@ where
             let r = cb_mck::explore::bfs(&sys, &props, &explore_cfg);
             (r.violations.len() as u64, r.states_visited)
         };
-        // Objective estimation over sampled futures.
+        // Pass 2: objective estimation over sampled futures.
         let (mut objective, states_b) = if self.cfg.walks == 0 {
             (self.objectives.score(&sys.initial()), 0)
         } else {
@@ -130,10 +266,9 @@ where
             });
             (report.mean_score(), report.steps)
         };
-        // Bounded liveness: reward options whose futures satisfy the
-        // `eventually` properties.
+        // Pass 3: a dedicated liveness search.
         let mut states_c = 0;
-        if self.cfg.liveness_weight != 0.0 && !self.objectives.liveness_properties().is_empty() {
+        if self.want_liveness() {
             let live_props: Vec<_> = self.objectives.liveness_properties().to_vec();
             let r = cb_mck::explore::bfs(&sys, &live_props, &explore_cfg);
             states_c = r.states_visited;
@@ -146,6 +281,81 @@ where
             violations,
             states_explored: states_a + states_b + states_c,
         }
+    }
+}
+
+impl<'a, T, F> OptionEvaluator for ModelEvaluator<'a, T, F>
+where
+    T: TransitionSystem,
+    T::State: 'static,
+    F: FnMut(usize) -> T,
+{
+    fn evaluate(&mut self, index: usize) -> Prediction {
+        let sys = (self.make_system)(index);
+        let props = self.effective_props();
+        let explore_cfg = self.explore_cfg();
+        let want_live = self.want_liveness();
+        // One fused search: safety violations AND bounded-liveness
+        // satisfaction from the same traversal.
+        let (violations, states_a, liveness) = if self.cfg.consequence {
+            let r = cb_mck::consequence::predict(&sys, &props, &explore_cfg);
+            (
+                r.report.violations.len() as u64,
+                r.report.states_visited,
+                r.report.liveness,
+            )
+        } else {
+            let r = cb_mck::explore::bfs(&sys, &props, &explore_cfg);
+            (r.violations.len() as u64, r.states_visited, r.liveness)
+        };
+        // Objective estimation over sampled futures. Walk RNG consumption
+        // depends only on action weights, so memoized scores cannot shift
+        // the sampled paths.
+        let (mut objective, states_b) = if self.cfg.walks == 0 {
+            (self.scored(&sys.initial()), 0)
+        } else {
+            let wcfg = WalkConfig {
+                walks: self.cfg.walks,
+                depth: self.cfg.depth,
+            };
+            let cache = self.cache.clone();
+            let objectives = self.objectives;
+            let report = random_walks(&sys, &[], &wcfg, &mut self.rng, |s| match &cache {
+                Some(c) => c.score(fingerprint(s), || objectives.score(s)),
+                None => objectives.score(s),
+            });
+            (report.mean_score(), report.steps)
+        };
+        // Bounded liveness folded from the same search — this is the whole
+        // exploration the pre-fusion path spent on a second BFS.
+        if want_live {
+            self.fused_searches_saved += 1;
+            for (_, outcome) in &liveness {
+                objective += self.cfg.liveness_weight * outcome.satisfaction();
+            }
+        }
+        Prediction {
+            objective,
+            violations,
+            states_explored: states_a + states_b,
+        }
+    }
+
+    fn export_metrics(&self, reg: &mut Registry) {
+        if let Some(cache) = &self.cache {
+            reg.add(
+                keys::CORE_EVALCACHE_HITS,
+                cache.hits().saturating_sub(self.base_hits),
+            );
+            reg.add(
+                keys::CORE_EVALCACHE_MISSES,
+                cache.misses().saturating_sub(self.base_misses),
+            );
+        }
+        reg.add(
+            keys::CORE_EVALCACHE_FUSED_SEARCHES_SAVED,
+            self.fused_searches_saved,
+        );
     }
 }
 
@@ -314,6 +524,112 @@ mod tests {
         let down = eval.evaluate(0);
         let up = eval.evaluate(1);
         assert!(up.objective > down.objective + 2.0, "{up:?} vs {down:?}");
+    }
+
+    #[test]
+    fn fused_skips_the_liveness_search_and_accounts_it() {
+        let objectives: ObjectiveSet<i64> =
+            ObjectiveSet::new().liveness(Property::eventually("reaches 3", |s: &i64| *s >= 3));
+        let cfg = PredictConfig {
+            depth: 4,
+            walks: 0,
+            consequence: false,
+            ..Default::default()
+        };
+        let mk = |i: usize| {
+            let _ = i;
+            Drift { start: 0, bias: 1 }
+        };
+        let mut fused = ModelEvaluator::new(mk, &objectives, cfg.clone(), SimRng::seed_from(8));
+        let mut multi = ModelEvaluator::new(mk, &objectives, cfg, SimRng::seed_from(8));
+        let f = fused.evaluate(0);
+        let m = multi.evaluate_multipass(0);
+        // Same verdicts and objective, roughly half the explored states.
+        assert_eq!(f.violations, m.violations);
+        assert_eq!(f.objective, m.objective);
+        assert!(
+            f.states_explored < m.states_explored,
+            "fused {} vs multipass {}",
+            f.states_explored,
+            m.states_explored
+        );
+        assert_eq!(fused.fused_searches_saved(), 1);
+        let mut reg = Registry::new();
+        fused.export_metrics(&mut reg);
+        assert_eq!(reg.counter(keys::CORE_EVALCACHE_FUSED_SEARCHES_SAVED), 1);
+        assert!(reg.counter(keys::CORE_EVALCACHE_MISSES) > 0);
+    }
+
+    #[test]
+    fn cache_memoizes_across_options_without_changing_predictions() {
+        // Options share their entire future (same system): the second
+        // evaluation must be all hits, with identical predictions.
+        let objectives: ObjectiveSet<i64> = ObjectiveSet::new()
+            .maximize("value", 1.0, |s: &i64| *s as f64)
+            .safety(Property::safety("below 100", |s: &i64| *s < 100));
+        let cfg = PredictConfig {
+            depth: 5,
+            walks: 4,
+            ..Default::default()
+        };
+        let mut cached = ModelEvaluator::new(
+            |_| Drift { start: 0, bias: 1 },
+            &objectives,
+            cfg.clone(),
+            SimRng::seed_from(11),
+        );
+        let c0 = cached.evaluate(0);
+        let hits_after_first = cached.cache().expect("cache on").hits();
+        let c1 = cached.evaluate(1);
+        let hits_after_second = cached.cache().expect("cache on").hits();
+        assert!(
+            hits_after_second > hits_after_first,
+            "second option must reuse memoized verdicts"
+        );
+        let mut uncached = ModelEvaluator::new(
+            |_| Drift { start: 0, bias: 1 },
+            &objectives,
+            PredictConfig {
+                cache: false,
+                ..cfg
+            },
+            SimRng::seed_from(11),
+        );
+        assert_eq!(c0, uncached.evaluate(0));
+        assert_eq!(c1, uncached.evaluate(1));
+        assert!(uncached.cache().is_none());
+    }
+
+    #[test]
+    fn shared_cache_spans_refreshes_and_exports_deltas() {
+        let objectives: ObjectiveSet<i64> =
+            ObjectiveSet::new().safety(Property::safety("below 50", |s: &i64| *s < 50));
+        let cfg = PredictConfig {
+            depth: 5,
+            walks: 0,
+            ..Default::default()
+        };
+        let cache = Arc::new(EvalCache::new());
+        let mk = |_| Drift { start: 0, bias: 2 };
+        let mut first = ModelEvaluator::with_cache(
+            mk,
+            &objectives,
+            cfg.clone(),
+            SimRng::seed_from(12),
+            Arc::clone(&cache),
+        );
+        let p1 = first.evaluate(0);
+        // A "refresh": a fresh evaluator over the same epoch and cache.
+        let mut second =
+            ModelEvaluator::with_cache(mk, &objectives, cfg, SimRng::seed_from(12), cache);
+        let p2 = second.evaluate(0);
+        assert_eq!(p1, p2, "same epoch, same prediction");
+        let mut reg = Registry::new();
+        second.export_metrics(&mut reg);
+        // The refresh was served from the first evaluator's entries, and
+        // its export covers only its own delta.
+        assert!(reg.counter(keys::CORE_EVALCACHE_HITS) > 0);
+        assert_eq!(reg.counter(keys::CORE_EVALCACHE_MISSES), 0);
     }
 
     #[test]

@@ -648,6 +648,9 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             .telemetry
             .record(keys::CORE_DECISION_LATENCY_WALL_NS, wall_ns);
         self.core.telemetry.inc(&self.core.arm_key);
+        // Evaluator-internal accounting (evalcache hits/misses, fused-pass
+        // savings). Delta semantics: once per decision.
+        eval.export_metrics(&mut self.core.telemetry);
         self.core.decisions.push(DecisionRecord {
             at: self.net.now(),
             id,

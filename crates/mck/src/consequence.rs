@@ -12,12 +12,24 @@
 //! The trade-off is completeness: chains miss violations that require two
 //! independent events to interleave. The `prediction_depth` bench (E8)
 //! quantifies exactly this pruning against [`crate::explore::bfs`].
+//!
+//! Implementation notes (the decision hot path runs through here):
+//!
+//! * Paths are reconstructed from a parent-pointer arena shared with the
+//!   BFS/DFS kernels — chain frames carry an arena index plus the action to
+//!   apply, never a cloned path.
+//! * Enabled-sets are fingerprint-sorted slices behind `Rc`: sibling frames
+//!   share one set instead of cloning a `HashSet` per frame, and membership
+//!   is a binary search over pre-computed fingerprints.
+//! * `eventually` properties are judged on complete chains (cut by the
+//!   depth bound or chain exhaustion) in the same traversal that checks
+//!   safety, so one `predict` call serves both verdicts.
 
-use crate::explore::{ExplorationReport, ExploreConfig};
-use crate::hash::fingerprint;
+use crate::explore::{reconstruct, ExplorationReport, ExploreConfig, LivenessOutcome, SearchNode};
+use crate::hash::{fingerprint, FingerprintSet};
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
-use std::collections::HashSet;
+use std::rc::Rc;
 
 /// Report of a consequence-prediction run: the usual exploration report plus
 /// chain accounting.
@@ -38,13 +50,47 @@ impl<A> ConsequenceReport<A> {
     }
 }
 
+/// Actions enabled in a state, stored as a fingerprint-sorted slice for
+/// `Rc`-shared, allocation-free membership tests.
+struct EnabledSet<A> {
+    /// `(fingerprint(action), action)` sorted by fingerprint. Equal
+    /// fingerprints (hash collisions) sit in one run that `contains` walks
+    /// with `Eq`, so semantics match a `HashSet` exactly.
+    entries: Vec<(u64, A)>,
+}
+
+impl<A: Clone + std::hash::Hash + Eq> EnabledSet<A> {
+    fn from_actions(actions: &[A]) -> Self {
+        let mut entries: Vec<(u64, A)> = actions
+            .iter()
+            .map(|a| (fingerprint(a), a.clone()))
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        EnabledSet { entries }
+    }
+
+    fn contains(&self, action: &A) -> bool {
+        let fp = fingerprint(action);
+        let mut i = self.entries.partition_point(|e| e.0 < fp);
+        while i < self.entries.len() && self.entries[i].0 == fp {
+            if &self.entries[i].1 == action {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+/// A pending chain step: apply `action` to the (shared) `state` whose arena
+/// node is `node`. Depth lives on the arena node.
 struct ChainFrame<T: TransitionSystem> {
-    state: T::State,
+    node: usize,
+    state: Rc<T::State>,
     /// Actions enabled in `state` (to compute the newly-enabled delta).
-    enabled: HashSet<T::Action>,
-    /// Path of actions from the initial state.
-    path: Vec<T::Action>,
-    depth: usize,
+    enabled: Rc<EnabledSet<T::Action>>,
+    /// The action this frame applies.
+    action: T::Action,
 }
 
 /// Runs consequence prediction from the system's initial state.
@@ -52,7 +98,8 @@ struct ChainFrame<T: TransitionSystem> {
 /// Every action enabled initially starts a chain; each chain is then
 /// extended only by actions that were **not** enabled before the previous
 /// step (its causal consequences). Safety properties are checked on every
-/// state touched. Budgets come from `cfg` (depth bounds chain length).
+/// state touched; `eventually` properties are judged on complete chains in
+/// the same traversal. Budgets come from `cfg` (depth bounds chain length).
 ///
 /// # Examples
 ///
@@ -84,12 +131,21 @@ pub fn predict<T: TransitionSystem>(
         .iter()
         .filter(|p| p.kind() == PropertyKind::Safety)
         .collect();
+    let eventually: Vec<&Property<T::State>> = props
+        .iter()
+        .filter(|p| p.kind() == PropertyKind::EventuallyWithinHorizon)
+        .collect();
+    assert!(
+        eventually.len() <= 64,
+        "at most 64 eventually-properties supported"
+    );
+    let mut liveness: Vec<LivenessOutcome> = vec![LivenessOutcome::default(); eventually.len()];
     let mut report = ExplorationReport::new();
     report.states_visited = 1;
     let mut chains_started = 0;
     let mut chains_exhausted = 0;
 
-    let initial = sys.initial();
+    let initial = Rc::new(sys.initial());
     for p in &safety {
         if !p.holds(&initial) {
             report.violations.push(Violation {
@@ -99,42 +155,83 @@ pub fn predict<T: TransitionSystem>(
             });
         }
     }
-    let mut visited: HashSet<u64> = HashSet::new();
-    visited.insert(fingerprint(&initial));
+    let mut visited = FingerprintSet::default();
+    visited.insert(fingerprint(&*initial));
 
-    let root_actions = sys.actions(&initial);
-    let root_enabled: HashSet<T::Action> = root_actions.iter().cloned().collect();
+    let mut seen0 = 0u64;
+    for (i, p) in eventually.iter().enumerate() {
+        if p.holds(&initial) {
+            seen0 |= 1 << i;
+        }
+    }
+    let mut arena: Vec<SearchNode<T::Action>> = vec![SearchNode {
+        parent: None,
+        depth: 0,
+        eventually_seen: seen0,
+    }];
+
+    let finish_chain = |seen: u64, liveness: &mut Vec<LivenessOutcome>| {
+        for (i, out) in liveness.iter_mut().enumerate() {
+            out.paths_checked += 1;
+            if seen & (1 << i) == 0 {
+                out.paths_missed += 1;
+            }
+        }
+    };
+    let emit_liveness = |report: &mut ExplorationReport<T::Action>,
+                         eventually: &[&Property<T::State>],
+                         liveness: &[LivenessOutcome]| {
+        for (i, p) in eventually.iter().enumerate() {
+            report
+                .liveness
+                .push((p.name().to_string(), liveness[i].clone()));
+        }
+    };
+
+    // One actions buffer for the whole search instead of a Vec per state.
+    let mut actions_buf: Vec<T::Action> = Vec::new();
+    sys.actions_into(&initial, &mut actions_buf);
+    // Root chains share the initial state and its enabled-set by reference;
+    // nothing is deep-cloned per root action.
+    let enabled0 = Rc::new(EnabledSet::from_actions(&actions_buf));
     let mut stack: Vec<ChainFrame<T>> = Vec::new();
-    // Each initially enabled action roots one chain.
-    for a in root_actions.iter().rev() {
+    for a in actions_buf.drain(..).rev() {
         chains_started += 1;
         stack.push(ChainFrame {
-            state: initial.clone(),
-            enabled: root_enabled.clone(),
-            path: Vec::new(),
-            depth: 0,
+            node: 0,
+            state: Rc::clone(&initial),
+            enabled: Rc::clone(&enabled0),
+            action: a,
         });
-        // The frame carries the *pre*-state; the action to apply rides on
-        // the path tail convention below, so instead push explicit work:
-        let frame = stack.last_mut().expect("just pushed");
-        frame.path.push(a.clone());
+    }
+    if stack.is_empty() {
+        // No enabled action: the empty chain is the only complete path.
+        finish_chain(seen0, &mut liveness);
     }
     report.frontier_peak = stack.len() as u64;
 
     while let Some(frame) = stack.pop() {
-        let action = frame
-            .path
-            .last()
-            .expect("chain frames carry an action")
-            .clone();
+        let depth = arena[frame.node].depth;
         report.transitions += 1;
-        let next = sys.step(&frame.state, &action);
-        report.max_depth_reached = report.max_depth_reached.max(frame.depth + 1);
+        let next = sys.step(&frame.state, &frame.action);
+        report.max_depth_reached = report.max_depth_reached.max(depth + 1);
         let fp = fingerprint(&next);
         let first_visit = visited.insert(fp);
         if !first_visit {
             report.dedup_hits += 1;
         }
+        let mut seen = arena[frame.node].eventually_seen;
+        for (i, p) in eventually.iter().enumerate() {
+            if seen & (1 << i) == 0 && p.holds(&next) {
+                seen |= 1 << i;
+            }
+        }
+        let child = arena.len();
+        arena.push(SearchNode {
+            parent: Some((frame.node, frame.action)),
+            depth: depth + 1,
+            eventually_seen: seen,
+        });
         if first_visit {
             report.states_visited += 1;
             for p in &safety {
@@ -142,11 +239,12 @@ pub fn predict<T: TransitionSystem>(
                     report.violations.push(Violation {
                         property: p.name().to_string(),
                         kind: PropertyKind::Safety,
-                        path: frame.path.clone(),
+                        path: reconstruct(&arena, child),
                     });
                     if cfg.stop_at_first_violation || report.violations.len() >= cfg.max_violations
                     {
                         report.truncated = true;
+                        emit_liveness(&mut report, &eventually, &liveness);
                         return ConsequenceReport {
                             report,
                             chains_started,
@@ -157,6 +255,7 @@ pub fn predict<T: TransitionSystem>(
             }
             if report.states_visited as usize >= cfg.max_states {
                 report.truncated = true;
+                emit_liveness(&mut report, &eventually, &liveness);
                 return ConsequenceReport {
                     report,
                     chains_started,
@@ -164,33 +263,38 @@ pub fn predict<T: TransitionSystem>(
                 };
             }
         }
-        if frame.depth + 1 >= cfg.max_depth {
+        if depth + 1 >= cfg.max_depth {
+            // Depth bound cuts the chain: a complete path for liveness.
+            finish_chain(seen, &mut liveness);
             continue;
         }
-        let next_enabled_vec = sys.actions(&next);
-        let next_enabled: HashSet<T::Action> = next_enabled_vec.iter().cloned().collect();
+        actions_buf.clear();
+        sys.actions_into(&next, &mut actions_buf);
+        let next_enabled = Rc::new(EnabledSet::from_actions(&actions_buf));
+        let next_rc = Rc::new(next);
         // Consequences: actions enabled now that were not enabled before.
         let mut extended = false;
         report.states_expanded += 1;
-        for a in next_enabled_vec.iter().rev() {
-            if frame.enabled.contains(a) {
+        for a in actions_buf.drain(..).rev() {
+            if frame.enabled.contains(&a) {
                 continue;
             }
             extended = true;
-            let mut path = frame.path.clone();
-            path.push(a.clone());
             stack.push(ChainFrame {
-                state: next.clone(),
-                enabled: next_enabled.clone(),
-                path,
-                depth: frame.depth + 1,
+                node: child,
+                state: Rc::clone(&next_rc),
+                enabled: Rc::clone(&next_enabled),
+                action: a,
             });
             report.frontier_peak = report.frontier_peak.max(stack.len() as u64);
         }
         if !extended {
             chains_exhausted += 1;
+            // Chain exhausted: a complete path for liveness.
+            finish_chain(seen, &mut liveness);
         }
     }
+    emit_liveness(&mut report, &eventually, &liveness);
     ConsequenceReport {
         report,
         chains_started,
@@ -253,6 +357,19 @@ mod tests {
             }
             next
         }
+    }
+
+    #[test]
+    fn enabled_set_matches_hashset_semantics() {
+        let actions = vec![CAction::Flip(0), CAction::Flip(3), CAction::Advance(1)];
+        let set = EnabledSet::from_actions(&actions);
+        for a in &actions {
+            assert!(set.contains(a));
+        }
+        assert!(!set.contains(&CAction::Flip(1)));
+        assert!(!set.contains(&CAction::Advance(2)));
+        let empty: EnabledSet<CAction> = EnabledSet::from_actions(&[]);
+        assert!(!empty.contains(&CAction::Flip(0)));
     }
 
     #[test]
@@ -331,6 +448,45 @@ mod tests {
         let r = predict(&sys, &[], &ExploreConfig::depth(8));
         assert_eq!(r.chains_started, 4);
         assert!(r.chains_exhausted > 0);
+    }
+
+    #[test]
+    fn chain_liveness_follows_cascade() {
+        // On the Fuse-like cascade rooted at Flip(0), the chain reaches
+        // chain==2, so "eventually chain 2" is satisfied on at least one
+        // complete chain and missed on the chains rooted at other switches.
+        let sys = Cascade {
+            switches: 3,
+            chain_len: 2,
+        };
+        let props = [Property::eventually("chain reaches 2", |s: &CState| {
+            s.chain == 2
+        })];
+        let r = predict(&sys, &props, &ExploreConfig::depth(6));
+        assert_eq!(r.report.liveness.len(), 1);
+        let (name, out) = &r.report.liveness[0];
+        assert_eq!(name, "chain reaches 2");
+        assert!(out.paths_checked > 0, "chains must be judged");
+        assert!(
+            out.paths_missed < out.paths_checked,
+            "the cascade chain satisfies the property"
+        );
+        assert!(out.paths_missed > 0, "non-cascade chains miss it");
+    }
+
+    #[test]
+    fn chain_liveness_satisfied_in_initial_state() {
+        let sys = Cascade {
+            switches: 2,
+            chain_len: 0,
+        };
+        let props = [Property::eventually("starts unflipped", |s: &CState| {
+            !s.flipped[0]
+        })];
+        let r = predict(&sys, &props, &ExploreConfig::depth(3));
+        let (_, out) = &r.report.liveness[0];
+        assert_eq!(out.paths_missed, 0);
+        assert_eq!(out.satisfaction(), 1.0);
     }
 
     #[test]

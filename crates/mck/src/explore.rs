@@ -8,11 +8,11 @@
 //! predictable, which is what lets the runtime run exploration on the side
 //! without stalling the system.
 
-use crate::hash::fingerprint;
+use crate::hash::{fingerprint, FingerprintSet};
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
 use cb_telemetry::{keys, Registry};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Exploration budgets and switches.
 #[derive(Clone, Debug)]
@@ -139,15 +139,18 @@ impl<A> ExplorationReport<A> {
 }
 
 /// Arena node for path reconstruction without storing a path per queue entry.
-struct SearchNode<A> {
-    parent: Option<(usize, A)>,
-    depth: usize,
+///
+/// Shared with `consequence::predict`, whose chain frames reference arena
+/// indices instead of carrying cloned paths.
+pub(crate) struct SearchNode<A> {
+    pub(crate) parent: Option<(usize, A)>,
+    pub(crate) depth: usize,
     /// Bitmask: which `eventually` properties have held somewhere on the
     /// path to this node (supports up to 64, far beyond practical use).
-    eventually_seen: u64,
+    pub(crate) eventually_seen: u64,
 }
 
-fn reconstruct<A: Clone>(arena: &[SearchNode<A>], mut idx: usize) -> Vec<A> {
+pub(crate) fn reconstruct<A: Clone>(arena: &[SearchNode<A>], mut idx: usize) -> Vec<A> {
     let mut path = Vec::with_capacity(arena[idx].depth);
     while let Some((parent, action)) = &arena[idx].parent {
         path.push(action.clone());
@@ -207,7 +210,9 @@ pub fn bfs<T: TransitionSystem>(
     let mut liveness: Vec<LivenessOutcome> = vec![LivenessOutcome::default(); eventually.len()];
 
     let initial = sys.initial();
-    let mut visited: HashSet<u64> = HashSet::new();
+    // Fingerprints already went through the avalanche finalizer: store them
+    // in an identity-hashed set instead of paying SipHash per probe.
+    let mut visited = FingerprintSet::default();
     visited.insert(fingerprint(&initial));
     let mut arena: Vec<SearchNode<T::Action>> = Vec::new();
     let mut seen0 = 0u64;
@@ -253,6 +258,8 @@ pub fn bfs<T: TransitionSystem>(
             }
         };
 
+    // One actions buffer for the whole search instead of a Vec per state.
+    let mut actions_buf: Vec<T::Action> = Vec::new();
     while let Some((idx, state)) = queue.pop_front() {
         let depth = arena[idx].depth;
         report.max_depth_reached = report.max_depth_reached.max(depth);
@@ -260,14 +267,15 @@ pub fn bfs<T: TransitionSystem>(
             finish_path(idx, &arena, &mut liveness);
             continue;
         }
-        let actions = sys.actions(&state);
-        if actions.is_empty() {
+        actions_buf.clear();
+        sys.actions_into(&state, &mut actions_buf);
+        if actions_buf.is_empty() {
             finish_path(idx, &arena, &mut liveness);
             continue;
         }
         report.states_expanded += 1;
         let mut any_new = false;
-        for action in actions {
+        for action in actions_buf.drain(..) {
             report.transitions += 1;
             let next = sys.step(&state, &action);
             let fp = fingerprint(&next);
@@ -336,6 +344,12 @@ pub fn bfs<T: TransitionSystem>(
 
 /// Depth-first variant with the same budgets; explores deep paths first,
 /// which finds deep violations faster at the cost of breadth coverage.
+///
+/// `eventually` properties are judged on complete paths exactly like
+/// [`bfs`]: a path is complete when the depth bound cuts it, the state
+/// deadlocks, or every successor was already visited. (Earlier revisions
+/// silently dropped liveness here — the `eventually_seen` bitmask was
+/// carried but never updated or reported.)
 pub fn dfs<T: TransitionSystem>(
     sys: &T,
     props: &[Property<T::State>],
@@ -346,15 +360,30 @@ pub fn dfs<T: TransitionSystem>(
         .iter()
         .filter(|p| p.kind() == PropertyKind::Safety)
         .collect();
+    let eventually: Vec<&Property<T::State>> = props
+        .iter()
+        .filter(|p| p.kind() == PropertyKind::EventuallyWithinHorizon)
+        .collect();
+    assert!(
+        eventually.len() <= 64,
+        "at most 64 eventually-properties supported"
+    );
+    let mut liveness: Vec<LivenessOutcome> = vec![LivenessOutcome::default(); eventually.len()];
 
     let initial = sys.initial();
-    let mut visited: HashSet<u64> = HashSet::new();
+    let mut visited = FingerprintSet::default();
     visited.insert(fingerprint(&initial));
     let mut arena: Vec<SearchNode<T::Action>> = Vec::new();
+    let mut seen0 = 0u64;
+    for (i, p) in eventually.iter().enumerate() {
+        if p.holds(&initial) {
+            seen0 |= 1 << i;
+        }
+    }
     arena.push(SearchNode {
         parent: None,
         depth: 0,
-        eventually_seen: 0,
+        eventually_seen: seen0,
     });
     report.states_visited = 1;
     for p in &safety {
@@ -369,16 +398,46 @@ pub fn dfs<T: TransitionSystem>(
             }
         }
     }
+
+    let finish_path =
+        |idx: usize, arena: &[SearchNode<T::Action>], liveness: &mut Vec<LivenessOutcome>| {
+            let seen = arena[idx].eventually_seen;
+            for (i, out) in liveness.iter_mut().enumerate() {
+                out.paths_checked += 1;
+                if seen & (1 << i) == 0 {
+                    out.paths_missed += 1;
+                }
+            }
+        };
+    let emit_liveness = |report: &mut ExplorationReport<T::Action>,
+                         eventually: &[&Property<T::State>],
+                         liveness: &[LivenessOutcome]| {
+        for (i, p) in eventually.iter().enumerate() {
+            report
+                .liveness
+                .push((p.name().to_string(), liveness[i].clone()));
+        }
+    };
+
     let mut stack: Vec<(usize, T::State)> = vec![(0, initial)];
     report.frontier_peak = 1;
+    let mut actions_buf: Vec<T::Action> = Vec::new();
     while let Some((idx, state)) = stack.pop() {
         let depth = arena[idx].depth;
         report.max_depth_reached = report.max_depth_reached.max(depth);
         if depth >= cfg.max_depth {
+            finish_path(idx, &arena, &mut liveness);
+            continue;
+        }
+        actions_buf.clear();
+        sys.actions_into(&state, &mut actions_buf);
+        if actions_buf.is_empty() {
+            finish_path(idx, &arena, &mut liveness);
             continue;
         }
         report.states_expanded += 1;
-        for action in sys.actions(&state) {
+        let mut any_new = false;
+        for action in actions_buf.drain(..) {
             report.transitions += 1;
             let next = sys.step(&state, &action);
             let fp = fingerprint(&next);
@@ -386,12 +445,19 @@ pub fn dfs<T: TransitionSystem>(
                 report.dedup_hits += 1;
                 continue;
             }
+            any_new = true;
             report.states_visited += 1;
+            let mut seen = arena[idx].eventually_seen;
+            for (i, p) in eventually.iter().enumerate() {
+                if seen & (1 << i) == 0 && p.holds(&next) {
+                    seen |= 1 << i;
+                }
+            }
             let child = arena.len();
             arena.push(SearchNode {
                 parent: Some((idx, action)),
                 depth: depth + 1,
-                eventually_seen: 0,
+                eventually_seen: seen,
             });
             for p in &safety {
                 if !p.holds(&next) {
@@ -403,18 +469,24 @@ pub fn dfs<T: TransitionSystem>(
                     if cfg.stop_at_first_violation || report.violations.len() >= cfg.max_violations
                     {
                         report.truncated = true;
+                        emit_liveness(&mut report, &eventually, &liveness);
                         return report;
                     }
                 }
             }
             if report.states_visited as usize >= cfg.max_states {
                 report.truncated = true;
+                emit_liveness(&mut report, &eventually, &liveness);
                 return report;
             }
             stack.push((child, next));
             report.frontier_peak = report.frontier_peak.max(stack.len() as u64);
         }
+        if !any_new {
+            finish_path(idx, &arena, &mut liveness);
+        }
     }
+    emit_liveness(&mut report, &eventually, &liveness);
     report
 }
 
@@ -584,6 +656,48 @@ mod tests {
         assert!(!d2.safe());
         let states = crate::system::replay(&sys, &d2.violations[0].path);
         assert!(states.last().expect("end").0.contains(&2));
+    }
+
+    #[test]
+    fn dfs_reports_liveness_like_bfs() {
+        // Regression: dfs used to hardwire `eventually_seen` to 0 and never
+        // emit liveness outcomes. On a single-path system (TokenRing) BFS
+        // and DFS see the same set of complete paths, so their liveness
+        // verdicts must agree exactly.
+        let sys = TokenRing { n: 5 };
+        let props = [Property::eventually("token reaches 3", |s: &usize| *s == 3)];
+        let cfg = ExploreConfig::depth(6);
+        let b = bfs(&sys, &props, &cfg);
+        let d = dfs(&sys, &props, &cfg);
+        assert_eq!(d.liveness.len(), 1, "dfs must report liveness outcomes");
+        assert_eq!(d.liveness, b.liveness);
+        let (_, out) = &d.liveness[0];
+        assert!(out.paths_checked > 0);
+        assert_eq!(out.paths_missed, 0);
+    }
+
+    #[test]
+    fn dfs_liveness_miss_when_horizon_too_short() {
+        let sys = TokenRing { n: 10 };
+        let props = [Property::eventually("token reaches 7", |s: &usize| *s == 7)];
+        let d = dfs(&sys, &props, &ExploreConfig::depth(3));
+        assert_eq!(d.liveness.len(), 1);
+        let (_, out) = &d.liveness[0];
+        assert!(out.paths_missed > 0);
+        assert!(out.satisfaction() < 1.0);
+        // And the verdict matches bfs on the same horizon.
+        let b = bfs(&sys, &props, &ExploreConfig::depth(3));
+        assert_eq!(d.liveness, b.liveness);
+    }
+
+    #[test]
+    fn dfs_liveness_satisfied_in_initial_state() {
+        let sys = TokenRing { n: 4 };
+        let props = [Property::eventually("starts at 0", |s: &usize| *s == 0)];
+        let d = dfs(&sys, &props, &ExploreConfig::depth(2));
+        let (_, out) = &d.liveness[0];
+        assert_eq!(out.paths_missed, 0);
+        assert_eq!(out.satisfaction(), 1.0);
     }
 
     #[test]

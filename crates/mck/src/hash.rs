@@ -5,10 +5,26 @@
 //! must hash identically across runs and processes, or determinism tests and
 //! cross-run comparisons fall apart — so we use FNV-1a explicitly instead of
 //! `std::collections::hash_map::RandomState`.
+//!
+//! Two performance-relevant details:
+//!
+//! * [`StableHasher::write`] consumes its input in 8-byte chunks (one XOR +
+//!   one multiply per chunk instead of per byte), and the fixed-width
+//!   `write_uN` entry points fold the value in a single round. The final
+//!   [`finish`](StableHasher::finish) avalanche restores the bit diffusion a
+//!   per-byte FNV would have accumulated.
+//! * Visited sets keyed by fingerprints should use [`FingerprintSet`] /
+//!   [`FingerprintMap`]: the fingerprints already went through the avalanche
+//!   finalizer, so re-hashing them through SipHash on every probe is pure
+//!   waste. [`IdentityHasher`] passes the u64 straight through.
 
-use std::hash::{Hash, Hasher};
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
-/// A 64-bit FNV-1a hasher with no per-process randomization.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A 64-bit FNV-1a-style hasher with no per-process randomization.
 ///
 /// # Examples
 ///
@@ -26,9 +42,13 @@ pub struct StableHasher {
 impl StableHasher {
     /// Creates a hasher at the FNV offset basis.
     pub fn new() -> Self {
-        StableHasher {
-            state: 0xcbf2_9ce4_8422_2325,
-        }
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    #[inline]
+    fn round(&mut self, word: u64) {
+        self.state ^= word;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
     }
 }
 
@@ -47,11 +67,80 @@ impl Hasher for StableHasher {
         z ^ (z >> 31)
     }
 
+    #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= b as u64;
-            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        // Chunked FNV: one XOR+multiply per 8 bytes. Little-endian chunk
+        // loads keep within-chunk byte order significant, and the trailing
+        // remainder is folded as a length-tagged word so `"abc"` and
+        // `"abc\0"` cannot collide trivially.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // Unwrap is infallible: chunks_exact yields exactly 8 bytes.
+            self.round(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            tail[7] = rem.len() as u8;
+            self.round(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.round(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.round(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.round(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.round(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.round(v as u64);
+        self.round((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.round(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.round(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.round(v as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.round(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.round(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.round(v as usize as u64);
     }
 }
 
@@ -61,6 +150,55 @@ pub fn fingerprint<T: Hash + ?Sized>(value: &T) -> u64 {
     value.hash(&mut h);
     h.finish()
 }
+
+/// A pass-through hasher for values that are *already* fingerprints.
+///
+/// [`fingerprint`] ends with a splitmix-style avalanche, so its output is
+/// uniformly distributed across all 64 bits; feeding it through SipHash
+/// again on every visited-set probe buys nothing. This hasher returns the
+/// u64 it was given.
+///
+/// Only the fixed-width integer writes are supported — using it on
+/// arbitrary byte streams is a logic error.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityHasher {
+    state: u64,
+}
+
+impl Hasher for IdentityHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only hashes pre-fingerprinted integers");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = v;
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.state = v as u64;
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.state = v as u64;
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`].
+pub type BuildIdentityHasher = BuildHasherDefault<IdentityHasher>;
+
+/// A visited set keyed by pre-avalanched fingerprints (no re-hashing).
+pub type FingerprintSet = HashSet<u64, BuildIdentityHasher>;
+
+/// A map keyed by pre-avalanched fingerprints (no re-hashing).
+pub type FingerprintMap<V> = HashMap<u64, V, BuildIdentityHasher>;
 
 #[cfg(test)]
 mod tests {
@@ -76,15 +214,65 @@ mod tests {
     fn sensitive_to_content_and_order() {
         assert_ne!(fingerprint(&[1u8, 2]), fingerprint(&[2u8, 1]));
         assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        // Within-chunk order matters for the chunked byte path too.
+        assert_ne!(
+            fingerprint("abcdefgh".as_bytes()),
+            fingerprint("hgfedcba".as_bytes())
+        );
     }
 
     #[test]
     fn known_value_is_pinned() {
         // Pins the algorithm: if the hasher changes, stored fingerprints and
         // recorded experiment outputs silently diverge — fail loudly instead.
-        assert_eq!(fingerprint(&42u64), fingerprint(&42u64));
-        let f = fingerprint(&0u8);
-        assert_ne!(f, 0);
+        // These are the chunked-write values; re-record them (and any
+        // results/*.json fingerprints) whenever the algorithm changes on
+        // purpose.
+        assert_eq!(fingerprint(&42u64), PIN_U64_42);
+        assert_eq!(fingerprint(&0u8), PIN_U8_0);
+        assert_eq!(fingerprint("crystalball"), PIN_STR);
+        assert_eq!(fingerprint(&("a", 1u32)), PIN_TUPLE);
+    }
+
+    // Pinned constants recorded from the chunked FNV implementation.
+    const PIN_U64_42: u64 = 0x74f1_91b6_94d3_2786;
+    const PIN_U8_0: u64 = 0x25fc_6dd3_6ce0_4b20;
+    const PIN_STR: u64 = 0xb240_0457_0ef6_20e3;
+    const PIN_TUPLE: u64 = 0x1388_9453_ef5f_7696;
+
+    #[test]
+    fn chunked_write_matches_word_writes_for_whole_words() {
+        // An 8-byte `write` folds exactly like `write_u64` of the LE word,
+        // so slice-of-bytes and integer paths agree on whole words.
+        let bytes = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let word = u64::from_le_bytes(bytes);
+        let mut a = StableHasher::new();
+        a.write(&bytes);
+        let mut b = StableHasher::new();
+        b.write_u64(word);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tail_length_is_significant() {
+        // Length-tagged remainders keep zero-padded prefixes apart.
+        let mut a = StableHasher::new();
+        a.write(&[0u8; 3]);
+        let mut b = StableHasher::new();
+        b.write(&[0u8; 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn identity_hasher_passes_fingerprints_through() {
+        use std::hash::BuildHasher;
+        let fp = fingerprint(&("state", 7u64));
+        assert_eq!(BuildIdentityHasher::default().hash_one(fp), fp);
+
+        let mut set = FingerprintSet::default();
+        assert!(set.insert(fp));
+        assert!(!set.insert(fp));
+        assert!(set.contains(&fp));
     }
 
     #[test]

@@ -10,10 +10,9 @@
 //! of thread scheduling.
 
 use crate::explore::{ExplorationReport, ExploreConfig};
-use crate::hash::fingerprint;
+use crate::hash::{fingerprint, FingerprintSet};
 use crate::props::{Property, PropertyKind, Violation};
 use crate::system::TransitionSystem;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -38,7 +37,9 @@ const SHARDS: usize = 64;
 /// that every worker borrow (`&ShardedSet`) has ended, so the snapshot is
 /// exact by construction and `Mutex::get_mut` can skip locking entirely.
 struct ShardedSet {
-    shards: Vec<Mutex<HashSet<u64>>>,
+    /// Identity-hashed: fingerprints already carry an avalanche finish, so
+    /// shards index by masking and probe without re-hashing through SipHash.
+    shards: Vec<Mutex<FingerprintSet>>,
     /// Times `insert` found its shard lock held by another worker
     /// (scheduling-dependent; exported under a `wall` telemetry key).
     contention: AtomicU64,
@@ -47,14 +48,21 @@ struct ShardedSet {
 impl ShardedSet {
     fn new() -> Self {
         ShardedSet {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FingerprintSet::default()))
+                .collect(),
             contention: AtomicU64::new(0),
         }
     }
 
     /// Inserts; returns true when the value was new.
+    ///
+    /// Shard selection uses the *top* bits: the identity-hashed set inside
+    /// each shard derives its bucket index from the low bits, so picking
+    /// shards by low bits would leave every entry of a shard agreeing on
+    /// those bits and cluster the table into strided buckets.
     fn insert(&self, fp: u64) -> bool {
-        let shard = &self.shards[(fp as usize) & (SHARDS - 1)];
+        let shard = &self.shards[(fp >> 58) as usize & (SHARDS - 1)];
         let mut guard = match shard.try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {

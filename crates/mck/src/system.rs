@@ -26,6 +26,17 @@ pub trait TransitionSystem {
     /// Actions enabled in `state`, in a deterministic order.
     fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
 
+    /// Appends the actions enabled in `state` to `buf` (same order as
+    /// [`actions`](TransitionSystem::actions)).
+    ///
+    /// The exploration kernels call this with a cleared, reused buffer so
+    /// that systems which override it can avoid one `Vec` allocation per
+    /// expanded state. The default delegates to `actions` — semantics are
+    /// identical either way, only the allocation profile differs.
+    fn actions_into(&self, state: &Self::State, buf: &mut Vec<Self::Action>) {
+        buf.extend(self.actions(state));
+    }
+
     /// Applies `action` to `state`. Must be deterministic.
     fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State;
 
@@ -106,6 +117,11 @@ pub(crate) mod toy {
             (0..self.n).collect()
         }
 
+        fn actions_into(&self, _s: &RingState, buf: &mut Vec<usize>) {
+            // Allocation-free override exercised by the kernels' buffer path.
+            buf.extend(0..self.n);
+        }
+
         fn step(&self, s: &RingState, a: &usize) -> RingState {
             let mut v = s.0.clone();
             v[*a] = (v[*a] + 1) % self.modulus;
@@ -166,6 +182,22 @@ mod tests {
         assert_eq!(s2.0, vec![0, 0, 1, 0]);
         // Purity: same step, same result.
         assert_eq!(sys.step(&s, &2), s2);
+    }
+
+    #[test]
+    fn actions_into_matches_actions() {
+        let ring = CounterRing { n: 3, modulus: 2 };
+        let s = ring.initial();
+        let mut buf = Vec::new();
+        ring.actions_into(&s, &mut buf);
+        assert_eq!(buf, ring.actions(&s));
+
+        // Default implementation (TokenRing does not override) agrees too,
+        // and appends rather than overwriting.
+        let tok = TokenRing { n: 3 };
+        let mut buf = vec![99];
+        tok.actions_into(&1, &mut buf);
+        assert_eq!(buf, vec![99, 1]);
     }
 
     #[test]

@@ -129,17 +129,24 @@ pub fn random_walks<T: TransitionSystem>(
         violations: Vec::new(),
         scores: Vec::with_capacity(cfg.walks),
     };
+    // Buffers reused across all walks and steps: the hot loop allocates
+    // nothing except on the (rare) violation path.
+    let mut actions: Vec<T::Action> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+    let mut path: Vec<T::Action> = Vec::new();
     for _ in 0..cfg.walks {
         let mut state = sys.initial();
-        let mut path: Vec<T::Action> = Vec::new();
+        path.clear();
         let mut violated = false;
         for _ in 0..cfg.depth {
-            let actions = sys.actions(&state);
+            actions.clear();
+            sys.actions_into(&state, &mut actions);
             if actions.is_empty() {
                 report.deadlocks += 1;
                 break;
             }
-            let weights: Vec<f64> = actions.iter().map(|a| sys.weight(&state, a)).collect();
+            weights.clear();
+            weights.extend(actions.iter().map(|a| sys.weight(&state, a)));
             let pick = sample_weighted(rng, &weights);
             let action = actions[pick].clone();
             state = sys.step(&state, &action);

@@ -1,8 +1,12 @@
 //! Campaign registration: the random-tree scenario under fault schedules.
 //!
-//! Exposes the §4 case-study protocol (Choice-Random arm — the cheap one;
-//! lookahead is exercised by the bench tables instead) to the `cb-harness`
-//! campaign runner. The oracles check the paper's core correctness claims
+//! Exposes the §4 case-study protocol to the `cb-harness` campaign runner.
+//! The default arm is Choice-Random (the cheap one); setting
+//! [`RandTreeCampaign::lookahead`] switches to predictive lookahead so the
+//! campaign exercises the fused-evaluation + [`EvalCache`] hot path — the
+//! cache-transparency check and the `campaign --lookahead` flag use it.
+//!
+//! The oracles check the paper's core correctness claims
 //! about the overlay after faults heal:
 //!
 //! * `tree.well_formed` — parent/child links are mutually consistent and
@@ -10,9 +14,14 @@
 //! * `tree.reachable` — every node that is up at the end of the run is
 //!   reachable from the root by child links (no orphaned islands after
 //!   the fault schedule heals).
+//!
+//! [`EvalCache`]: cb_core::evalcache::EvalCache
 
 use crate::choice::ChoiceRandTree;
 use crate::metrics::tree_stats;
+use cb_core::choice::Resolver;
+use cb_core::predict::PredictConfig;
+use cb_core::resolve::lookahead::LookaheadResolver;
 use cb_core::resolve::random::RandomResolver;
 use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
@@ -25,6 +34,18 @@ pub struct RandTreeCampaign {
     pub nodes: usize,
     /// Run horizon.
     pub horizon: SimTime,
+    /// Resolve the forwarding choice by predictive lookahead instead of
+    /// uniformly at random. This routes every campaign decision through
+    /// the [`cb_core::predict::ModelEvaluator`] hot path (the `campaign`
+    /// binary flips it with `--lookahead`), which is what makes the
+    /// [`evalcache`](Self::evalcache) knob observable.
+    pub lookahead: bool,
+    /// Enable the per-decision [`cb_core::evalcache::EvalCache`] in the
+    /// lookahead arm. The cache is transparent — runs with it on and off
+    /// must produce byte-identical artifacts (after wall masking and
+    /// modulo the cache's own hit/miss accounting); the
+    /// `cache_transparency` integration test pins exactly that.
+    pub evalcache: bool,
 }
 
 impl Default for RandTreeCampaign {
@@ -32,6 +53,8 @@ impl Default for RandTreeCampaign {
         RandTreeCampaign {
             nodes: 15,
             horizon: SimTime::from_secs(900),
+            lookahead: false,
+            evalcache: true,
         }
     }
 }
@@ -73,12 +96,28 @@ impl Scenario for RandTreeCampaign {
             &mut SimRng::seed_from(seed.wrapping_mul(0x9E37_79B9)),
         );
         let nodes = self.nodes;
+        let lookahead = self.lookahead;
+        let evalcache = self.evalcache;
         let mut sim: Sim<RuntimeNode<ChoiceRandTree>> = Sim::new(topo, seed, move |id| {
             let delay = SimDuration::from_millis(400) * (id.0 as u64 + 1);
+            let resolver: Box<dyn Resolver> = if lookahead {
+                Box::new(LookaheadResolver::new())
+            } else {
+                Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 8)))
+            };
+            // Mirrors `ChoiceRandTree::new`'s default prediction budget,
+            // with only the cache knob threaded through (the random arm
+            // never evaluates, so the config is inert there).
+            let service =
+                ChoiceRandTree::new(id, NodeId(0), delay).with_predict_config(PredictConfig {
+                    depth: 8,
+                    walks: 16,
+                    cache: evalcache,
+                    ..Default::default()
+                });
             RuntimeNode::new(
-                ChoiceRandTree::new(id, NodeId(0), delay),
-                RuntimeConfig::new(Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 8))))
-                    .controller_every(SimDuration::from_millis(500)),
+                service,
+                RuntimeConfig::new(resolver).controller_every(SimDuration::from_millis(500)),
             )
         });
         let participants: Vec<NodeId> = sim.topology().hosts().take(nodes).collect();
@@ -121,6 +160,27 @@ mod tests {
         let plan = s.default_plan(5);
         let r = s.run(5, &plan);
         assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn lookahead_arm_recovers_deterministically_and_uses_the_cache() {
+        let s = RandTreeCampaign {
+            lookahead: true,
+            ..Default::default()
+        };
+        let plan = s.default_plan(7);
+        let a = s.run(7, &plan);
+        let b = s.run(7, &plan);
+        assert!(!a.violated(), "{:?}", a.verdicts);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "lookahead arm nondeterministic"
+        );
+        // The lookahead arm routes decisions through the evaluator, so the
+        // EvalCache accounting must be live (misses at minimum).
+        let touched = a.telemetry.counter("core.evalcache.hits")
+            + a.telemetry.counter("core.evalcache.misses");
+        assert!(touched > 0, "EvalCache never engaged in the lookahead arm");
     }
 
     #[test]

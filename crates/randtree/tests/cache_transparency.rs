@@ -1,0 +1,103 @@
+//! Acceptance check: the per-decision `EvalCache` is transparent at
+//! campaign scale.
+//!
+//! Runs the randtree campaign scenario in its lookahead arm — the arm
+//! where every `choose()` goes through the predictive evaluator and the
+//! cache actually engages — across many seeds with the cache enabled and
+//! disabled, renders each run as the exact artifact JSON the campaign
+//! runner would write, and asserts the two are **byte-identical** after
+//!
+//! * wall masking (`Registry::masked()` — same normalization the
+//!   determinism oracle applies), and
+//! * neutralizing the cache's *own* accounting keys
+//!   (`core.evalcache.hits` / `core.evalcache.misses` and the derived
+//!   `cache_hit_rate` summary), which by construction read 0/0/null when
+//!   the cache is off — they report on the cache, not on behavior.
+//!
+//! Everything else — trace fingerprint, event counts, oracle verdicts,
+//! network metrics, decision-latency histograms on the sim-cost clock,
+//! `mck.*` exploration counters, the trace window — must match to the
+//! byte. In release builds (CI's `cargo test --workspace --release`) this
+//! sweeps 32 seeds; debug builds keep a 4-seed smoke so plain
+//! `cargo test -q` stays quick.
+
+use cb_harness::prelude::*;
+use cb_harness::scenario::RunReport;
+use cb_randtree::RandTreeCampaign;
+
+/// Keys whose values legitimately differ with the cache on vs off: the
+/// cache's own accounting. Everything else must be byte-identical.
+const CACHE_ACCOUNTING_KEYS: [&str; 3] = [
+    "\"core.evalcache.hits\"",
+    "\"core.evalcache.misses\"",
+    "\"cache_hit_rate\"",
+];
+
+/// Renders a report the way a campaign artifact embeds it, with wall
+/// metrics masked and the cache-accounting values neutralized.
+fn normalized_artifact(mut report: RunReport) -> String {
+    report.telemetry = report.telemetry.masked();
+    let json = report.to_json().to_string_pretty();
+    json.lines()
+        .map(|line| {
+            let key_hit = CACHE_ACCOUNTING_KEYS
+                .iter()
+                .any(|k| line.trim_start().starts_with(k));
+            if !key_hit {
+                return line.to_string();
+            }
+            let (key_part, rest) = line.split_once(':').expect("key line has a value");
+            let comma = if rest.trim_end().ends_with(',') {
+                ","
+            } else {
+                ""
+            };
+            format!("{key_part}: \"<cache-accounting>\"{comma}")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn evalcache_on_off_campaign_artifacts_are_byte_identical() {
+    let seeds: u64 = if cfg!(debug_assertions) { 4 } else { 32 };
+    let on = RandTreeCampaign {
+        lookahead: true,
+        evalcache: true,
+        ..Default::default()
+    };
+    let off = RandTreeCampaign {
+        lookahead: true,
+        evalcache: false,
+        ..Default::default()
+    };
+    let mut total_hits = 0u64;
+    for seed in 1..=seeds {
+        let plan = on.default_plan(seed);
+        let run_on = on.run(seed, &plan);
+        let run_off = off.run(seed, &plan);
+        total_hits += run_on.telemetry.counter("core.evalcache.hits");
+        assert_eq!(
+            run_off.telemetry.counter("core.evalcache.hits")
+                + run_off.telemetry.counter("core.evalcache.misses"),
+            0,
+            "seed {seed}: cache accounting must be silent with the cache off"
+        );
+        assert_eq!(
+            run_on.fingerprint, run_off.fingerprint,
+            "seed {seed}: trace fingerprint shifted with the cache on"
+        );
+        let a = normalized_artifact(run_on);
+        let b = normalized_artifact(run_off);
+        assert_eq!(
+            a, b,
+            "seed {seed}: masked artifacts differ beyond cache accounting"
+        );
+    }
+    // Non-vacuity: the sweep must have exercised actual cache hits, or the
+    // transparency claim was never tested.
+    assert!(
+        total_hits > 0,
+        "no cache hits across {seeds} seeds — the transparency check is vacuous"
+    );
+}

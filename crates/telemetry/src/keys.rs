@@ -36,6 +36,15 @@ pub const CORE_CACHE_MISSES: &str = "core.cache.misses";
 pub const CORE_CACHE_REFRESHES: &str = "core.cache.refreshes";
 /// Full lookahead evaluations performed by a `LookaheadResolver`.
 pub const CORE_LOOKAHEAD_EVALUATIONS: &str = "core.lookahead.evaluations";
+/// Per-decision evaluation-cache lookups (property verdicts and objective
+/// scores) answered from a memoized entry.
+pub const CORE_EVALCACHE_HITS: &str = "core.evalcache.hits";
+/// Per-decision evaluation-cache lookups that had to compute fresh.
+pub const CORE_EVALCACHE_MISSES: &str = "core.evalcache.misses";
+/// Dedicated liveness searches the fused single-pass evaluation avoided
+/// (one whole exploration saved per option evaluation with liveness
+/// objectives).
+pub const CORE_EVALCACHE_FUSED_SEARCHES_SAVED: &str = "core.evalcache.fused_searches_saved";
 /// Options dropped by the safety steering filter.
 pub const CORE_STEERING_DROPPED: &str = "core.steering.dropped";
 /// Times steering filtered every option (fell back to unsteered choice).
@@ -101,6 +110,9 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_CACHE_MISSES,
         CORE_CACHE_REFRESHES,
         CORE_LOOKAHEAD_EVALUATIONS,
+        CORE_EVALCACHE_HITS,
+        CORE_EVALCACHE_MISSES,
+        CORE_EVALCACHE_FUSED_SEARCHES_SAVED,
         CORE_STEERING_DROPPED,
         CORE_STEERING_BREAKS,
         CORE_CONTROLLER_CYCLES,
