@@ -4,6 +4,7 @@
 //! campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
 //!          [--telemetry] [--lookahead] [--no-evalcache]
+//!          [--storm] [--ladder] [--deadline STATES]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -22,6 +23,12 @@
 //! without it and diffing the masked artifacts is the operational
 //! cache-transparency check (the `cache_transparency` integration test in
 //! `cb-randtree` automates it).
+//! `--storm` layers the fault-storm schedule (gray-failure stalls, a
+//! latency spike, extra loss) onto the randtree and gossip scenarios;
+//! `--ladder` resolves their choices through the degradation-governed
+//! resolver ladder; `--deadline STATES` sets the per-decision prediction
+//! deadline on randtree (enforced in the ladder arm, reported-only in the
+//! lookahead control arm). Together they reproduce experiment E11.
 //! Exit status: 0 = all oracles passed, 1 = violations (or a replay that
 //! did reproduce the recorded violation — that's what a repro is for),
 //! 2 = usage error.
@@ -36,6 +43,7 @@ fn usage() -> ! {
         "usage: campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]\n\
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
+         \x20               [--storm] [--ladder] [--deadline STATES]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -51,6 +59,9 @@ fn main() {
     let mut show_telemetry = false;
     let mut lookahead = false;
     let mut evalcache = true;
+    let mut storm = false;
+    let mut ladder = false;
+    let mut deadline: u64 = 0;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -103,6 +114,16 @@ fn main() {
             "--no-shrink" => cfg.shrink = false,
             "--lookahead" => lookahead = true,
             "--no-evalcache" => evalcache = false,
+            "--storm" => storm = true,
+            "--ladder" => ladder = true,
+            "--deadline" => {
+                deadline = need(&args, &mut i, "--deadline")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--deadline wants a number of explored states");
+                        usage();
+                    })
+            }
             "--telemetry" => show_telemetry = true,
             "--no-determinism" => cfg.check_determinism = false,
             "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
@@ -167,20 +188,41 @@ fn main() {
         },
         None => cb_bench::registry::all_scenarios(),
     };
-    if lookahead || !evalcache {
-        // The lookahead/evalcache knobs live on the randtree scenario —
-        // the one campaign protocol whose choices route through the
-        // predictive evaluator. Swap its registry entry for a configured
-        // instance; other scenarios are unaffected.
-        let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "randtree") else {
-            eprintln!("--lookahead/--no-evalcache apply to the randtree scenario");
+    if lookahead || !evalcache || storm || ladder || deadline > 0 {
+        // The lookahead/evalcache/deadline knobs live on the randtree
+        // scenario — the one campaign protocol whose choices route through
+        // the predictive evaluator; storm/ladder also apply to gossip.
+        // Swap the registry entries for configured instances; other
+        // scenarios are unaffected.
+        let mut touched = false;
+        if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "randtree") {
+            *slot = Box::new(cb_randtree::RandTreeCampaign {
+                lookahead,
+                evalcache,
+                ladder,
+                deadline_states: deadline,
+                storm,
+                ..Default::default()
+            });
+            touched = true;
+        }
+        if storm || ladder {
+            if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "gossip") {
+                *slot = Box::new(cb_gossip::GossipCampaign {
+                    ladder,
+                    storm,
+                    ..Default::default()
+                });
+                touched = true;
+            }
+        }
+        if !touched {
+            eprintln!(
+                "--lookahead/--no-evalcache/--storm/--ladder/--deadline apply to the \
+                 randtree and gossip scenarios"
+            );
             usage();
-        };
-        *slot = Box::new(cb_randtree::RandTreeCampaign {
-            lookahead,
-            evalcache,
-            ..Default::default()
-        });
+        }
     }
 
     let mut any_failed = false;

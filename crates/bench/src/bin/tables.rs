@@ -52,6 +52,7 @@ fn main() {
         ("e7", experiments::e7),
         ("e8", experiments::e8),
         ("e10", experiments::e10),
+        ("e11", experiments::e11),
         ("a1", experiments::a1),
         ("a2", experiments::a2),
         ("t1", experiments::t1),

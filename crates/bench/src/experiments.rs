@@ -522,6 +522,82 @@ pub fn e10(scale: Scale) -> Table {
     t
 }
 
+/// E11 — graceful degradation under fault storms.
+///
+/// Runs the randtree fault-storm campaign twice with the same
+/// per-decision prediction deadline: once through the degradation-governed
+/// resolver ladder (deadline *enforced* at the evaluator) and once through
+/// pure lookahead (deadline *reported* only). The ladder arm must keep
+/// every decision inside the budget — zero overruns — by stepping down to
+/// cheaper rungs when predictions get cut short, and must step back up
+/// once evaluations complete again; the control arm shows how often
+/// unbounded prediction blows the same budget.
+pub fn e11(scale: Scale) -> Table {
+    use cb_harness::prelude::{run_campaign, CampaignConfig};
+    use cb_randtree::RandTreeCampaign;
+    use cb_telemetry::summary::summarize;
+
+    /// The per-decision prediction deadline, in explored states. Chosen
+    /// below the storm arm's typical per-decision exploration cost so the
+    /// deadline actually bites (the campaign tests pin the same value).
+    const DEADLINE_STATES: u64 = 20;
+
+    let mut t = Table::new(
+        "E11",
+        format!(
+            "Graceful degradation under fault storms (deadline {DEADLINE_STATES} states/decision)"
+        ),
+        "predictions degrade to cheaper strategies instead of blocking decisions (paper 3.3-3.4)",
+        &[
+            "arm",
+            "decisions",
+            "partial evals",
+            "deadline overruns",
+            "step-downs",
+            "recoveries",
+            "degraded-rung decisions",
+            "violations",
+        ],
+    );
+    let cfg = CampaignConfig {
+        seeds: if scale.full { 8 } else { 2 },
+        check_determinism: false,
+        shrink: false,
+        artifact_dir: None,
+        ..CampaignConfig::default()
+    };
+    for (label, ladder) in [("Ladder (enforced)", true), ("Lookahead (control)", false)] {
+        let scenario = RandTreeCampaign {
+            lookahead: !ladder,
+            ladder,
+            deadline_states: DEADLINE_STATES,
+            storm: true,
+            ..Default::default()
+        };
+        let outcome = run_campaign(&scenario, &cfg);
+        let s = summarize(&outcome.telemetry);
+        let tl = &outcome.telemetry;
+        let degraded = tl.counter(cb_telemetry::keys::CORE_LADDER_RUNG_CACHED)
+            + tl.counter(cb_telemetry::keys::CORE_LADDER_RUNG_HEURISTIC)
+            + tl.counter(cb_telemetry::keys::CORE_LADDER_RUNG_STATIC);
+        t.push(vec![
+            label.to_string(),
+            s.decisions.to_string(),
+            tl.counter(cb_telemetry::keys::CORE_PREDICT_PARTIAL_EVALS)
+                .to_string(),
+            tl.counter(cb_telemetry::keys::CORE_PREDICT_DEADLINE_OVERRUNS)
+                .to_string(),
+            tl.counter(cb_telemetry::keys::CORE_GOVERNOR_STEP_DOWNS)
+                .to_string(),
+            tl.counter(cb_telemetry::keys::CORE_GOVERNOR_RECOVERIES)
+                .to_string(),
+            degraded.to_string(),
+            outcome.failures.len().to_string(),
+        ]);
+    }
+    t
+}
+
 /// A1 — ablation: lookahead depth vs rejoin tree quality.
 pub fn a1(scale: Scale) -> Table {
     use cb_core::predict::PredictConfig;
@@ -667,6 +743,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
         e7(scale),
         e8(scale),
         e10(scale),
+        e11(scale),
         a1(scale),
         a2(scale),
         t1(scale),
@@ -711,6 +788,25 @@ mod tests {
             assert!(row[6].parse::<u64>().expect("msgs") > 0, "{row:?}");
             assert!(row[3].parse::<u64>().expect("p99") >= row[2].parse::<u64>().expect("p50"));
         }
+    }
+
+    #[test]
+    fn e11_ladder_holds_the_deadline_while_the_control_arm_overruns() {
+        let t = e11(Scale::quick());
+        assert_eq!(t.rows.len(), 2);
+        let cell = |row: usize, col: usize| -> u64 { t.rows[row][col].parse().expect("count") };
+        // Ladder arm: deadline fired (partial evals), never overran, and
+        // the governor both stepped down and recovered; no violations.
+        assert!(cell(0, 2) > 0, "ladder arm never hit the deadline");
+        assert_eq!(cell(0, 3), 0, "enforced deadline overran");
+        assert!(cell(0, 4) > 0, "no step-down");
+        assert!(cell(0, 5) > 0, "no recovery");
+        assert!(cell(0, 6) > 0, "never used a degraded rung");
+        assert_eq!(cell(0, 7), 0, "ladder arm violated an oracle");
+        // Control arm: same storm, unbounded prediction overruns the
+        // budget it was only asked to report.
+        assert!(cell(1, 3) > 0, "control arm never overran");
+        assert_eq!(cell(1, 7), 0, "control arm violated an oracle");
     }
 
     #[test]

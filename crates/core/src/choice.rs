@@ -119,6 +119,22 @@ impl Prediction {
     }
 }
 
+/// Whether a predictive evaluation ran to completion or was cut short.
+///
+/// A [`Partial`](EvalVerdict::Partial) verdict is an *explicit* signal that
+/// the evaluator hit its per-decision prediction deadline (sim-cost budget)
+/// and stopped early instead of silently truncating the search: downstream
+/// consumers (the degradation governor, the resolver ladder) treat it as a
+/// deadline firing and step down to cheaper resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalVerdict {
+    /// Every evaluation this decision ran within budget.
+    Complete,
+    /// At least one evaluation was cut short by the prediction deadline;
+    /// predictions from this decision may be under-informed.
+    Partial,
+}
+
 /// Evaluates the future of individual options at a choice point.
 ///
 /// Predictive resolvers call [`OptionEvaluator::evaluate`]; cheap resolvers
@@ -127,6 +143,23 @@ impl Prediction {
 pub trait OptionEvaluator {
     /// Predicts the outcome of picking option `index`.
     fn evaluate(&mut self, index: usize) -> Prediction;
+
+    /// Whether the evaluations so far this decision all completed, or a
+    /// prediction deadline fired ([`EvalVerdict::Partial`]). Default:
+    /// [`EvalVerdict::Complete`] (evaluators without a deadline never run
+    /// out of budget).
+    fn verdict(&self) -> EvalVerdict {
+        EvalVerdict::Complete
+    }
+
+    /// Total predicted states this evaluator has explored this decision,
+    /// across every option — the number the prediction deadline is charged
+    /// against. The runtime uses it to *report* overruns for evaluators
+    /// whose deadline is not enforced (the control arm of the degradation
+    /// experiments). Default: 0 (evaluators with no exploration cost).
+    fn states_spent(&self) -> u64 {
+        0
+    }
 
     /// Accumulates evaluator-internal telemetry (evaluation-cache hit/miss
     /// counts, fused-pass savings, …) into `reg` under the standard
@@ -172,6 +205,17 @@ pub trait Resolver {
     /// choice point in this context. Default: ignored.
     fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
         let _ = (id, context, option_key, reward);
+    }
+
+    /// Feeds the resolver the runtime's model-health signals for the
+    /// decision about to be resolved (snapshot staleness, network-model
+    /// confidence, steering pressure). Health-aware resolvers — the
+    /// [`LadderResolver`](crate::resolve::ladder::LadderResolver) — route
+    /// these into their degradation governor; everything else ignores
+    /// them. Called by the runtime immediately before
+    /// [`resolve`](Resolver::resolve). Default: no-op.
+    fn observe_health(&mut self, signals: &crate::governor::HealthSignals) {
+        let _ = signals;
     }
 
     /// A short name for reports and experiment tables.

@@ -1,0 +1,416 @@
+//! The degradation governor: a per-node health state machine with
+//! hysteresis.
+//!
+//! The predictive runtime is only as good as its models (paper §3.4: "the
+//! model can become out-of-date"). When the `StateModel` snapshots it
+//! predicts over grow stale, the `NetworkModel` loses confidence in the
+//! peers the options refer to, steering filters fire in bursts, or the
+//! per-decision prediction deadline is blown, *continuing to trust full
+//! lookahead is worse than not predicting at all* — the predictions would
+//! be confidently wrong. The governor classifies those signals into a
+//! coarse [`Health`] level and drives the
+//! [`LadderResolver`](crate::resolve::ladder::LadderResolver) down to
+//! cheaper, safer resolution rungs, with hysteresis so the node does not
+//! flap between strategies on a noisy boundary signal.
+//!
+//! ## Hysteresis
+//!
+//! Transitions move **one level at a time** and only after the raw
+//! classification has pointed the same direction for a configurable number
+//! of consecutive observations (`down_patience` to worsen, the larger
+//! `up_patience` to recover). An oscillating signal therefore never builds
+//! a streak long enough to move the state at all, and recovery is
+//! deliberately slower than degradation: stepping down late costs wasted
+//! prediction, stepping up early costs wrong predictions.
+
+use cb_simnet::time::SimDuration;
+use cb_telemetry::{keys, Registry};
+
+/// Coarse model-health level. Ordered: `Healthy < Degraded < Survival`
+/// (greater = worse), so `max` composes "worst of several signals".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Health {
+    /// Models fresh and confident: full predictive resolution is trusted.
+    Healthy,
+    /// Models aging or under pressure: prefer cached/cheap resolution.
+    Degraded,
+    /// Models effectively blind: take only the static safe default.
+    Survival,
+}
+
+impl Health {
+    /// The ladder rung this health level maps to (0 = full lookahead,
+    /// 2 = heuristic; the ladder may bump further for deadline events).
+    pub fn rung(self) -> usize {
+        match self {
+            Health::Healthy => 0,
+            Health::Degraded => 1,
+            Health::Survival => 2,
+        }
+    }
+
+    /// One level worse, saturating at [`Health::Survival`].
+    pub fn worse(self) -> Health {
+        match self {
+            Health::Healthy => Health::Degraded,
+            Health::Degraded | Health::Survival => Health::Survival,
+        }
+    }
+
+    /// One level better, saturating at [`Health::Healthy`].
+    pub fn better(self) -> Health {
+        match self {
+            Health::Survival => Health::Degraded,
+            Health::Degraded | Health::Healthy => Health::Healthy,
+        }
+    }
+
+    /// Short label for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Survival => "survival",
+        }
+    }
+}
+
+/// The model-health signals the runtime gathers immediately before each
+/// decision and feeds to [`Resolver::observe_health`]
+/// (crate::choice::Resolver::observe_health).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthSignals {
+    /// Age of the *oldest* neighbor snapshot the state model holds, or
+    /// `None` when no neighbor snapshots are expected (single node) —
+    /// treated as fresh.
+    pub snapshot_staleness: Option<SimDuration>,
+    /// Minimum network-model confidence across the peers involved in the
+    /// decision (1.0 when no peers are involved).
+    pub min_peer_confidence: f64,
+    /// Steering filters currently installed on this node (a burst of
+    /// filters means the controller is predicting trouble).
+    pub steering_pressure: u64,
+    /// Whether the previous decision's prediction hit its deadline
+    /// ([`EvalVerdict::Partial`](crate::choice::EvalVerdict::Partial)).
+    pub deadline_fired: bool,
+}
+
+impl Default for HealthSignals {
+    fn default() -> Self {
+        HealthSignals {
+            snapshot_staleness: None,
+            min_peer_confidence: 1.0,
+            steering_pressure: 0,
+            deadline_fired: false,
+        }
+    }
+}
+
+/// Thresholds and hysteresis patience for the governor.
+#[derive(Clone, Copy, Debug)]
+pub struct GovernorConfig {
+    /// Snapshot age at which the node counts as `Degraded`.
+    pub stale_degraded: SimDuration,
+    /// Snapshot age at which the node counts as `Survival`.
+    pub stale_survival: SimDuration,
+    /// Peer confidence below which the node counts as `Degraded`.
+    pub conf_degraded: f64,
+    /// Peer confidence below which the node counts as `Survival`.
+    pub conf_survival: f64,
+    /// Installed steering filters at/above which the node counts as
+    /// `Degraded` (steering pressure alone never forces `Survival`).
+    pub pressure_degraded: u64,
+    /// Consecutive worse-pointing observations before stepping down one
+    /// level.
+    pub down_patience: u32,
+    /// Consecutive better-pointing observations before stepping up one
+    /// level. Should exceed `down_patience`: recovery must be earned.
+    pub up_patience: u32,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            stale_degraded: SimDuration::from_secs(10),
+            stale_survival: SimDuration::from_secs(30),
+            conf_degraded: 0.5,
+            conf_survival: 0.1,
+            pressure_degraded: 4,
+            down_patience: 2,
+            up_patience: 8,
+        }
+    }
+}
+
+/// The per-node health state machine. Feed it one [`HealthSignals`] per
+/// decision via [`observe`](DegradationGovernor::observe); read the current
+/// level with [`health`](DegradationGovernor::health).
+#[derive(Clone, Debug)]
+pub struct DegradationGovernor {
+    cfg: GovernorConfig,
+    state: Health,
+    /// Consecutive observations whose raw classification was worse than
+    /// the current state.
+    down_streak: u32,
+    /// Consecutive observations whose raw classification was better than
+    /// the current state.
+    up_streak: u32,
+    // ---- counters for telemetry (absolute; exported as snapshots) ----
+    transitions: u64,
+    step_downs: u64,
+    recoveries: u64,
+    decisions_healthy: u64,
+    decisions_degraded: u64,
+    decisions_survival: u64,
+}
+
+impl DegradationGovernor {
+    /// A governor starting `Healthy` with the given thresholds.
+    pub fn new(cfg: GovernorConfig) -> Self {
+        DegradationGovernor {
+            cfg,
+            state: Health::Healthy,
+            down_streak: 0,
+            up_streak: 0,
+            transitions: 0,
+            step_downs: 0,
+            recoveries: 0,
+            decisions_healthy: 0,
+            decisions_degraded: 0,
+            decisions_survival: 0,
+        }
+    }
+
+    /// The current health level.
+    pub fn health(&self) -> Health {
+        self.state
+    }
+
+    /// The raw, hysteresis-free classification of one signal set: the
+    /// worst level any individual signal demands.
+    pub fn classify(&self, s: &HealthSignals) -> Health {
+        let mut h = Health::Healthy;
+        if let Some(age) = s.snapshot_staleness {
+            if age >= self.cfg.stale_survival {
+                h = h.max(Health::Survival);
+            } else if age >= self.cfg.stale_degraded {
+                h = h.max(Health::Degraded);
+            }
+        }
+        if s.min_peer_confidence < self.cfg.conf_survival {
+            h = h.max(Health::Survival);
+        } else if s.min_peer_confidence < self.cfg.conf_degraded {
+            h = h.max(Health::Degraded);
+        }
+        if s.steering_pressure >= self.cfg.pressure_degraded {
+            h = h.max(Health::Degraded);
+        }
+        if s.deadline_fired {
+            h = h.max(Health::Degraded);
+        }
+        h
+    }
+
+    /// Folds in one observation (one per decision) and returns the health
+    /// level in force *for that decision*. Transitions happen one level at
+    /// a time, only after the classification has pointed the same way for
+    /// `down_patience` / `up_patience` consecutive observations.
+    pub fn observe(&mut self, signals: &HealthSignals) -> Health {
+        let target = self.classify(signals);
+        match target.cmp(&self.state) {
+            std::cmp::Ordering::Greater => {
+                self.down_streak += 1;
+                self.up_streak = 0;
+                if self.down_streak >= self.cfg.down_patience {
+                    self.state = self.state.worse();
+                    self.down_streak = 0;
+                    self.transitions += 1;
+                    self.step_downs += 1;
+                }
+            }
+            std::cmp::Ordering::Less => {
+                self.up_streak += 1;
+                self.down_streak = 0;
+                if self.up_streak >= self.cfg.up_patience {
+                    self.state = self.state.better();
+                    self.up_streak = 0;
+                    self.transitions += 1;
+                    self.recoveries += 1;
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                self.down_streak = 0;
+                self.up_streak = 0;
+            }
+        }
+        match self.state {
+            Health::Healthy => self.decisions_healthy += 1,
+            Health::Degraded => self.decisions_degraded += 1,
+            Health::Survival => self.decisions_survival += 1,
+        }
+        self.state
+    }
+
+    /// Total state transitions (either direction).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Transitions toward worse health.
+    pub fn step_downs(&self) -> u64 {
+        self.step_downs
+    }
+
+    /// Transitions toward better health.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Exports the governor counters under the `core.governor.*` keys
+    /// (snapshot semantics: absolute sets, idempotent).
+    pub fn export_metrics(&self, reg: &mut Registry) {
+        reg.set_counter(keys::CORE_GOVERNOR_TRANSITIONS, self.transitions);
+        reg.set_counter(keys::CORE_GOVERNOR_STEP_DOWNS, self.step_downs);
+        reg.set_counter(keys::CORE_GOVERNOR_RECOVERIES, self.recoveries);
+        reg.set_counter(
+            keys::CORE_GOVERNOR_DECISIONS_HEALTHY,
+            self.decisions_healthy,
+        );
+        reg.set_counter(
+            keys::CORE_GOVERNOR_DECISIONS_DEGRADED,
+            self.decisions_degraded,
+        );
+        reg.set_counter(
+            keys::CORE_GOVERNOR_DECISIONS_SURVIVAL,
+            self.decisions_survival,
+        );
+    }
+}
+
+impl Default for DegradationGovernor {
+    fn default() -> Self {
+        DegradationGovernor::new(GovernorConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stale(secs: u64) -> HealthSignals {
+        HealthSignals {
+            snapshot_staleness: Some(SimDuration::from_secs(secs)),
+            ..HealthSignals::default()
+        }
+    }
+
+    #[test]
+    fn starts_healthy_and_stays_on_good_signals() {
+        let mut g = DegradationGovernor::default();
+        for _ in 0..100 {
+            assert_eq!(g.observe(&HealthSignals::default()), Health::Healthy);
+        }
+        assert_eq!(g.transitions(), 0);
+    }
+
+    #[test]
+    fn steps_down_after_patience_and_one_level_at_a_time() {
+        let mut g = DegradationGovernor::default();
+        // Survival-grade staleness, but the first step is only to Degraded.
+        assert_eq!(g.observe(&stale(100)), Health::Healthy); // streak 1
+        assert_eq!(g.observe(&stale(100)), Health::Degraded); // streak 2 -> step
+        assert_eq!(g.observe(&stale(100)), Health::Degraded); // streak 1
+        assert_eq!(g.observe(&stale(100)), Health::Survival); // streak 2 -> step
+        assert_eq!(g.step_downs(), 2);
+        assert_eq!(g.recoveries(), 0);
+    }
+
+    #[test]
+    fn recovery_needs_longer_streak() {
+        let cfg = GovernorConfig::default();
+        let mut g = DegradationGovernor::new(cfg);
+        for _ in 0..4 {
+            g.observe(&stale(100));
+        }
+        assert_eq!(g.health(), Health::Survival);
+        // up_patience - 1 good observations: no recovery yet.
+        for _ in 0..(cfg.up_patience - 1) {
+            g.observe(&HealthSignals::default());
+        }
+        assert_eq!(g.health(), Health::Survival);
+        g.observe(&HealthSignals::default());
+        assert_eq!(g.health(), Health::Degraded);
+        assert_eq!(g.recoveries(), 1);
+    }
+
+    #[test]
+    fn oscillating_signal_never_moves_the_state() {
+        let mut g = DegradationGovernor::default();
+        for i in 0..1000 {
+            let s = if i % 2 == 0 {
+                stale(15) // Degraded-grade
+            } else {
+                HealthSignals::default() // Healthy-grade
+            };
+            g.observe(&s);
+        }
+        assert_eq!(g.health(), Health::Healthy);
+        assert_eq!(g.transitions(), 0, "hysteresis failed to damp flapping");
+    }
+
+    #[test]
+    fn classification_takes_worst_signal() {
+        let g = DegradationGovernor::default();
+        assert_eq!(g.classify(&HealthSignals::default()), Health::Healthy);
+        assert_eq!(g.classify(&stale(15)), Health::Degraded);
+        assert_eq!(g.classify(&stale(45)), Health::Survival);
+        let low_conf = HealthSignals {
+            min_peer_confidence: 0.05,
+            ..HealthSignals::default()
+        };
+        assert_eq!(g.classify(&low_conf), Health::Survival);
+        let pressure = HealthSignals {
+            steering_pressure: 10,
+            ..HealthSignals::default()
+        };
+        assert_eq!(g.classify(&pressure), Health::Degraded);
+        let deadline = HealthSignals {
+            deadline_fired: true,
+            ..HealthSignals::default()
+        };
+        assert_eq!(g.classify(&deadline), Health::Degraded);
+        // Worst-of composition: Survival staleness + Degraded pressure.
+        let both = HealthSignals {
+            snapshot_staleness: Some(SimDuration::from_secs(45)),
+            steering_pressure: 10,
+            ..HealthSignals::default()
+        };
+        assert_eq!(g.classify(&both), Health::Survival);
+    }
+
+    #[test]
+    fn health_order_and_rungs() {
+        assert!(Health::Healthy < Health::Degraded);
+        assert!(Health::Degraded < Health::Survival);
+        assert_eq!(Health::Healthy.rung(), 0);
+        assert_eq!(Health::Degraded.rung(), 1);
+        assert_eq!(Health::Survival.rung(), 2);
+        assert_eq!(Health::Survival.worse(), Health::Survival);
+        assert_eq!(Health::Healthy.better(), Health::Healthy);
+        assert_eq!(Health::Degraded.label(), "degraded");
+    }
+
+    #[test]
+    fn metrics_export_is_idempotent_snapshot() {
+        let mut g = DegradationGovernor::default();
+        for _ in 0..4 {
+            g.observe(&stale(100));
+        }
+        let mut reg = Registry::new();
+        g.export_metrics(&mut reg);
+        g.export_metrics(&mut reg);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_STEP_DOWNS), 2);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_TRANSITIONS), 2);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_DECISIONS_SURVIVAL), 1);
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod choice;
 pub mod evalcache;
+pub mod governor;
 pub mod model;
 pub mod nfa;
 pub mod objective;
@@ -68,18 +69,19 @@ pub mod steering;
 /// Everything most services and experiments need, in one import.
 pub mod prelude {
     pub use crate::choice::{
-        ChoiceId, ChoiceRequest, ContextKey, DecisionRecord, FnEvaluator, NullEvaluator,
-        OptionDesc, OptionEvaluator, Prediction, Resolver,
+        ChoiceId, ChoiceRequest, ContextKey, DecisionRecord, EvalVerdict, FnEvaluator,
+        NullEvaluator, OptionDesc, OptionEvaluator, Prediction, Resolver,
     };
     pub use crate::evalcache::EvalCache;
+    pub use crate::governor::{DegradationGovernor, GovernorConfig, Health, HealthSignals};
     pub use crate::model::net::NetworkModel;
     pub use crate::model::state::{NodeView, Snapshot, StateModel};
     pub use crate::nfa::{Dispatch, HandlerSet};
     pub use crate::objective::ObjectiveSet;
     pub use crate::predict::{ModelEvaluator, PredictConfig};
     pub use crate::resolve::{
-        BanditPolicy, CachedResolver, DampedResolver, HeuristicResolver, LearnedResolver,
-        LookaheadResolver, PrecomputedResolver, RandomResolver,
+        BanditPolicy, CachedResolver, DampedResolver, HeuristicResolver, LadderResolver,
+        LearnedResolver, LookaheadResolver, PrecomputedResolver, RandomResolver,
     };
     pub use crate::runtime::{
         fleet_telemetry, Envelope, RuntimeConfig, RuntimeNode, Service, ServiceCtx, SteeringAdvice,

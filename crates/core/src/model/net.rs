@@ -30,7 +30,18 @@ pub struct LinkEstimate {
     pub last_sample: SimTime,
     /// Total samples folded in.
     pub samples: u64,
+    /// Multiplicative confidence penalty in `(0, 1]`. Collapses to
+    /// [`CONN_BREAK_PENALTY`] when the connection to the peer is observed
+    /// broken (partition, crash, reset) — age decay alone is far too slow
+    /// to reflect a *known* disruption — and restores to `1.0` on the next
+    /// fresh sample of any kind.
+    pub confidence_penalty: f64,
 }
+
+/// The confidence multiplier applied when a peer's connection is observed
+/// broken: the estimate survives (it is still the best guess we have) but
+/// is barely trusted until a fresh sample proves the peer reachable again.
+pub const CONN_BREAK_PENALTY: f64 = 0.05;
 
 impl LinkEstimate {
     fn new(first_latency: SimDuration, now: SimTime) -> Self {
@@ -41,6 +52,7 @@ impl LinkEstimate {
             loss: 0.0,
             last_sample: now,
             samples: 1,
+            confidence_penalty: 1.0,
         }
     }
 }
@@ -108,6 +120,7 @@ impl NetworkModel {
                 );
                 est.last_sample = now;
                 est.samples += 1;
+                est.confidence_penalty = 1.0;
             }
         }
     }
@@ -127,6 +140,7 @@ impl NetworkModel {
         };
         est.last_sample = now;
         est.samples += 1;
+        est.confidence_penalty = 1.0;
     }
 
     /// Folds in a loss indicator: `lost = true` for a missed delivery,
@@ -141,6 +155,25 @@ impl NetworkModel {
         est.loss += EWMA_ALPHA * (x - est.loss);
         est.last_sample = now;
         est.samples += 1;
+        est.confidence_penalty = 1.0;
+    }
+
+    /// Records that the connection to `peer` was observed broken (partition
+    /// notification, reset, crash report). The estimate itself is kept — it
+    /// is still the best structural guess available — but its confidence
+    /// collapses by [`CONN_BREAK_PENALTY`] until the next fresh sample of
+    /// any kind proves the peer reachable again (§3.3.2: confidence must
+    /// react to *known* disruptions faster than age decay alone would).
+    ///
+    /// Unknown peers are ignored: there is no estimate to distrust.
+    pub fn observe_conn_broken(&mut self, peer: NodeId, now: SimTime) {
+        if let Some(est) = self.links.get_mut(&peer) {
+            self.observations += 1;
+            est.confidence_penalty = CONN_BREAK_PENALTY;
+            // Deliberately does NOT touch `last_sample`: the break is not a
+            // sample, and aging should keep running from the last real one.
+            let _ = now;
+        }
     }
 
     /// The raw estimate for a peer, if any sample has ever arrived.
@@ -149,13 +182,16 @@ impl NetworkModel {
     }
 
     /// Confidence in the peer's estimate at `now`: 1.0 right after a
-    /// sample, halving every `half_life`. 0.0 for unknown peers.
+    /// sample, halving every `half_life`, multiplied by the link's
+    /// [`confidence_penalty`](LinkEstimate::confidence_penalty) (collapsed
+    /// after an observed connection break). 0.0 for unknown peers.
     pub fn confidence(&self, peer: NodeId, now: SimTime) -> f64 {
         match self.links.get(&peer) {
             None => 0.0,
             Some(est) => {
                 let age = now.saturating_since(est.last_sample);
-                0.5f64.powf(age.as_secs_f64() / self.half_life.as_secs_f64())
+                est.confidence_penalty
+                    * 0.5f64.powf(age.as_secs_f64() / self.half_life.as_secs_f64())
             }
         }
     }
@@ -256,6 +292,38 @@ mod tests {
         assert!(net.confidence(NodeId(1), SimTime::from_secs(50)) < 0.01);
         net.observe_latency(NodeId(1), ms(12), SimTime::from_secs(50));
         assert!(net.confidence(NodeId(1), SimTime::from_secs(50)) > 0.99);
+    }
+
+    #[test]
+    fn conn_break_collapses_confidence_until_fresh_sample() {
+        let mut net = NetworkModel::new(SimDuration::from_secs(10));
+        let t = SimTime::from_secs(1);
+        net.observe_latency(NodeId(1), ms(30), t);
+        let before = net.confidence(NodeId(1), t);
+        assert!(before > 0.99, "pre-break confidence {before}");
+
+        net.observe_conn_broken(NodeId(1), t);
+        let after = net.confidence(NodeId(1), t);
+        assert!(
+            after < before,
+            "post-break confidence {after} not below pre-break {before}"
+        );
+        assert!(
+            after <= CONN_BREAK_PENALTY + 1e-12,
+            "penalty not applied: {after}"
+        );
+        // Estimate survives: still the best structural guess.
+        assert_eq!(net.estimate(NodeId(1)).unwrap().latency, ms(30));
+
+        // A fresh sample of any kind restores full trust.
+        net.observe_loss(NodeId(1), false, t);
+        assert!(net.confidence(NodeId(1), t) > 0.99);
+
+        // Breaking an unknown peer is a no-op.
+        let obs = net.observations();
+        net.observe_conn_broken(NodeId(42), t);
+        assert_eq!(net.observations(), obs);
+        assert!(net.estimate(NodeId(42)).is_none());
     }
 
     #[test]

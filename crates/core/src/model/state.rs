@@ -146,6 +146,17 @@ impl<C: Clone> StateModel<C> {
         self.updates
     }
 
+    /// Age of the *oldest* stored checkpoint at `now`, or `None` when the
+    /// model is empty. This is the pessimistic staleness signal the
+    /// degradation governor consumes: predictions are only as trustworthy
+    /// as the stalest neighbor state they build on.
+    pub fn oldest_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.neighbors
+            .values()
+            .map(|s| now.saturating_since(s.taken_at))
+            .max()
+    }
+
     /// Assembles the freshest consistent snapshot at `now`: all checkpoints
     /// no older than the staleness bound. Returns `None` when nothing
     /// usable exists.
@@ -259,6 +270,28 @@ mod tests {
             .expect("snapshot exists");
         assert_eq!(snap.members().collect::<Vec<_>>(), vec![NodeId(1)]);
         assert_eq!(snap.max_staleness(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn oldest_age_tracks_the_stalest_checkpoint() {
+        let mut m = model();
+        assert_eq!(m.oldest_age(SimTime::from_secs(10)), None);
+        m.update(
+            NodeId(1),
+            "fresh".into(),
+            SimTime::from_secs(9),
+            SimTime::from_secs(9),
+        );
+        m.update(
+            NodeId(2),
+            "old".into(),
+            SimTime::from_secs(2),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(
+            m.oldest_age(SimTime::from_secs(10)),
+            Some(SimDuration::from_secs(8))
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //!
 //! [`LookaheadResolver`]: crate::resolve::lookahead::LookaheadResolver
 
-use crate::choice::{OptionEvaluator, Prediction};
+use crate::choice::{EvalVerdict, OptionEvaluator, Prediction};
 use crate::evalcache::{EvalCache, MAX_CACHED_PROPS};
 use crate::objective::ObjectiveSet;
 use cb_mck::explore::ExploreConfig;
@@ -68,6 +68,17 @@ pub struct PredictConfig {
     /// of one choice (see [`EvalCache`]). Transparent: resolution picks the
     /// same option with the cache on or off.
     pub cache: bool,
+    /// Per-decision prediction deadline, as a sim-cost budget in explored
+    /// states (the decision-latency clock prices one state at 1 µs of
+    /// sim-cost). `0` disables the deadline. When set, the cumulative
+    /// states explored across all option evaluations of one decision never
+    /// exceed this: the search budget and walk count of each evaluation
+    /// are capped at what remains, and once the budget is exhausted
+    /// further evaluations return [`Prediction::unknown`] immediately.
+    /// Any cut-short evaluation flips the evaluator's verdict to
+    /// [`EvalVerdict::Partial`] — an explicit signal, not a silent
+    /// truncation — which the resolver ladder treats as a deadline firing.
+    pub deadline_states: u64,
 }
 
 impl Default for PredictConfig {
@@ -79,6 +90,7 @@ impl Default for PredictConfig {
             consequence: true,
             liveness_weight: 1.0,
             cache: true,
+            deadline_states: 0,
         }
     }
 }
@@ -108,6 +120,11 @@ where
     base_misses: u64,
     /// Dedicated liveness searches the fused pass avoided.
     fused_searches_saved: u64,
+    /// Cumulative states explored across this decision's evaluations
+    /// (deadline accounting).
+    spent_states: u64,
+    /// Evaluations cut short by the prediction deadline.
+    evals_cut_short: u64,
 }
 
 impl<'a, T, F> ModelEvaluator<'a, T, F>
@@ -136,6 +153,8 @@ where
             base_hits: 0,
             base_misses: 0,
             fused_searches_saved: 0,
+            spent_states: 0,
+            evals_cut_short: 0,
         }
     }
 
@@ -160,6 +179,8 @@ where
             base_hits,
             base_misses,
             fused_searches_saved: 0,
+            spent_states: 0,
+            evals_cut_short: 0,
         }
     }
 
@@ -171,6 +192,16 @@ where
     /// Dedicated liveness searches the fused pass avoided so far.
     pub fn fused_searches_saved(&self) -> u64 {
         self.fused_searches_saved
+    }
+
+    /// Cumulative states explored across this decision's evaluations.
+    pub fn spent_states(&self) -> u64 {
+        self.spent_states
+    }
+
+    /// Evaluations cut short by the prediction deadline so far.
+    pub fn evals_cut_short(&self) -> u64 {
+        self.evals_cut_short
     }
 
     fn explore_cfg(&self) -> ExploreConfig {
@@ -291,9 +322,28 @@ where
     F: FnMut(usize) -> T,
 {
     fn evaluate(&mut self, index: usize) -> Prediction {
+        // Deadline accounting: the per-decision sim-cost budget that is
+        // still unspent. `deadline_states == 0` disables the whole
+        // mechanism, leaving evaluation bit-identical to the undeadlined
+        // path (the differential tests pin this).
+        let deadline = self.cfg.deadline_states;
+        let budget = if deadline == 0 {
+            u64::MAX
+        } else {
+            deadline.saturating_sub(self.spent_states)
+        };
+        if budget == 0 {
+            // Earlier options already exhausted the decision's budget:
+            // stop explicitly (Partial) instead of silently truncating.
+            self.evals_cut_short += 1;
+            return Prediction::unknown();
+        }
         let sys = (self.make_system)(index);
         let props = self.effective_props();
-        let explore_cfg = self.explore_cfg();
+        let mut explore_cfg = self.explore_cfg();
+        if deadline != 0 {
+            explore_cfg.max_states = explore_cfg.max_states.min(budget as usize);
+        }
         let want_live = self.want_liveness();
         // One fused search: safety violations AND bounded-liveness
         // satisfaction from the same traversal.
@@ -308,14 +358,29 @@ where
             let r = cb_mck::explore::bfs(&sys, &props, &explore_cfg);
             (r.violations.len() as u64, r.states_visited, r.liveness)
         };
+        // What the walks may still spend after the fused search, and
+        // whether the search itself consumed its entire allowance (in
+        // which case it may have been truncated by the deadline cap).
+        self.spent_states += states_a;
+        let walk_budget = budget.saturating_sub(states_a);
+        let mut cut_short = deadline != 0 && states_a >= budget;
+        let effective_walks = if deadline == 0 {
+            self.cfg.walks
+        } else {
+            let affordable = (walk_budget / self.cfg.depth.max(1) as u64) as usize;
+            self.cfg.walks.min(affordable)
+        };
+        if effective_walks < self.cfg.walks {
+            cut_short = true;
+        }
         // Objective estimation over sampled futures. Walk RNG consumption
         // depends only on action weights, so memoized scores cannot shift
         // the sampled paths.
-        let (mut objective, states_b) = if self.cfg.walks == 0 {
+        let (mut objective, states_b) = if effective_walks == 0 {
             (self.scored(&sys.initial()), 0)
         } else {
             let wcfg = WalkConfig {
-                walks: self.cfg.walks,
+                walks: effective_walks,
                 depth: self.cfg.depth,
             };
             let cache = self.cache.clone();
@@ -326,6 +391,10 @@ where
             });
             (report.mean_score(), report.steps)
         };
+        self.spent_states += states_b;
+        if cut_short {
+            self.evals_cut_short += 1;
+        }
         // Bounded liveness folded from the same search — this is the whole
         // exploration the pre-fusion path spent on a second BFS.
         if want_live {
@@ -339,6 +408,18 @@ where
             violations,
             states_explored: states_a + states_b,
         }
+    }
+
+    fn verdict(&self) -> EvalVerdict {
+        if self.evals_cut_short > 0 {
+            EvalVerdict::Partial
+        } else {
+            EvalVerdict::Complete
+        }
+    }
+
+    fn states_spent(&self) -> u64 {
+        self.spent_states
     }
 
     fn export_metrics(&self, reg: &mut Registry) {
@@ -356,6 +437,7 @@ where
             keys::CORE_EVALCACHE_FUSED_SEARCHES_SAVED,
             self.fused_searches_saved,
         );
+        reg.add(keys::CORE_PREDICT_PARTIAL_EVALS, self.evals_cut_short);
     }
 }
 
@@ -630,6 +712,92 @@ mod tests {
         // its export covers only its own delta.
         assert!(reg.counter(keys::CORE_EVALCACHE_HITS) > 0);
         assert_eq!(reg.counter(keys::CORE_EVALCACHE_MISSES), 0);
+    }
+
+    #[test]
+    fn deadline_caps_spent_states_and_reports_partial() {
+        let objectives: ObjectiveSet<i64> = ObjectiveSet::new()
+            .maximize("value", 1.0, |s: &i64| *s as f64)
+            .safety(Property::safety("below 1000", |s: &i64| *s < 1000));
+        let cfg = PredictConfig {
+            depth: 8,
+            walks: 16,
+            deadline_states: 12,
+            ..Default::default()
+        };
+        let mut eval = ModelEvaluator::new(
+            |_| Drift { start: 0, bias: 1 },
+            &objectives,
+            cfg,
+            SimRng::seed_from(13),
+        );
+        // Several options: the budget spans the whole decision.
+        let mut total = 0;
+        for i in 0..4 {
+            total += eval.evaluate(i).states_explored;
+        }
+        assert!(total <= 12, "deadline overrun: spent {total} > 12");
+        assert_eq!(eval.spent_states(), total);
+        assert_eq!(eval.verdict(), EvalVerdict::Partial);
+        assert!(eval.evals_cut_short() > 0);
+        let mut reg = Registry::new();
+        eval.export_metrics(&mut reg);
+        assert_eq!(
+            reg.counter(keys::CORE_PREDICT_PARTIAL_EVALS),
+            eval.evals_cut_short()
+        );
+    }
+
+    #[test]
+    fn exhausted_deadline_returns_unknown_immediately() {
+        let objectives: ObjectiveSet<i64> =
+            ObjectiveSet::new().maximize("value", 1.0, |s: &i64| *s as f64);
+        let mut eval = ModelEvaluator::new(
+            |_| Drift { start: 0, bias: 1 },
+            &objectives,
+            PredictConfig {
+                depth: 6,
+                walks: 8,
+                deadline_states: 3,
+                ..Default::default()
+            },
+            SimRng::seed_from(14),
+        );
+        let _ = eval.evaluate(0); // consumes the whole (tiny) budget
+        let p = eval.evaluate(1);
+        assert_eq!(
+            p,
+            Prediction::unknown(),
+            "exhausted budget must be explicit"
+        );
+        assert_eq!(eval.verdict(), EvalVerdict::Partial);
+    }
+
+    #[test]
+    fn no_deadline_is_bitwise_identical_to_the_default_path() {
+        let objectives: ObjectiveSet<i64> = ObjectiveSet::new()
+            .maximize("value", 1.0, |s: &i64| *s as f64)
+            .safety(Property::safety("below 100", |s: &i64| *s < 100));
+        let run = |deadline: u64| {
+            let mut eval = ModelEvaluator::new(
+                |_| Drift { start: 0, bias: 1 },
+                &objectives,
+                PredictConfig {
+                    depth: 5,
+                    walks: 8,
+                    deadline_states: deadline,
+                    ..Default::default()
+                },
+                SimRng::seed_from(15),
+            );
+            (eval.evaluate(0), eval.verdict())
+        };
+        let (p_off, v_off) = run(0);
+        // A deadline generous enough to never fire is also transparent.
+        let (p_big, v_big) = run(1_000_000);
+        assert_eq!(p_off, p_big);
+        assert_eq!(v_off, EvalVerdict::Complete);
+        assert_eq!(v_big, EvalVerdict::Complete);
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!   impact of actions before the system is deployed").
 //! * [`damped`] — switch hysteresis against synchronized flapping (§3.4's
 //!   emergent-behavior concern).
+//! * [`ladder`] — the health-governed fallback ladder: lookahead → cached →
+//!   heuristic → static safe default, stepped by the
+//!   [`DegradationGovernor`](crate::governor::DegradationGovernor).
 
 pub mod cached;
 pub mod damped;
 pub mod heuristic;
+pub mod ladder;
 pub mod learned;
 pub mod lookahead;
 pub mod precomputed;
@@ -28,6 +32,7 @@ pub mod random;
 pub use cached::CachedResolver;
 pub use damped::DampedResolver;
 pub use heuristic::HeuristicResolver;
+pub use ladder::LadderResolver;
 pub use learned::{ArmStats, BanditPolicy, LearnedResolver};
 pub use lookahead::LookaheadResolver;
 pub use precomputed::{precompute_table, PrecomputedResolver};

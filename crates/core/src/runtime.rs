@@ -166,6 +166,15 @@ pub struct RuntimeConfig<C> {
     /// Probe neighbors whose estimates have decayed below this confidence
     /// on each controller cycle (0.0 disables auto-probing).
     pub probe_below_confidence: f64,
+    /// Reporting-only prediction deadline, in explored states per decision
+    /// (0 disables). When a decision's evaluator spends more than this, the
+    /// runtime counts a `core.predict.deadline_overruns` — without cutting
+    /// the evaluation short. This is the *control-arm* knob of the
+    /// degradation experiments: the ladder arm instead enforces the same
+    /// budget inside the evaluator
+    /// ([`crate::predict::PredictConfig::deadline_states`]) and therefore
+    /// never overruns by construction.
+    pub report_deadline_states: u64,
 }
 
 impl<C> RuntimeConfig<C> {
@@ -180,6 +189,7 @@ impl<C> RuntimeConfig<C> {
             net_half_life: SimDuration::from_secs(20),
             advisor: None,
             probe_below_confidence: 0.0,
+            report_deadline_states: 0,
         }
     }
 
@@ -210,6 +220,15 @@ impl<C> RuntimeConfig<C> {
         self.probe_below_confidence = threshold;
         self
     }
+
+    /// Enables reporting-only deadline accounting: decisions whose
+    /// evaluator explored more than `states` count an overrun in
+    /// `core.predict.deadline_overruns` (the evaluation itself is not cut
+    /// short). 0 disables.
+    pub fn report_deadline(mut self, states: u64) -> Self {
+        self.report_deadline_states = states;
+        self
+    }
 }
 
 /// The runtime state that is not the service itself.
@@ -218,6 +237,7 @@ struct RuntimeCore<M, C> {
     controller_interval: SimDuration,
     advisor: Option<SteeringAdvisor<C>>,
     probe_below_confidence: f64,
+    report_deadline_states: u64,
     net_model: NetworkModel,
     state_model: StateModel<C>,
     steering: Steering<M>,
@@ -259,6 +279,7 @@ impl<S: Service> RuntimeNode<S> {
                 controller_interval: config.controller_interval,
                 advisor: config.advisor,
                 probe_below_confidence: config.probe_below_confidence,
+                report_deadline_states: config.report_deadline_states,
                 net_model: NetworkModel::new(config.net_half_life),
                 state_model: StateModel::new(config.max_checkpoint_staleness),
                 steering: Steering::new(),
@@ -328,6 +349,10 @@ impl<S: Service> RuntimeNode<S> {
         );
         reg.set_counter(keys::CORE_STEERING_DROPPED, self.core.steering.dropped);
         reg.set_counter(keys::CORE_STEERING_BREAKS, self.core.steering.breaks);
+        reg.set_counter(keys::CORE_STEERING_INSTALLED, self.core.steering.installed);
+        reg.set_counter(keys::CORE_STEERING_FIRED, self.core.steering.fired);
+        reg.set_counter(keys::CORE_STEERING_EXPIRED, self.core.steering.expired);
+        reg.set_counter(keys::CORE_STEERING_REMOVED, self.core.steering.removed);
         self.core.resolver.export_metrics(&mut reg);
         reg
     }
@@ -466,6 +491,10 @@ impl<S: Service> Actor for RuntimeNode<S> {
     }
 
     fn on_conn_broken(&mut self, ctx: &mut SimCtx<'_, Self::Msg>, peer: NodeId) {
+        // The break is hard evidence the peer's link estimate is wrong:
+        // collapse its confidence before the service (which may expose a
+        // choice in its failure handler) sees the event.
+        self.core.net_model.observe_conn_broken(peer, ctx.now());
         let mut sctx = ServiceCtx {
             net: ctx,
             core: &mut self.core,
@@ -625,6 +654,28 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             options,
             context,
         };
+        // Model-health snapshot for this decision: snapshot staleness,
+        // worst network confidence among the peers the options name, and
+        // steering pressure. Health-aware resolvers (the ladder) route
+        // these into their degradation governor; everything else ignores
+        // the call.
+        let now = self.net.now();
+        let mut min_conf = 1.0f64;
+        for o in options {
+            if o.key <= u32::MAX as u64 {
+                let peer = NodeId(o.key as u32);
+                if self.core.net_model.estimate(peer).is_some() {
+                    min_conf = min_conf.min(self.core.net_model.confidence(peer, now));
+                }
+            }
+        }
+        let signals = crate::governor::HealthSignals {
+            snapshot_staleness: self.core.state_model.oldest_age(now),
+            min_peer_confidence: min_conf,
+            steering_pressure: self.core.steering.active() as u64,
+            deadline_fired: false,
+        };
+        self.core.resolver.observe_health(&signals);
         let stopwatch = Stopwatch::start();
         let chosen = self.core.resolver.resolve(&request, eval);
         let wall_ns = stopwatch.elapsed_ns();
@@ -648,6 +699,16 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             .telemetry
             .record(keys::CORE_DECISION_LATENCY_WALL_NS, wall_ns);
         self.core.telemetry.inc(&self.core.arm_key);
+        // Reporting-only deadline accounting: the control arm's unenforced
+        // budget. Charged against the evaluator's total per-decision spend,
+        // not just the chosen option's prediction.
+        if self.core.report_deadline_states > 0
+            && eval.states_spent() > self.core.report_deadline_states
+        {
+            self.core
+                .telemetry
+                .inc(keys::CORE_PREDICT_DEADLINE_OVERRUNS);
+        }
         // Evaluator-internal accounting (evalcache hits/misses, fused-pass
         // savings). Delta semantics: once per decision.
         eval.export_metrics(&mut self.core.telemetry);
@@ -890,6 +951,48 @@ mod tests {
         // on the first message, folded into the probe RTT).
         assert!(lat >= SimDuration::from_millis(29), "latency {lat}");
         assert!(conf > 0.5);
+    }
+
+    #[test]
+    fn conn_break_collapses_model_confidence_through_the_runtime() {
+        let topo = Topology::star(2, SimDuration::from_millis(5), 10_000_000);
+        let mut sim = Sim::new(topo, 91, |_| {
+            RuntimeNode::new(
+                CounterSvc::new(),
+                // Controller disabled: no checkpoint traffic can refresh
+                // node 0's estimate of node 1 behind our back.
+                RuntimeConfig::new(Box::new(RandomResolver::new(5)))
+                    .controller_every(SimDuration::ZERO),
+            )
+        });
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.invoke(NodeId(0), |_n, ctx| {
+            let now = ctx.now();
+            ctx.send(NodeId(1), Envelope::Probe { sent_at: now });
+        });
+        sim.run_until_quiescent(SimTime::from_secs(2));
+        let before = sim
+            .actor(NodeId(0))
+            .net_model()
+            .confidence(NodeId(1), sim.now());
+        assert!(before > 0.9, "probe sample missing: {before}");
+        sim.invoke(NodeId(0), |_n, ctx| ctx.break_connection(NodeId(1)));
+        sim.run_until_quiescent(SimTime::from_secs(4));
+        let after = sim
+            .actor(NodeId(0))
+            .net_model()
+            .confidence(NodeId(1), sim.now());
+        assert!(
+            after < before * 0.1,
+            "break did not collapse confidence: {before} -> {after}"
+        );
+        // The estimate itself survives as the best structural guess.
+        assert!(sim
+            .actor(NodeId(0))
+            .net_model()
+            .estimate(NodeId(1))
+            .is_some());
     }
 
     #[test]

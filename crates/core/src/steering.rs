@@ -129,6 +129,12 @@ impl<M> EventFilter<M> {
 }
 
 /// The per-node steering module: installed filters plus accounting.
+///
+/// The lifecycle counters (`installed`, `fired`, `expired`, `removed`)
+/// export as `core.steering.*` telemetry: they let campaign artifacts show
+/// not just how many messages steering dropped, but how much *filter churn*
+/// the controller generated — a direct input to the degradation governor's
+/// steering-pressure signal.
 #[derive(Debug)]
 pub struct Steering<M> {
     filters: Vec<EventFilter<M>>,
@@ -136,6 +142,16 @@ pub struct Steering<M> {
     pub dropped: u64,
     /// Connections broken by filters.
     pub breaks: u64,
+    /// Filters ever installed.
+    pub installed: u64,
+    /// Filter matches (a filter actually vetoed a message). `fired ==
+    /// dropped` today, but `fired` counts per-filter lifecycle semantics
+    /// and stays correct if a non-dropping action is ever added.
+    pub fired: u64,
+    /// Filters that aged out by exhausting their match budget.
+    pub expired: u64,
+    /// Filters removed explicitly via [`Steering::remove_by_reason`].
+    pub removed: u64,
 }
 
 impl<M> Default for Steering<M> {
@@ -144,6 +160,10 @@ impl<M> Default for Steering<M> {
             filters: Vec::new(),
             dropped: 0,
             breaks: 0,
+            installed: 0,
+            fired: 0,
+            expired: 0,
+            removed: 0,
         }
     }
 }
@@ -156,6 +176,7 @@ impl<M> Steering<M> {
 
     /// Installs a filter.
     pub fn install(&mut self, filter: EventFilter<M>) {
+        self.installed += 1;
         self.filters.push(filter);
     }
 
@@ -166,7 +187,9 @@ impl<M> Steering<M> {
 
     /// Removes every filter naming `reason`.
     pub fn remove_by_reason(&mut self, reason: &str) {
+        let before = self.filters.len();
         self.filters.retain(|f| f.reason != reason);
+        self.removed += (before - self.filters.len()) as u64;
     }
 
     /// Checks an incoming message against the filters. On a match the
@@ -174,9 +197,11 @@ impl<M> Steering<M> {
     /// action is returned; the runtime then drops the message and possibly
     /// breaks the connection.
     pub fn check(&mut self, from: NodeId, msg: &M) -> Option<FilterAction> {
-        // A zero-budget filter is already spent; purge rather than letting
-        // the decrement below underflow.
+        // A zero-budget filter is already spent; purge (as an expiry)
+        // rather than letting the decrement below underflow.
+        let before = self.filters.len();
         self.filters.retain(|f| f.budget != Some(0));
+        self.expired += (before - self.filters.len()) as u64;
         let mut hit: Option<(usize, FilterAction)> = None;
         for (i, f) in self.filters.iter().enumerate() {
             if f.matches(from, msg) {
@@ -185,6 +210,7 @@ impl<M> Steering<M> {
             }
         }
         let (i, action) = hit?;
+        self.fired += 1;
         self.dropped += 1;
         if action == FilterAction::DropAndBreak {
             self.breaks += 1;
@@ -193,6 +219,7 @@ impl<M> Steering<M> {
             *b = b.saturating_sub(1);
             if *b == 0 {
                 self.filters.remove(i);
+                self.expired += 1;
             }
         }
         Some(action)
@@ -338,6 +365,44 @@ mod tests {
             assert_eq!(s.check(NodeId(1), &7), Some(FilterAction::Drop));
         }
         assert_eq!(s.active(), 1);
+    }
+
+    #[test]
+    fn lifecycle_counters_track_install_fire_expire_remove() {
+        let mut s: Steering<u32> = Steering::new();
+        s.install(
+            EventFilter::from_sender("a", NodeId(1), FilterAction::Drop, t0()).with_budget(2),
+        );
+        s.install(EventFilter::from_sender(
+            "b",
+            NodeId(2),
+            FilterAction::Drop,
+            t0(),
+        ));
+        s.install(EventFilter::from_sender(
+            "c",
+            NodeId(3),
+            FilterAction::Drop,
+            t0(),
+        ));
+        assert_eq!(s.installed, 3);
+        // Fire "a" twice: second match exhausts its budget -> expired.
+        assert!(s.check(NodeId(1), &0).is_some());
+        assert!(s.check(NodeId(1), &0).is_some());
+        assert_eq!(s.fired, 2);
+        assert_eq!(s.expired, 1);
+        // Explicit retraction of "b".
+        s.remove_by_reason("b");
+        assert_eq!(s.removed, 1);
+        // "c" remains live; nothing else expired or was removed.
+        assert_eq!(s.active(), 1);
+        assert_eq!(s.fired, s.dropped);
+        // A pre-spent filter purged on the next check counts as expired.
+        s.install(
+            EventFilter::from_sender("spent", NodeId(9), FilterAction::Drop, t0()).with_budget(0),
+        );
+        assert!(s.check(NodeId(9), &0).is_none());
+        assert_eq!(s.expired, 2);
     }
 
     #[test]

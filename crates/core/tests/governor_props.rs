@@ -1,0 +1,158 @@
+//! Property tests for the degradation governor's hysteresis and the
+//! resolver ladder's healthy-path transparency.
+//!
+//! Three invariants, over randomized signal streams and option sets:
+//!
+//! 1. **No flapping.** A strictly alternating good/bad signal stream never
+//!    builds a streak long enough to move the state, for *any* patience
+//!    configuration with `down_patience >= 2`.
+//! 2. **Monotone, one-level-at-a-time step-down.** Under a constant
+//!    worst-grade signal the state only ever worsens, exactly one level
+//!    per `down_patience` observations, and the transition accounting
+//!    (`transitions == step_downs + recoveries`, decision counts sum to
+//!    the number of observations) holds for arbitrary streams.
+//! 3. **Healthy ladder is transparent.** With healthy signals and
+//!    complete evaluations, [`LadderResolver`] resolves every request to
+//!    exactly the option pure [`LookaheadResolver`] picks.
+
+use cb_core::choice::{ChoiceRequest, FnEvaluator, OptionDesc, Prediction, Resolver};
+use cb_core::governor::{DegradationGovernor, GovernorConfig, Health, HealthSignals};
+use cb_core::resolve::ladder::LadderResolver;
+use cb_core::resolve::lookahead::LookaheadResolver;
+use cb_simnet::time::SimDuration;
+use proptest::prelude::*;
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Signals classified as the given grade (0 = Healthy, 1 = Degraded,
+/// 2 = Survival) via snapshot staleness against the default thresholds.
+fn graded(grade: u8) -> HealthSignals {
+    let secs = match grade {
+        0 => 0,
+        1 => 15,  // >= stale_degraded (10s), < stale_survival (30s)
+        _ => 100, // >= stale_survival
+    };
+    HealthSignals {
+        snapshot_staleness: Some(SimDuration::from_secs(secs)),
+        ..HealthSignals::default()
+    }
+}
+
+fn cfg(down: u32, up: u32) -> GovernorConfig {
+    GovernorConfig {
+        down_patience: down,
+        up_patience: up,
+        ..GovernorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A strictly alternating bad/good stream never moves the state: each
+    /// direction's streak is reset before it can reach any patience >= 2.
+    #[test]
+    fn alternating_signals_never_move_the_state(
+        down in 2u32..8,
+        up in 2u32..16,
+        bad_grade in 1u8..3,
+        bad_first in any::<bool>(),
+        len in 1usize..400,
+    ) {
+        let mut g = DegradationGovernor::new(cfg(down, up));
+        for i in 0..len {
+            let bad = (i % 2 == 0) == bad_first;
+            let s = if bad { graded(bad_grade) } else { graded(0) };
+            g.observe(&s);
+        }
+        prop_assert_eq!(g.health(), Health::Healthy);
+        prop_assert_eq!(g.transitions(), 0, "hysteresis failed to damp flapping");
+    }
+
+    /// Under a constant worst-grade signal the state worsens monotonically,
+    /// exactly one level per `down_patience` observations, saturating at
+    /// `Survival` — never skipping a level, never recovering.
+    #[test]
+    fn constant_bad_signal_steps_down_monotonically(
+        down in 1u32..6,
+        up in 2u32..16,
+        len in 1usize..40,
+    ) {
+        let mut g = DegradationGovernor::new(cfg(down, up));
+        let mut prev = g.health();
+        for i in 1..=len {
+            let now = g.observe(&graded(2));
+            // Monotone: never better than the previous decision's level.
+            prop_assert!(now >= prev, "health improved under a constant bad signal");
+            // One level at a time.
+            prop_assert!(now.rung() <= prev.rung() + 1, "skipped a level");
+            prev = now;
+            // Exactly one step per full patience window until saturation.
+            let expected_steps = (i / down as usize).min(2);
+            prop_assert_eq!(g.step_downs(), expected_steps as u64);
+        }
+        prop_assert_eq!(g.recoveries(), 0);
+    }
+
+    /// Accounting invariants over arbitrary signal streams: transitions
+    /// split exactly into step-downs and recoveries, and every observation
+    /// is attributed to exactly one health level.
+    #[test]
+    fn transition_accounting_balances_on_arbitrary_streams(
+        down in 1u32..5,
+        up in 1u32..10,
+        grades in prop::collection::vec(0u8..3, 1..300),
+    ) {
+        let mut g = DegradationGovernor::new(cfg(down, up));
+        for &grade in &grades {
+            g.observe(&graded(grade));
+        }
+        prop_assert_eq!(g.transitions(), g.step_downs() + g.recoveries());
+        // Recoveries can never outnumber step-downs: the governor starts
+        // at the top.
+        prop_assert!(g.recoveries() <= g.step_downs());
+        let mut reg = cb_telemetry::Registry::new();
+        g.export_metrics(&mut reg);
+        let attributed = reg.counter(cb_telemetry::keys::CORE_GOVERNOR_DECISIONS_HEALTHY)
+            + reg.counter(cb_telemetry::keys::CORE_GOVERNOR_DECISIONS_DEGRADED)
+            + reg.counter(cb_telemetry::keys::CORE_GOVERNOR_DECISIONS_SURVIVAL);
+        prop_assert_eq!(attributed, grades.len() as u64);
+    }
+
+    /// Differential: with healthy signals and complete evaluations, the
+    /// ladder is a transparent wrapper — it resolves every request to the
+    /// option pure lookahead picks, for arbitrary option sets and
+    /// prediction landscapes.
+    #[test]
+    fn healthy_ladder_is_pure_lookahead(
+        seed in any::<u64>(),
+        n_options in 1usize..6,
+        decisions in 1usize..12,
+    ) {
+        let mut ladder = LadderResolver::new();
+        let mut pure = LookaheadResolver::new();
+        for d in 0..decisions {
+            let options: Vec<OptionDesc> = (0..n_options as u64)
+                .map(|k| OptionDesc::with_features(k, vec![mix(seed ^ k) as f64 % 100.0]))
+                .collect();
+            let req = ChoiceRequest::new("prop.ladder", &options);
+            let predict = move |i: usize| {
+                let h = mix(seed ^ ((d as u64) << 32) ^ i as u64);
+                Prediction {
+                    objective: (h % 1000) as f64 / 10.0,
+                    violations: (h >> 10) % 2,
+                    states_explored: 1,
+                }
+            };
+            ladder.observe_health(&HealthSignals::default());
+            let a = ladder.resolve(&req, &mut FnEvaluator(predict));
+            let b = pure.resolve(&req, &mut FnEvaluator(predict));
+            prop_assert_eq!(a, b, "ladder diverged from lookahead at decision {}", d);
+            prop_assert_eq!(ladder.last_rung(), 0, "healthy ladder left the top rung");
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! unhealed partition starves one side and violates it.
 
 use crate::service::{GossipNode, PeerStrategy};
+use cb_core::choice::Resolver;
+use cb_core::resolve::ladder::LadderResolver;
 use cb_core::resolve::random::RandomResolver;
 use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::prelude::*;
@@ -22,6 +24,17 @@ pub struct GossipCampaign {
     pub rumors: u32,
     /// Run horizon.
     pub horizon: SimTime,
+    /// Route partner selection through the exposed-choice path
+    /// ([`PeerStrategy::Resolved`]) resolved by the degradation-governed
+    /// [`LadderResolver`]. Gossip never predicts, so the ladder here is
+    /// driven purely by model-health signals (checkpoint staleness,
+    /// connection-break confidence collapse) — the complementary arm to
+    /// randtree's deadline-driven degradation.
+    pub ladder: bool,
+    /// Layer a fault storm (gray-failure stalls + a latency spike) over
+    /// the default churn/partition/loss schedule. Healed by t=30s; the
+    /// coverage oracle must still hold at the horizon.
+    pub storm: bool,
 }
 
 impl Default for GossipCampaign {
@@ -30,6 +43,8 @@ impl Default for GossipCampaign {
             nodes: 16,
             rumors: 4,
             horizon: SimTime::from_secs(60),
+            ladder: false,
+            storm: false,
         }
     }
 }
@@ -60,6 +75,19 @@ impl Scenario for GossipCampaign {
                 .collect();
             plan = plan.partition(&[pa, pb], &others, 10_000, Some(25_000));
         }
+        if self.storm {
+            // Gray failures on two rotating non-source nodes (paused, not
+            // crashed: deferred events resume when the stall lifts) plus a
+            // mesh-wide latency spike. All healed by t=30s.
+            let sa = 1 + ((seed + 5) % (n - 1)) as u32;
+            let sb = 1 + ((seed + 7) % (n - 1)) as u32;
+            plan = plan
+                .stall(sa, 12_000, 22_000)
+                .delayspike(150, 8_000, 25_000);
+            if sb != sa {
+                plan = plan.stall(sb, 14_000, 24_000);
+            }
+        }
         plan
     }
 
@@ -70,16 +98,26 @@ impl Scenario for GossipCampaign {
         );
         let n = self.nodes;
         let rumors = self.rumors;
+        let ladder = self.ladder;
         let round = SimDuration::from_millis(500);
         let mut sim: Sim<RuntimeNode<GossipNode>> = Sim::new(topo, seed, move |id| {
-            let mut svc = GossipNode::new(id, n, PeerStrategy::FreeRandom, false, round);
+            let strategy = if ladder {
+                PeerStrategy::Resolved
+            } else {
+                PeerStrategy::FreeRandom
+            };
+            let mut svc = GossipNode::new(id, n, strategy, false, round);
             if id == NodeId(0) {
                 svc.publish_count = rumors;
             }
+            let resolver: Box<dyn Resolver> = if ladder {
+                Box::new(LadderResolver::new())
+            } else {
+                Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 16)))
+            };
             RuntimeNode::new(
                 svc,
-                RuntimeConfig::new(Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 16))))
-                    .controller_every(SimDuration::from_secs(2)),
+                RuntimeConfig::new(resolver).controller_every(SimDuration::from_secs(2)),
             )
         });
         for i in 0..n as u32 {
@@ -136,6 +174,37 @@ mod tests {
         let plan = s.default_plan(4);
         let r = s.run(4, &plan);
         assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn storm_ladder_arm_keeps_coverage() {
+        // Fault storm + resolved peer selection through the ladder. The
+        // epidemic must still cover every up node, deterministically, and
+        // the ladder/governor accounting must be live (gossip never
+        // predicts, so degradation here is driven by staleness and
+        // confidence collapse, not deadlines).
+        let s = GossipCampaign {
+            ladder: true,
+            storm: true,
+            ..Default::default()
+        };
+        let plan = s.default_plan(6);
+        let a = s.run(6, &plan);
+        let b = s.run(6, &plan);
+        assert!(!a.violated(), "{:?}", a.verdicts);
+        assert_eq!(a.fingerprint, b.fingerprint, "ladder arm nondeterministic");
+        let rungs = a.telemetry.counter("core.ladder.rung_lookahead")
+            + a.telemetry.counter("core.ladder.rung_cached")
+            + a.telemetry.counter("core.ladder.rung_heuristic")
+            + a.telemetry.counter("core.ladder.rung_static");
+        assert!(rungs > 0, "ladder never resolved a gossip.peer choice");
+        assert!(
+            a.telemetry.counter("core.governor.decisions_healthy")
+                + a.telemetry.counter("core.governor.decisions_degraded")
+                + a.telemetry.counter("core.governor.decisions_survival")
+                > 0,
+            "governor observed no decisions"
+        );
     }
 
     #[test]

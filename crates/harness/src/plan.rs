@@ -15,6 +15,8 @@
 //! part:<a.b.c>|<d.e>@<from_ms>-<heal_ms|never>
 //! loss:<pct>@<from_ms>-<until_ms>
 //! churn:<n0.n1>@<from_ms>-<until_ms>/<up_mean_ms>/<down_mean_ms>
+//! stall:<node>@<from_ms>-<until_ms>
+//! delayspike:<extra_ms>@<from_ms>-<until_ms>
 //! ```
 
 use cb_simnet::prelude::{Actor, NodeId, Sim, SimDuration, SimTime};
@@ -54,6 +56,28 @@ pub enum Fault {
     Loss {
         /// Extra loss probability added to every path.
         pct: f64,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        until: SimTime,
+    },
+    /// Gray failure: pause `node` during `[from, until)` without breaking
+    /// its connections. The node processes nothing while stalled — events
+    /// addressed to it are deferred to `until` — so peers see it go quiet
+    /// and their model snapshots of it age, but no crash is observed.
+    Stall {
+        /// Node to pause.
+        node: NodeId,
+        /// Window start.
+        from: SimTime,
+        /// Window end (events resume here).
+        until: SimTime,
+    },
+    /// Latency storm: add `extra` one-way latency to every path during
+    /// `[from, until)`, then remove it.
+    DelaySpike {
+        /// Extra one-way latency on every path.
+        extra: SimDuration,
         /// Window start.
         from: SimTime,
         /// Window end.
@@ -105,6 +129,18 @@ impl Fault {
             Fault::Loss { pct, from, until } => format!(
                 "loss:{}@{}-{}",
                 (pct * 100.0).round() as u64,
+                from.as_millis(),
+                until.as_millis()
+            ),
+            Fault::Stall { node, from, until } => format!(
+                "stall:{}@{}-{}",
+                node.0,
+                from.as_millis(),
+                until.as_millis()
+            ),
+            Fault::DelaySpike { extra, from, until } => format!(
+                "delayspike:{}@{}-{}",
+                extra.as_millis(),
                 from.as_millis(),
                 until.as_millis()
             ),
@@ -177,6 +213,26 @@ impl Fault {
                 let pct: f64 = pct.parse().map_err(|_| err("bad loss pct"))?;
                 Ok(Fault::Loss {
                     pct: pct / 100.0,
+                    from: parse_ms(from)?,
+                    until: parse_ms(until)?,
+                })
+            }
+            "stall" => {
+                let (node, window) = rest.split_once('@').ok_or_else(|| err("missing '@'"))?;
+                let (from, until) = window.split_once('-').ok_or_else(|| err("missing '-'"))?;
+                Ok(Fault::Stall {
+                    node: NodeId(node.parse().map_err(|_| err("bad node id"))?),
+                    from: parse_ms(from)?,
+                    until: parse_ms(until)?,
+                })
+            }
+            "delayspike" => {
+                let (extra, window) = rest.split_once('@').ok_or_else(|| err("missing '@'"))?;
+                let (from, until) = window.split_once('-').ok_or_else(|| err("missing '-'"))?;
+                Ok(Fault::DelaySpike {
+                    extra: SimDuration::from_millis(
+                        extra.parse().map_err(|_| err("bad extra latency"))?,
+                    ),
                     from: parse_ms(from)?,
                     until: parse_ms(until)?,
                 })
@@ -267,6 +323,28 @@ impl FaultPlan {
     pub fn loss(mut self, pct: f64, from_ms: u64, until_ms: u64) -> Self {
         self.faults.push(Fault::Loss {
             pct,
+            from: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(until_ms),
+        });
+        self
+    }
+
+    /// Builder: pause `node` (gray failure; connections stay up) during
+    /// `[from_ms, until_ms)`.
+    pub fn stall(mut self, node: u32, from_ms: u64, until_ms: u64) -> Self {
+        self.faults.push(Fault::Stall {
+            node: NodeId(node),
+            from: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(until_ms),
+        });
+        self
+    }
+
+    /// Builder: add `extra_ms` one-way latency on every path during
+    /// `[from_ms, until_ms)`.
+    pub fn delayspike(mut self, extra_ms: u64, from_ms: u64, until_ms: u64) -> Self {
+        self.faults.push(Fault::DelaySpike {
+            extra: SimDuration::from_millis(extra_ms),
             from: SimTime::from_millis(from_ms),
             until: SimTime::from_millis(until_ms),
         });
@@ -366,6 +444,13 @@ impl FaultPlan {
                     ts.push(*from);
                     ts.push(*until);
                 }
+                // A stall only needs control at its start; the simulator
+                // defers the node's events until the window end by itself.
+                Fault::Stall { from, .. } => ts.push(*from),
+                Fault::DelaySpike { from, until, .. } => {
+                    ts.push(*from);
+                    ts.push(*until);
+                }
                 _ => {}
             }
         }
@@ -440,6 +525,18 @@ impl FaultPlan {
                             sim.topology_mut().add_loss_all(-*pct);
                         }
                     }
+                    Fault::Stall { node, from, until } if *from == t => {
+                        sim.stall_until(*node, *until);
+                    }
+                    Fault::Stall { .. } => {}
+                    Fault::DelaySpike { extra, from, until } => {
+                        if *from == t {
+                            sim.topology_mut().add_latency_all(*extra);
+                        }
+                        if *until == t {
+                            sim.topology_mut().sub_latency_all(*extra);
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -470,6 +567,8 @@ mod tests {
             .partition(&[4], &[5], 100, None)
             .loss(0.25, 50, 400)
             .churn(&[6, 7], 0, 2000, 300, 120)
+            .stall(8, 100, 600)
+            .delayspike(150, 250, 700)
     }
 
     #[test]
@@ -499,6 +598,10 @@ mod tests {
             "part:|2@5-9",
             "loss:ten@1-2",
             "churn:1@2-3/4",
+            "stall:1@2",
+            "stall:x@2-3",
+            "delayspike:x@1-2",
+            "delayspike:5@1",
         ] {
             assert!(FaultPlan::from_spec(bad).is_err(), "accepted {bad}");
         }
@@ -529,14 +632,17 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(b, sorted);
-        // part@200-900, part@100-never, loss@50-400.
+        // part@200-900, part@100-never, loss@50-400, stall@100-600 (start
+        // only), delayspike@250-700.
         assert_eq!(
             b,
             vec![
                 SimTime::from_millis(50),
                 SimTime::from_millis(100),
                 SimTime::from_millis(200),
+                SimTime::from_millis(250),
                 SimTime::from_millis(400),
+                SimTime::from_millis(700),
                 SimTime::from_millis(900),
             ]
         );

@@ -14,10 +14,13 @@
 //! region between the `[handlers:begin]` / `[handlers:end]` markers here
 //! and in the choice version.
 
-use crate::proto::{TreeCheckpoint, TreeMsg, TreeState, JOIN_TIMER, RETRY_TIMER};
+use crate::proto::{
+    TreeCheckpoint, TreeMsg, TreeState, JOIN_TIMER, LEASE_CHECK_EVERY, LEASE_TIMEOUT, LEASE_TIMER,
+    RETRY_TIMER,
+};
 use cb_core::model::state::{NodeView, StateModel};
 use cb_core::runtime::{Service, ServiceCtx};
-use cb_simnet::time::SimDuration;
+use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
 use std::collections::HashMap;
 
@@ -43,6 +46,10 @@ pub struct BaselineRandTree {
     pub forwarded: u64,
     /// Joins this node adopted.
     pub adopted: u64,
+    /// When the current attachment was established (lease baseline).
+    attached_at: SimTime,
+    /// Attachment leases that expired and forced a rejoin.
+    pub lease_expired: u64,
 }
 
 impl BaselineRandTree {
@@ -57,6 +64,8 @@ impl BaselineRandTree {
             rr_cursor: 0,
             forwarded: 0,
             adopted: 0,
+            attached_at: SimTime::ZERO,
+            lease_expired: 0,
         }
     }
 
@@ -180,6 +189,7 @@ impl BaselineRandTree {
                     self.tree.parent = Some(parent);
                     self.tree.depth = depth;
                     self.tree.attached = true;
+                    self.attached_at = ctx.now();
                 } else if self.tree.parent == Some(parent) && self.tree.depth != depth {
                     self.tree.depth = depth;
                     for &c in &self.tree.children.clone() {
@@ -200,6 +210,28 @@ impl BaselineRandTree {
     }
 
     // [handlers:end]
+
+    /// The child-side attachment lease; see
+    /// [`ChoiceRandTree::check_parent_lease`](crate::choice::ChoiceRandTree)
+    /// — both implementations carry the identical repair so the §4
+    /// comparison stays about the forwarding decision alone.
+    fn check_parent_lease(&mut self, ctx: &mut Ctx<'_, '_>) {
+        if !self.tree.attached || self.me == self.root {
+            return;
+        }
+        let Some(p) = self.tree.parent else { return };
+        let renewed = match ctx.state_model().view(p) {
+            NodeView::Known(s) => s.taken_at.max(self.attached_at),
+            NodeView::Generic => self.attached_at,
+        };
+        if ctx.now().saturating_since(renewed) > LEASE_TIMEOUT {
+            self.lease_expired += 1;
+            self.tree.parent = None;
+            self.tree.attached = false;
+            self.tree.depth = 0;
+            ctx.set_timer(SimDuration::from_millis(500), JOIN_TIMER);
+        }
+    }
 }
 
 impl Service for BaselineRandTree {
@@ -209,10 +241,16 @@ impl Service for BaselineRandTree {
     fn on_start(&mut self, ctx: &mut Ctx<'_, '_>) {
         if self.me != self.root {
             ctx.set_timer(self.join_delay, JOIN_TIMER);
+            ctx.set_timer(LEASE_CHECK_EVERY, LEASE_TIMER);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, '_>, tag: u64) {
+        if tag == LEASE_TIMER {
+            self.check_parent_lease(ctx);
+            ctx.set_timer(LEASE_CHECK_EVERY, LEASE_TIMER);
+            return;
+        }
         if (tag == JOIN_TIMER || tag == RETRY_TIMER) && !self.tree.attached {
             ctx.send(self.root, TreeMsg::Join { joiner: self.me });
             ctx.set_timer(RETRY_AFTER, RETRY_TIMER);

@@ -21,6 +21,7 @@ use crate::choice::ChoiceRandTree;
 use crate::metrics::tree_stats;
 use cb_core::choice::Resolver;
 use cb_core::predict::PredictConfig;
+use cb_core::resolve::ladder::LadderResolver;
 use cb_core::resolve::lookahead::LookaheadResolver;
 use cb_core::resolve::random::RandomResolver;
 use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
@@ -46,6 +47,28 @@ pub struct RandTreeCampaign {
     /// modulo the cache's own hit/miss accounting); the
     /// `cache_transparency` integration test pins exactly that.
     pub evalcache: bool,
+    /// Resolve choices through the degradation-governed
+    /// [`LadderResolver`] instead of a fixed strategy. Takes precedence
+    /// over [`lookahead`](Self::lookahead). Combined with
+    /// [`deadline_states`](Self::deadline_states) this is the *enforced*
+    /// arm of the degradation experiments: the evaluator stops exploring
+    /// at the deadline, reports [`Partial`], and the ladder steps down.
+    ///
+    /// [`Partial`]: cb_core::choice::EvalVerdict::Partial
+    pub ladder: bool,
+    /// Per-decision prediction deadline, in explored states (0 = off).
+    /// In the ladder arm it is *enforced* via
+    /// [`PredictConfig::deadline_states`]; in the lookahead control arm
+    /// it is *reported only* via
+    /// [`RuntimeConfig::report_deadline`](cb_core::runtime::RuntimeConfig::report_deadline),
+    /// so `core.predict.deadline_overruns` counts how often unbounded
+    /// prediction would have blown the budget.
+    pub deadline_states: u64,
+    /// Replace the default fault schedule with a fault *storm*: gray
+    /// failures (stalls), a latency spike and a loss window layered over
+    /// the crash/restart churn. Everything still heals well before the
+    /// horizon, so the oracles must hold.
+    pub storm: bool,
 }
 
 impl Default for RandTreeCampaign {
@@ -55,6 +78,9 @@ impl Default for RandTreeCampaign {
             horizon: SimTime::from_secs(900),
             lookahead: false,
             evalcache: true,
+            ladder: false,
+            deadline_states: 0,
+            storm: false,
         }
     }
 }
@@ -87,6 +113,20 @@ impl Scenario for RandTreeCampaign {
                 .collect();
             plan = plan.partition(&[pa, pb], &others, 4_000, Some(10_000));
         }
+        if self.storm {
+            // Gray failures + latency spike layered on top: stall two
+            // rotating non-root nodes (they freeze, then resume with their
+            // deferred events — no crash detection fires), and storm the
+            // whole mesh with extra latency and loss mid-join. Healed by
+            // t=12s; the remaining horizon must repair the overlay.
+            let sa = 1 + ((seed + 3) % (n - 1)) as u32;
+            let sb = 1 + ((seed + 5) % (n - 1)) as u32;
+            plan = plan.stall(sa, 2_000, 9_000).delayspike(200, 3_000, 12_000);
+            if sb != sa {
+                plan = plan.stall(sb, 4_000, 11_000);
+            }
+            plan = plan.loss(0.10, 2_500, 10_000);
+        }
         plan
     }
 
@@ -98,27 +138,41 @@ impl Scenario for RandTreeCampaign {
         let nodes = self.nodes;
         let lookahead = self.lookahead;
         let evalcache = self.evalcache;
+        let ladder = self.ladder;
+        let deadline = self.deadline_states;
         let mut sim: Sim<RuntimeNode<ChoiceRandTree>> = Sim::new(topo, seed, move |id| {
             let delay = SimDuration::from_millis(400) * (id.0 as u64 + 1);
-            let resolver: Box<dyn Resolver> = if lookahead {
+            let resolver: Box<dyn Resolver> = if ladder {
+                Box::new(LadderResolver::new())
+            } else if lookahead {
                 Box::new(LookaheadResolver::new())
             } else {
                 Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 8)))
             };
             // Mirrors `ChoiceRandTree::new`'s default prediction budget,
             // with only the cache knob threaded through (the random arm
-            // never evaluates, so the config is inert there).
+            // never evaluates, so the config is inert there). The ladder
+            // arm *enforces* the prediction deadline at the evaluator;
+            // every other arm leaves it off and (when a deadline is set)
+            // merely reports overruns via the runtime knob.
             let service =
                 ChoiceRandTree::new(id, NodeId(0), delay).with_predict_config(PredictConfig {
                     depth: 8,
                     walks: 16,
                     cache: evalcache,
+                    deadline_states: if ladder { deadline } else { 0 },
                     ..Default::default()
                 });
-            RuntimeNode::new(
-                service,
-                RuntimeConfig::new(resolver).controller_every(SimDuration::from_millis(500)),
-            )
+            // Both arms report overruns against the same deadline; only
+            // the ladder arm *enforces* it, so the control arm's overrun
+            // counter is the experiment's headline number while the
+            // ladder arm's must stay zero.
+            let mut cfg =
+                RuntimeConfig::new(resolver).controller_every(SimDuration::from_millis(500));
+            if deadline > 0 {
+                cfg = cfg.report_deadline(deadline);
+            }
+            RuntimeNode::new(service, cfg)
         });
         let participants: Vec<NodeId> = sim.topology().hosts().take(nodes).collect();
         for &n in &participants {
@@ -181,6 +235,120 @@ mod tests {
         let touched = a.telemetry.counter("core.evalcache.hits")
             + a.telemetry.counter("core.evalcache.misses");
         assert!(touched > 0, "EvalCache never engaged in the lookahead arm");
+    }
+
+    #[test]
+    fn storm_ladder_arm_recovers_and_respects_the_deadline() {
+        // The enforced arm: fault storm + LadderResolver + prediction
+        // deadline. The overlay must still repair (oracles hold), every
+        // decision must finish within the deadline (the runtime reports
+        // overruns against the same budget — there must be none), and the
+        // governor/ladder telemetry must show real degradation traffic:
+        // at least one step-down and at least one recovery.
+        let s = RandTreeCampaign {
+            ladder: true,
+            deadline_states: 20,
+            storm: true,
+            ..Default::default()
+        };
+        let plan = s.default_plan(9);
+        let a = s.run(9, &plan);
+        let b = s.run(9, &plan);
+        assert!(!a.violated(), "{:?}", a.verdicts);
+        assert_eq!(a.fingerprint, b.fingerprint, "ladder arm nondeterministic");
+        let t = &a.telemetry;
+        assert_eq!(
+            t.counter("core.predict.deadline_overruns"),
+            0,
+            "enforced deadline overran"
+        );
+        assert!(
+            t.counter("core.predict.partial_evals") > 0,
+            "deadline never fired — the storm arm is not exercising degradation"
+        );
+        assert!(t.counter("core.governor.step_downs") > 0, "no step-down");
+        assert!(t.counter("core.governor.recoveries") > 0, "no recovery");
+        let rungs = t.counter("core.ladder.rung_lookahead")
+            + t.counter("core.ladder.rung_cached")
+            + t.counter("core.ladder.rung_heuristic")
+            + t.counter("core.ladder.rung_static");
+        assert!(rungs > 0, "ladder never resolved a decision");
+        assert!(
+            t.counter("core.ladder.rung_cached")
+                + t.counter("core.ladder.rung_heuristic")
+                + t.counter("core.ladder.rung_static")
+                > 0,
+            "ladder never left the lookahead rung"
+        );
+    }
+
+    #[test]
+    fn storm_lookahead_control_arm_records_deadline_overruns() {
+        // The control arm: same storm, same deadline, but pure lookahead
+        // with the deadline merely *reported*, not enforced. Unbounded
+        // prediction must blow the budget — that contrast is the
+        // experiment's headline.
+        let s = RandTreeCampaign {
+            lookahead: true,
+            deadline_states: 20,
+            storm: true,
+            ..Default::default()
+        };
+        let plan = s.default_plan(9);
+        let r = s.run(9, &plan);
+        assert!(!r.violated(), "{:?}", r.verdicts);
+        assert!(
+            r.telemetry.counter("core.predict.deadline_overruns") > 0,
+            "unbounded lookahead never overran the deadline"
+        );
+        assert_eq!(
+            r.telemetry.counter("core.predict.partial_evals"),
+            0,
+            "control arm must not truncate evaluations"
+        );
+    }
+
+    /// Regression (shrunk from the 32-seed storm sweep, seed 21): a
+    /// joiner's `JoinAccepted` is dropped at a partition boundary, its
+    /// retry later hits the parent's duplicate-reanswer path, and a stale
+    /// ConnBroken from a pre-heal blocked send then disowns the child on
+    /// the parent side only — the child still believes in the link. The
+    /// attachment lease must detect the one-sided link and rejoin.
+    #[test]
+    fn dropped_accept_plus_stale_conn_break_heals_via_lease() {
+        let s = RandTreeCampaign {
+            lookahead: true,
+            deadline_states: 20,
+            storm: true,
+            ..Default::default()
+        };
+        let plan = FaultPlan::from_spec(
+            "part:9.10|0.1.2.3.4.5.6.7.8.11.12.13.14@4000-10000;delayspike:200@3000-12000",
+        )
+        .expect("spec");
+        let r = s.run(21, &plan);
+        assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    /// Regression (shrunk from the 32-seed storm sweep, seed 28): a node
+    /// stalled across an entire partition window never transmits during
+    /// it, so it never observes the link break that made its parent
+    /// disown it. The peer-side break notification plus the attachment
+    /// lease must restore mutual parent/child consistency.
+    #[test]
+    fn stall_across_partition_heals_via_peer_notification_and_lease() {
+        let s = RandTreeCampaign {
+            ladder: true,
+            deadline_states: 20,
+            storm: true,
+            ..Default::default()
+        };
+        let plan = FaultPlan::from_spec(
+            "part:2.3|0.1.4.5.6.7.8.9.10.11.12.13.14@4000-10000;stall:6@4000-11000",
+        )
+        .expect("spec");
+        let r = s.run(28, &plan);
+        assert!(!r.violated(), "{:?}", r.verdicts);
     }
 
     #[test]

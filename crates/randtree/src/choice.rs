@@ -14,13 +14,16 @@
 //! this file and the baseline's.
 
 use crate::model::{attach_depth, JState, JoinDescent};
-use crate::proto::{TreeCheckpoint, TreeMsg, TreeState, JOIN_TIMER, RETRY_TIMER};
+use crate::proto::{
+    TreeCheckpoint, TreeMsg, TreeState, JOIN_TIMER, LEASE_CHECK_EVERY, LEASE_TIMEOUT, LEASE_TIMER,
+    RETRY_TIMER,
+};
 use cb_core::choice::{ContextKey, OptionDesc};
 use cb_core::model::state::NodeView;
 use cb_core::objective::ObjectiveSet;
 use cb_core::predict::{ModelEvaluator, PredictConfig};
 use cb_core::runtime::{Service, ServiceCtx};
-use cb_simnet::time::SimDuration;
+use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
 use std::collections::BTreeMap;
 
@@ -43,6 +46,10 @@ pub struct ChoiceRandTree {
     pub forwarded: u64,
     /// Joins this node adopted.
     pub adopted: u64,
+    /// When the current attachment was established (lease baseline).
+    attached_at: SimTime,
+    /// Attachment leases that expired and forced a rejoin.
+    pub lease_expired: u64,
 }
 
 impl ChoiceRandTree {
@@ -63,6 +70,8 @@ impl ChoiceRandTree {
             },
             forwarded: 0,
             adopted: 0,
+            attached_at: SimTime::ZERO,
+            lease_expired: 0,
         }
     }
 
@@ -174,7 +183,7 @@ impl ChoiceRandTree {
         self.tree.parent = Some(parent);
         self.tree.depth = depth;
         self.tree.attached = true;
-        let _ = ctx;
+        self.attached_at = ctx.now();
     }
 
     /// Handler: an ancestor moved — adjust depth and tell the children.
@@ -186,6 +195,35 @@ impl ChoiceRandTree {
     }
 
     // [handlers:end]
+
+    /// The child-side attachment lease (gray-failure repair).
+    ///
+    /// A live parent checkpoints to each child every controller cycle, so
+    /// a healthy parent link keeps this node's model view of the parent
+    /// fresh. When that view goes stale past
+    /// [`LEASE_TIMEOUT`](crate::proto::LEASE_TIMEOUT) the link died in a
+    /// way the transport never told us about — e.g. the break
+    /// notification was lost to a partition window, superseded by a later
+    /// reconnect, or this node was stalled across the whole incident. The
+    /// parent has long since disowned us; rejoining restores mutual
+    /// parent/child consistency.
+    fn check_parent_lease(&mut self, ctx: &mut Ctx<'_, '_>) {
+        if !self.tree.attached || self.me == self.root {
+            return;
+        }
+        let Some(p) = self.tree.parent else { return };
+        let renewed = match ctx.state_model().view(p) {
+            NodeView::Known(s) => s.taken_at.max(self.attached_at),
+            NodeView::Generic => self.attached_at,
+        };
+        if ctx.now().saturating_since(renewed) > LEASE_TIMEOUT {
+            self.lease_expired += 1;
+            self.tree.parent = None;
+            self.tree.attached = false;
+            self.tree.depth = 0;
+            ctx.set_timer(SimDuration::from_millis(500), JOIN_TIMER);
+        }
+    }
 }
 
 impl Service for ChoiceRandTree {
@@ -195,10 +233,16 @@ impl Service for ChoiceRandTree {
     fn on_start(&mut self, ctx: &mut Ctx<'_, '_>) {
         if self.me != self.root {
             ctx.set_timer(self.join_delay, JOIN_TIMER);
+            ctx.set_timer(LEASE_CHECK_EVERY, LEASE_TIMER);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, '_>, tag: u64) {
+        if tag == LEASE_TIMER {
+            self.check_parent_lease(ctx);
+            ctx.set_timer(LEASE_CHECK_EVERY, LEASE_TIMER);
+            return;
+        }
         if (tag == JOIN_TIMER || tag == RETRY_TIMER) && !self.tree.attached {
             ctx.send(self.root, TreeMsg::Join { joiner: self.me });
             ctx.set_timer(RETRY_AFTER, RETRY_TIMER);

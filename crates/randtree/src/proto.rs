@@ -8,6 +8,7 @@
 //! the forwarding decision is made*, which is the entire point of the
 //! paper's case study (§4).
 
+use cb_simnet::time::SimDuration;
 use cb_simnet::topology::NodeId;
 
 /// Maximum children per node (binary tree, as in the 31-node case study:
@@ -19,6 +20,26 @@ pub const JOIN_TIMER: u64 = 1;
 
 /// The service timer tag for the join-retry timeout.
 pub const RETRY_TIMER: u64 = 2;
+
+/// The service timer tag for the periodic parent-lease check.
+pub const LEASE_TIMER: u64 = 3;
+
+/// How often a child validates its parent lease.
+pub const LEASE_CHECK_EVERY: SimDuration = SimDuration::from_secs(2);
+
+/// Parent-view staleness beyond which the attachment lease is considered
+/// expired and the child must rejoin.
+///
+/// A parent checkpoints to each child every controller cycle (hundreds of
+/// milliseconds), so a live parent link keeps the child's model view of
+/// the parent fresh; ~12 s of silence means dozens of consecutive missed
+/// checkpoints — the link is dead in a way the transport never reported.
+/// The classic interleaving is a break notification lost to a
+/// crash/stall/partition window: the parent disowns the child and moves
+/// on while the child still believes in the link, and nothing in the
+/// base protocol ever repairs the asymmetry. The lease is the backstop
+/// that restores mutual consistency.
+pub const LEASE_TIMEOUT: SimDuration = SimDuration::from_secs(12);
 
 /// Messages of the RandTree protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]

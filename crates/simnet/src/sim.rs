@@ -169,6 +169,10 @@ pub struct World<M> {
     tx_free: Vec<SimTime>,
     rx_free: Vec<SimTime>,
     blocked: HashSet<(NodeId, NodeId)>,
+    /// Per-node gray-failure stall horizon: while `now` is before a node's
+    /// entry, events addressed to it are deferred (not dropped) to the
+    /// horizon. `SimTime::ZERO` means not stalled.
+    stalled_until: Vec<SimTime>,
     metrics: Vec<NodeMetrics>,
     trace: Trace,
     events_processed: u64,
@@ -202,6 +206,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             tx_free: vec![SimTime::ZERO; n],
             rx_free: vec![SimTime::ZERO; n],
             blocked: HashSet::new(),
+            stalled_until: vec![SimTime::ZERO; n],
             metrics: (0..n).map(|_| NodeMetrics::default()).collect(),
             trace: Trace::default(),
             events_processed: 0,
@@ -262,6 +267,23 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             if was_established {
                 self.metrics[from.index()].conns_broken.inc();
                 self.metrics[to.index()].conns_broken.inc();
+                // The established connection died for *both* ends (the
+                // peer's half sees ACK silence and resets on the same
+                // timescale), so notify the peer too — matching the
+                // retries-exhausted and crash paths, which already break
+                // both sides. Without this, a peer that never transmits
+                // during the partition window — e.g. one stalled across
+                // it by a gray failure — would keep the dead link alive
+                // forever. Reconnect attempts on an already-broken
+                // connection notify only the sender: the SYN never
+                // crossed, so the peer has no state to tear down.
+                self.push(
+                    timeout,
+                    Ev::ConnBroken {
+                        node: to,
+                        peer: from,
+                    },
+                );
             }
             return;
         }
@@ -628,6 +650,32 @@ impl<A: Actor> Sim<A> {
         self.world.blocked.clear();
     }
 
+    /// Stalls `node` until `until`: a gray failure in which the process is
+    /// paused (GC pause, VM migration, an overloaded host) but its
+    /// connections stay up. Events addressed to the node — deliveries,
+    /// timers, starts, connection notifications — are deferred to `until`
+    /// rather than dropped, so peers keep their connections and simply
+    /// observe the node going quiet while their models of it age. Crash
+    /// and restart still take effect immediately. Overlapping stalls keep
+    /// the later horizon.
+    pub fn stall_until(&mut self, node: NodeId, until: SimTime) {
+        let cur = self.world.stalled_until[node.index()];
+        self.world.stalled_until[node.index()] = cur.max(until);
+        let now = self.world.now;
+        self.world.trace.push(
+            now,
+            TraceEvent::Note {
+                node: Some(node),
+                text: format!("stall until {until}"),
+            },
+        );
+    }
+
+    /// Whether `node` is currently inside a stall window.
+    pub fn is_stalled(&self, node: NodeId) -> bool {
+        self.world.now < self.world.stalled_until[node.index()]
+    }
+
     /// Schedules a churn episode: each listed node crashes and restarts
     /// repeatedly between `from` and `until`, with exponentially distributed
     /// up-times (mean `up_mean`) and down-times (mean `down_mean`), drawn
@@ -671,6 +719,27 @@ impl<A: Actor> Sim<A> {
     pub fn step(&mut self) -> Option<SimTime> {
         let entry = self.world.queue.pop()?;
         self.world.now = entry.at;
+        // Gray-failure stalls: a stalled node is paused, not dead. Events
+        // addressed to it — starts, deliveries, timers, connection
+        // notifications — are deferred to the end of the stall instead of
+        // processed; crashes and restarts still apply (a paused process
+        // can still be killed). Events are re-pushed in pop order, so the
+        // (time, seq) heap order at the stall end preserves the original
+        // chronology and the run stays deterministic.
+        let stall_target = match &entry.ev {
+            Ev::Start { node } => Some(*node),
+            Ev::Deliver { to, .. } => Some(*to),
+            Ev::Timer { node, .. } => Some(*node),
+            Ev::ConnBroken { node, .. } => Some(*node),
+            Ev::Crash { .. } | Ev::Restart { .. } => None,
+        };
+        if let Some(n) = stall_target {
+            let until = self.world.stalled_until[n.index()];
+            if self.world.now < until {
+                self.world.push(until, entry.ev);
+                return Some(entry.at);
+            }
+        }
         self.world.events_processed += 1;
         match entry.ev {
             Ev::Start { node } => {
@@ -1289,6 +1358,70 @@ mod tests {
             .filter(|r| matches!(r.event, crate::trace::TraceEvent::Crash { .. }))
             .count();
         assert!(crashes >= pairs, "crashes {crashes} < scheduled {pairs}");
+    }
+
+    #[test]
+    fn stall_defers_delivery_and_timers_without_breaking_connections() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        // Establish the connection first.
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let got_before = sim.actor(NodeId(1)).got.len();
+        // Node 1 stalls for 5 s; node 0 keeps talking to it.
+        sim.stall_until(NodeId(1), sim.now() + SimDuration::from_secs(5));
+        assert!(sim.is_stalled(NodeId(1)));
+        let stall_end = sim.now() + SimDuration::from_secs(5);
+        sim.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0));
+        sim.invoke(NodeId(1), |_, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), 77);
+        });
+        sim.run_until(stall_end - SimDuration::from_millis(1));
+        // Mid-stall: nothing was processed on node 1 and no connection broke.
+        assert_eq!(sim.actor(NodeId(1)).got.len(), got_before);
+        assert!(sim.actor(NodeId(1)).timer_tags.is_empty());
+        assert!(sim.actor(NodeId(0)).broken.is_empty());
+        assert!(sim.actor(NodeId(1)).broken.is_empty());
+        // After the stall everything deferred arrives, in order.
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        assert!(!sim.is_stalled(NodeId(1)));
+        assert!(sim.actor(NodeId(1)).got.len() > got_before);
+        assert_eq!(sim.actor(NodeId(1)).timer_tags, vec![77]);
+        assert!(sim.actor(NodeId(0)).broken.is_empty());
+    }
+
+    #[test]
+    fn stalled_node_can_still_be_crashed() {
+        let mut sim = two_node_sim();
+        sim.start_all();
+        sim.run_until(SimTime::ZERO);
+        sim.stall_until(NodeId(1), SimTime::from_secs(10));
+        sim.schedule_crash(NodeId(1), SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(2));
+        assert!(!sim.is_up(NodeId(1)), "crash must pierce the stall");
+    }
+
+    #[test]
+    fn stall_determinism_same_seed_same_fingerprint() {
+        let run = |seed: u64| {
+            let topo = Topology::star(4, SimDuration::from_millis(7), 1_000_000);
+            let mut sim = Sim::new(topo, seed, |_| Pinger::default());
+            sim.start_all();
+            sim.run_until(SimTime::ZERO);
+            sim.stall_until(NodeId(2), SimTime::from_secs(2));
+            for i in 0..4u32 {
+                sim.invoke(NodeId(i), |_, ctx| {
+                    let to = NodeId(ctx.rng().gen_below(4) as u32);
+                    if to != ctx.id() {
+                        ctx.send(to, 0);
+                    }
+                });
+            }
+            sim.run_until_quiescent(SimTime::from_secs(10));
+            sim.trace().fingerprint()
+        };
+        assert_eq!(run(21), run(21));
     }
 
     #[test]

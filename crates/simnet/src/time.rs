@@ -173,6 +173,11 @@ impl SimDuration {
         SimDuration(self.0.saturating_add(other.0))
     }
 
+    /// Subtracts `other`, saturating at [`SimDuration::ZERO`].
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
     /// Scales the duration by a non-negative float (used for bandwidth math).
     ///
     /// # Panics

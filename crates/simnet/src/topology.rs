@@ -415,6 +415,24 @@ impl Topology {
         }
     }
 
+    /// Adds `extra` one-way latency to every host-to-host path. A
+    /// whole-network latency storm; [`Topology::sub_latency_all`] with the
+    /// same `extra` restores the original delays exactly.
+    pub fn add_latency_all(&mut self, extra: SimDuration) {
+        for p in &mut self.paths {
+            p.latency += extra;
+        }
+    }
+
+    /// Removes `extra` one-way latency from every host-to-host path,
+    /// saturating at zero. The exact inverse of
+    /// [`Topology::add_latency_all`] when latencies stayed above `extra`.
+    pub fn sub_latency_all(&mut self, extra: SimDuration) {
+        for p in &mut self.paths {
+            p.latency = p.latency.saturating_sub(extra);
+        }
+    }
+
     /// A star: every host hangs off one router by an identical spoke.
     ///
     /// Useful as the simplest non-trivial topology in tests.
@@ -726,6 +744,30 @@ mod tests {
             before + SimDuration::from_millis(100)
         );
         assert_eq!(topo.path(NodeId(0), NodeId(2)).latency, before);
+    }
+
+    #[test]
+    fn latency_storm_applies_and_restores_exactly() {
+        let mut topo = Topology::star(4, SimDuration::from_millis(5), 1_000_000);
+        let before: Vec<SimDuration> = topo
+            .hosts()
+            .flat_map(|a| topo.hosts().map(move |b| (a, b)))
+            .map(|(a, b)| topo.path(a, b).latency)
+            .collect();
+        let spike = SimDuration::from_millis(250);
+        topo.add_latency_all(spike);
+        assert_eq!(
+            topo.path(NodeId(0), NodeId(1)).latency,
+            before[1] + spike,
+            "spike not applied"
+        );
+        topo.sub_latency_all(spike);
+        let after: Vec<SimDuration> = topo
+            .hosts()
+            .flat_map(|a| topo.hosts().map(move |b| (a, b)))
+            .map(|(a, b)| topo.path(a, b).latency)
+            .collect();
+        assert_eq!(before, after, "latency storm did not restore exactly");
     }
 
     #[test]

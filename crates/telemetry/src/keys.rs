@@ -49,6 +49,46 @@ pub const CORE_EVALCACHE_FUSED_SEARCHES_SAVED: &str = "core.evalcache.fused_sear
 pub const CORE_STEERING_DROPPED: &str = "core.steering.dropped";
 /// Times steering filtered every option (fell back to unsteered choice).
 pub const CORE_STEERING_BREAKS: &str = "core.steering.breaks";
+/// Event filters installed on this node (by local prediction or a
+/// controller broadcast).
+pub const CORE_STEERING_INSTALLED: &str = "core.steering.installed";
+/// Event-filter matches: a filter actually vetoed/redirected an option.
+pub const CORE_STEERING_FIRED: &str = "core.steering.fired";
+/// Event filters that aged out at their expiry time without being removed.
+pub const CORE_STEERING_EXPIRED: &str = "core.steering.expired";
+/// Event filters removed explicitly (e.g. a controller retraction).
+pub const CORE_STEERING_REMOVED: &str = "core.steering.removed";
+/// Option evaluations cut short by the per-decision prediction deadline
+/// (`PredictConfig::deadline_states`); each one yields a `Partial` verdict.
+pub const CORE_PREDICT_PARTIAL_EVALS: &str = "core.predict.partial_evals";
+/// Decisions whose *unenforced* prediction spend exceeded the reporting
+/// deadline (`RuntimeConfig::report_deadline_states`). This is the control
+/// arm's overrun counter: the ladder arm enforces the deadline inside the
+/// evaluator and therefore never overruns by construction.
+pub const CORE_PREDICT_DEADLINE_OVERRUNS: &str = "core.predict.deadline_overruns";
+
+// ---- cb-core degradation governor + resolver ladder ----
+
+/// Governor state transitions of any direction.
+pub const CORE_GOVERNOR_TRANSITIONS: &str = "core.governor.transitions";
+/// Transitions toward worse health (Healthy→Degraded, Degraded→Survival).
+pub const CORE_GOVERNOR_STEP_DOWNS: &str = "core.governor.step_downs";
+/// Transitions toward better health (Survival→Degraded, Degraded→Healthy).
+pub const CORE_GOVERNOR_RECOVERIES: &str = "core.governor.recoveries";
+/// Decisions resolved while the governor reported `Healthy`.
+pub const CORE_GOVERNOR_DECISIONS_HEALTHY: &str = "core.governor.decisions_healthy";
+/// Decisions resolved while the governor reported `Degraded`.
+pub const CORE_GOVERNOR_DECISIONS_DEGRADED: &str = "core.governor.decisions_degraded";
+/// Decisions resolved while the governor reported `Survival`.
+pub const CORE_GOVERNOR_DECISIONS_SURVIVAL: &str = "core.governor.decisions_survival";
+/// Decisions the ladder resolved on the full-lookahead rung (rung 0).
+pub const CORE_LADDER_RUNG_LOOKAHEAD: &str = "core.ladder.rung_lookahead";
+/// Decisions the ladder resolved on the cached-lookahead rung (rung 1).
+pub const CORE_LADDER_RUNG_CACHED: &str = "core.ladder.rung_cached";
+/// Decisions the ladder resolved on the feature-heuristic rung (rung 2).
+pub const CORE_LADDER_RUNG_HEURISTIC: &str = "core.ladder.rung_heuristic";
+/// Decisions the ladder resolved on the static-safe-default rung (rung 3).
+pub const CORE_LADDER_RUNG_STATIC: &str = "core.ladder.rung_static";
 /// Controller (background prediction) cycles executed.
 pub const CORE_CONTROLLER_CYCLES: &str = "core.controller.cycles";
 /// Checkpoints sent to neighbors.
@@ -115,6 +155,22 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_EVALCACHE_FUSED_SEARCHES_SAVED,
         CORE_STEERING_DROPPED,
         CORE_STEERING_BREAKS,
+        CORE_STEERING_INSTALLED,
+        CORE_STEERING_FIRED,
+        CORE_STEERING_EXPIRED,
+        CORE_STEERING_REMOVED,
+        CORE_PREDICT_PARTIAL_EVALS,
+        CORE_PREDICT_DEADLINE_OVERRUNS,
+        CORE_GOVERNOR_TRANSITIONS,
+        CORE_GOVERNOR_STEP_DOWNS,
+        CORE_GOVERNOR_RECOVERIES,
+        CORE_GOVERNOR_DECISIONS_HEALTHY,
+        CORE_GOVERNOR_DECISIONS_DEGRADED,
+        CORE_GOVERNOR_DECISIONS_SURVIVAL,
+        CORE_LADDER_RUNG_LOOKAHEAD,
+        CORE_LADDER_RUNG_CACHED,
+        CORE_LADDER_RUNG_HEURISTIC,
+        CORE_LADDER_RUNG_STATIC,
         CORE_CONTROLLER_CYCLES,
         CORE_CHECKPOINTS_SENT,
         CORE_CHECKPOINTS_RECEIVED,
