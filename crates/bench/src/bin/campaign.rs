@@ -4,7 +4,7 @@
 //! campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
 //!          [--telemetry] [--lookahead] [--no-evalcache]
-//!          [--storm] [--ladder] [--deadline STATES]
+//!          [--storm] [--ladder] [--deadline STATES] [--chrome]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -29,6 +29,10 @@
 //! resolver ladder; `--deadline STATES` sets the per-decision prediction
 //! deadline on randtree (enforced in the ladder arm, reported-only in the
 //! lookahead control arm). Together they reproduce experiment E11.
+//! `--chrome` additionally writes `<artifact>.chrome.json` next to every
+//! failure artifact — Chrome trace-event JSON of the run's provenance tail,
+//! loadable at `ui.perfetto.dev` (use the `trace` binary for ad-hoc
+//! explain/blame queries over the same artifacts).
 //! Exit status: 0 = all oracles passed, 1 = violations (or a replay that
 //! did reproduce the recorded violation — that's what a repro is for),
 //! 2 = usage error.
@@ -43,7 +47,7 @@ fn usage() -> ! {
         "usage: campaign [--scenario NAME] [--seeds N] [--base-seed S] [--plan SPEC]\n\
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
-         \x20               [--storm] [--ladder] [--deadline STATES]\n\
+         \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -62,6 +66,7 @@ fn main() {
     let mut storm = false;
     let mut ladder = false;
     let mut deadline: u64 = 0;
+    let mut chrome = false;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -124,6 +129,7 @@ fn main() {
                         usage();
                     })
             }
+            "--chrome" => chrome = true,
             "--telemetry" => show_telemetry = true,
             "--no-determinism" => cfg.check_determinism = false,
             "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
@@ -257,6 +263,15 @@ fn main() {
             println!("    shrunk: {}", f.shrunk_plan);
             if let Some(p) = &f.artifact {
                 println!("    artifact: {}", p.display());
+                if chrome {
+                    // Sidecar Perfetto view of the same provenance tail.
+                    let chrome_path = p.with_extension("chrome.json");
+                    let json = cb_trace::chrome_trace_json(&f.report.provenance, false);
+                    match std::fs::write(&chrome_path, json + "\n") {
+                        Ok(()) => println!("    chrome:   {}", chrome_path.display()),
+                        Err(e) => eprintln!("    chrome: write failed: {e}"),
+                    }
+                }
             }
         }
         for seed in &outcome.nondeterministic_seeds {

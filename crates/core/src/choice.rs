@@ -236,6 +236,16 @@ pub trait Resolver {
     fn export_metrics(&self, reg: &mut cb_telemetry::Registry) {
         let _ = reg;
     }
+
+    /// Appends resolver-specific attributes describing the decision *just
+    /// resolved* to a DecisionSpan's attr list (ladder rung taken / rungs
+    /// skipped, governor level and dominant pressure cause, cache
+    /// disposition, …). Called by the runtime immediately after
+    /// [`resolve`](Resolver::resolve) while recording the decision's
+    /// provenance span. Default: appends nothing.
+    fn decision_attrs(&self, out: &mut Vec<(String, String)>) {
+        let _ = out;
+    }
 }
 
 /// One resolved decision, kept in the runtime's decision log.

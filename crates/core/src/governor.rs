@@ -75,6 +75,43 @@ impl Health {
     }
 }
 
+/// Which pressure input dominated a governor classification — i.e. the
+/// signal that demanded the worst health level. Recorded on every
+/// observation and, crucially, on every step-down, so `core.governor.*`
+/// telemetry and DecisionSpans can say *why* the node degraded, not just
+/// that it did.
+///
+/// When several signals demand the same (worst) level the tie is broken by
+/// a fixed priority — staleness, then confidence, then steering, then
+/// deadline — matching the order [`DegradationGovernor::classify`] folds
+/// them in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PressureCause {
+    /// No signal demanded worse than `Healthy`.
+    None,
+    /// Snapshot staleness crossed a threshold.
+    Staleness,
+    /// Network-model peer confidence collapsed.
+    Confidence,
+    /// Steering-filter pressure crossed the threshold.
+    Steering,
+    /// The previous decision's prediction deadline fired.
+    Deadline,
+}
+
+impl PressureCause {
+    /// Short label for telemetry attrs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PressureCause::None => "none",
+            PressureCause::Staleness => "staleness",
+            PressureCause::Confidence => "confidence",
+            PressureCause::Steering => "steering",
+            PressureCause::Deadline => "deadline",
+        }
+    }
+}
+
 /// The model-health signals the runtime gathers immediately before each
 /// decision and feeds to [`Resolver::observe_health`]
 /// (crate::choice::Resolver::observe_health).
@@ -162,6 +199,14 @@ pub struct DegradationGovernor {
     decisions_healthy: u64,
     decisions_degraded: u64,
     decisions_survival: u64,
+    /// Dominant cause of the most recent observation.
+    last_cause: PressureCause,
+    /// Dominant cause that tripped the most recent step-down.
+    last_step_down_cause: PressureCause,
+    step_downs_staleness: u64,
+    step_downs_confidence: u64,
+    step_downs_steering: u64,
+    step_downs_deadline: u64,
 }
 
 impl DegradationGovernor {
@@ -178,6 +223,12 @@ impl DegradationGovernor {
             decisions_healthy: 0,
             decisions_degraded: 0,
             decisions_survival: 0,
+            last_cause: PressureCause::None,
+            last_step_down_cause: PressureCause::None,
+            step_downs_staleness: 0,
+            step_downs_confidence: 0,
+            step_downs_steering: 0,
+            step_downs_deadline: 0,
         }
     }
 
@@ -189,26 +240,71 @@ impl DegradationGovernor {
     /// The raw, hysteresis-free classification of one signal set: the
     /// worst level any individual signal demands.
     pub fn classify(&self, s: &HealthSignals) -> Health {
+        self.classify_with_cause(s).0
+    }
+
+    /// Like [`classify`](DegradationGovernor::classify), but also reports
+    /// the dominant [`PressureCause`]: the first signal (in staleness →
+    /// confidence → steering → deadline priority order) that demanded the
+    /// returned level.
+    pub fn classify_with_cause(&self, s: &HealthSignals) -> (Health, PressureCause) {
         let mut h = Health::Healthy;
+        let mut cause = PressureCause::None;
+        let fold = |level: Health, c: PressureCause, h: &mut Health, cause: &mut PressureCause| {
+            if level > *h {
+                *h = level;
+                *cause = c;
+            }
+        };
         if let Some(age) = s.snapshot_staleness {
             if age >= self.cfg.stale_survival {
-                h = h.max(Health::Survival);
+                fold(
+                    Health::Survival,
+                    PressureCause::Staleness,
+                    &mut h,
+                    &mut cause,
+                );
             } else if age >= self.cfg.stale_degraded {
-                h = h.max(Health::Degraded);
+                fold(
+                    Health::Degraded,
+                    PressureCause::Staleness,
+                    &mut h,
+                    &mut cause,
+                );
             }
         }
         if s.min_peer_confidence < self.cfg.conf_survival {
-            h = h.max(Health::Survival);
+            fold(
+                Health::Survival,
+                PressureCause::Confidence,
+                &mut h,
+                &mut cause,
+            );
         } else if s.min_peer_confidence < self.cfg.conf_degraded {
-            h = h.max(Health::Degraded);
+            fold(
+                Health::Degraded,
+                PressureCause::Confidence,
+                &mut h,
+                &mut cause,
+            );
         }
         if s.steering_pressure >= self.cfg.pressure_degraded {
-            h = h.max(Health::Degraded);
+            fold(
+                Health::Degraded,
+                PressureCause::Steering,
+                &mut h,
+                &mut cause,
+            );
         }
         if s.deadline_fired {
-            h = h.max(Health::Degraded);
+            fold(
+                Health::Degraded,
+                PressureCause::Deadline,
+                &mut h,
+                &mut cause,
+            );
         }
-        h
+        (h, cause)
     }
 
     /// Folds in one observation (one per decision) and returns the health
@@ -216,7 +312,8 @@ impl DegradationGovernor {
     /// a time, only after the classification has pointed the same way for
     /// `down_patience` / `up_patience` consecutive observations.
     pub fn observe(&mut self, signals: &HealthSignals) -> Health {
-        let target = self.classify(signals);
+        let (target, cause) = self.classify_with_cause(signals);
+        self.last_cause = cause;
         match target.cmp(&self.state) {
             std::cmp::Ordering::Greater => {
                 self.down_streak += 1;
@@ -226,6 +323,14 @@ impl DegradationGovernor {
                     self.down_streak = 0;
                     self.transitions += 1;
                     self.step_downs += 1;
+                    self.last_step_down_cause = cause;
+                    match cause {
+                        PressureCause::Staleness => self.step_downs_staleness += 1,
+                        PressureCause::Confidence => self.step_downs_confidence += 1,
+                        PressureCause::Steering => self.step_downs_steering += 1,
+                        PressureCause::Deadline => self.step_downs_deadline += 1,
+                        PressureCause::None => {}
+                    }
                 }
             }
             std::cmp::Ordering::Less => {
@@ -266,6 +371,18 @@ impl DegradationGovernor {
         self.recoveries
     }
 
+    /// Dominant pressure cause of the most recent observation
+    /// ([`PressureCause::None`] when the signals were healthy).
+    pub fn last_cause(&self) -> PressureCause {
+        self.last_cause
+    }
+
+    /// Dominant pressure cause that tripped the most recent step-down
+    /// ([`PressureCause::None`] if none fired yet).
+    pub fn last_step_down_cause(&self) -> PressureCause {
+        self.last_step_down_cause
+    }
+
     /// Exports the governor counters under the `core.governor.*` keys
     /// (snapshot semantics: absolute sets, idempotent).
     pub fn export_metrics(&self, reg: &mut Registry) {
@@ -284,6 +401,16 @@ impl DegradationGovernor {
             keys::CORE_GOVERNOR_DECISIONS_SURVIVAL,
             self.decisions_survival,
         );
+        reg.set_counter(
+            keys::CORE_GOVERNOR_CAUSE_STALENESS,
+            self.step_downs_staleness,
+        );
+        reg.set_counter(
+            keys::CORE_GOVERNOR_CAUSE_CONFIDENCE,
+            self.step_downs_confidence,
+        );
+        reg.set_counter(keys::CORE_GOVERNOR_CAUSE_STEERING, self.step_downs_steering);
+        reg.set_counter(keys::CORE_GOVERNOR_CAUSE_DEADLINE, self.step_downs_deadline);
     }
 }
 
@@ -398,6 +525,71 @@ mod tests {
         assert_eq!(Health::Survival.worse(), Health::Survival);
         assert_eq!(Health::Healthy.better(), Health::Healthy);
         assert_eq!(Health::Degraded.label(), "degraded");
+    }
+
+    #[test]
+    fn dominant_cause_is_tracked_and_exported() {
+        let mut g = DegradationGovernor::default();
+        assert_eq!(g.last_cause(), PressureCause::None);
+        assert_eq!(g.last_step_down_cause(), PressureCause::None);
+        // Staleness-driven step-down.
+        g.observe(&stale(15));
+        g.observe(&stale(15));
+        assert_eq!(g.health(), Health::Degraded);
+        assert_eq!(g.last_cause(), PressureCause::Staleness);
+        assert_eq!(g.last_step_down_cause(), PressureCause::Staleness);
+        // Confidence-driven step-down to Survival.
+        let low_conf = HealthSignals {
+            min_peer_confidence: 0.05,
+            ..HealthSignals::default()
+        };
+        g.observe(&low_conf);
+        g.observe(&low_conf);
+        assert_eq!(g.health(), Health::Survival);
+        assert_eq!(g.last_step_down_cause(), PressureCause::Confidence);
+        let mut reg = Registry::new();
+        g.export_metrics(&mut reg);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_CAUSE_STALENESS), 1);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_CAUSE_CONFIDENCE), 1);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_CAUSE_STEERING), 0);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_CAUSE_DEADLINE), 0);
+    }
+
+    #[test]
+    fn cause_tie_break_follows_priority_order() {
+        let g = DegradationGovernor::default();
+        // Both staleness and confidence demand Survival: staleness wins.
+        let both = HealthSignals {
+            snapshot_staleness: Some(SimDuration::from_secs(45)),
+            min_peer_confidence: 0.05,
+            ..HealthSignals::default()
+        };
+        assert_eq!(
+            g.classify_with_cause(&both),
+            (Health::Survival, PressureCause::Staleness)
+        );
+        // Confidence demands Survival, staleness only Degraded: the worse
+        // signal dominates regardless of priority order.
+        let conf_worse = HealthSignals {
+            snapshot_staleness: Some(SimDuration::from_secs(15)),
+            min_peer_confidence: 0.05,
+            ..HealthSignals::default()
+        };
+        assert_eq!(
+            g.classify_with_cause(&conf_worse),
+            (Health::Survival, PressureCause::Confidence)
+        );
+        // Steering and deadline both demand Degraded: steering wins.
+        let sd = HealthSignals {
+            steering_pressure: 10,
+            deadline_fired: true,
+            ..HealthSignals::default()
+        };
+        assert_eq!(
+            g.classify_with_cause(&sd),
+            (Health::Degraded, PressureCause::Steering)
+        );
+        assert_eq!(PressureCause::Deadline.label(), "deadline");
     }
 
     #[test]

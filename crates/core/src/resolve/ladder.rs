@@ -189,6 +189,26 @@ impl Resolver for LadderResolver {
         self.last_prediction
     }
 
+    fn decision_attrs(&self, out: &mut Vec<(String, String)>) {
+        // The rung index doubles as the number of higher-fidelity rungs
+        // passed over for this decision (rung 2 = lookahead and cached
+        // both skipped).
+        out.push(("ladder.rung".into(), self.last_rung.to_string()));
+        out.push(("ladder.rungs_skipped".into(), self.last_rung.to_string()));
+        out.push((
+            "governor.level".into(),
+            self.governor.health().label().into(),
+        ));
+        out.push((
+            "governor.cause".into(),
+            self.governor.last_cause().label().into(),
+        ));
+        out.push((
+            "ladder.deadline_pending".into(),
+            self.deadline_pending.to_string(),
+        ));
+    }
+
     fn export_metrics(&self, reg: &mut Registry) {
         reg.set_counter(keys::CORE_LADDER_RUNG_LOOKAHEAD, self.rung_hits[0]);
         reg.set_counter(keys::CORE_LADDER_RUNG_CACHED, self.rung_hits[1]);

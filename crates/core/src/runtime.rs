@@ -18,8 +18,8 @@
 //! receives, sets timers — and *chooses*, through [`ServiceCtx::choose`].
 
 use crate::choice::{
-    ChoiceId, ChoiceRequest, ContextKey, DecisionRecord, NullEvaluator, OptionDesc,
-    OptionEvaluator, Resolver,
+    ChoiceId, ChoiceRequest, ContextKey, DecisionRecord, EvalVerdict, NullEvaluator, OptionDesc,
+    OptionEvaluator, Prediction, Resolver,
 };
 use crate::model::net::NetworkModel;
 use crate::model::state::StateModel;
@@ -29,6 +29,7 @@ use cb_simnet::sim::{Actor, Ctx as SimCtx, Sim, TimerId};
 use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
 use cb_telemetry::{keys, Registry, Stopwatch};
+use cb_trace::{Span, SpanId, SpanKind};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -398,12 +399,27 @@ impl<S: Service> RuntimeNode<S> {
                     "steering: filter {} ({})",
                     advice.from, advice.reason
                 ));
-                self.core.steering.install(EventFilter::from_sender(
-                    advice.reason,
-                    advice.from,
-                    advice.action,
-                    now,
-                ));
+                // Provenance: the install descends from the controller
+                // timer that ran the prediction; the filter remembers the
+                // install span so a later fire can link back to it.
+                let at_ns = ctx.now_ns();
+                let parents: Vec<SpanId> = ctx.cause().into_iter().collect();
+                let recorder = ctx.recorder_mut();
+                let span_id = recorder.next_id(at_ns);
+                recorder.push(
+                    Span::new(
+                        span_id,
+                        SpanKind::SteeringInstall,
+                        format!("steer-install:{}", advice.from),
+                        parents,
+                    )
+                    .with_attr("reason", advice.reason.clone())
+                    .with_attr("from", advice.from.index().to_string()),
+                );
+                self.core.steering.install(
+                    EventFilter::from_sender(advice.reason, advice.from, advice.action, now)
+                        .with_span(span_id),
+                );
             }
         }
     }
@@ -435,8 +451,38 @@ impl<S: Service> Actor for RuntimeNode<S> {
                 let sample = ctx.now().saturating_since(sent_at);
                 self.core.net_model.observe_latency(from, sample, ctx.now());
                 // Execution steering: predicted-violation filters.
-                if let Some(action) = self.core.steering.check(from, &msg) {
+                if let Some((action, (reason, install_span))) =
+                    self.core.steering.check_traced(from, &msg)
+                {
                     ctx.note(format!("steered: dropped message from {from}"));
+                    // Provenance: the fire descends from both the delivery
+                    // it intercepted and the install that armed the filter,
+                    // tying the prediction to its enforcement.
+                    let at_ns = ctx.now_ns();
+                    let mut parents: Vec<SpanId> = ctx.cause().into_iter().collect();
+                    if let Some(install) = install_span {
+                        parents.push(install);
+                    }
+                    let recorder = ctx.recorder_mut();
+                    let span_id = recorder.next_id(at_ns);
+                    recorder.push(
+                        Span::new(
+                            span_id,
+                            SpanKind::SteeringFire,
+                            format!("steer-fire:{from}"),
+                            parents,
+                        )
+                        .with_attr("reason", reason)
+                        .with_attr(
+                            "action",
+                            match action {
+                                FilterAction::Drop => "drop",
+                                FilterAction::DropAndBreak => "drop_and_break",
+                            },
+                        ),
+                    );
+                    // The conn break (if any) is a consequence of the fire.
+                    ctx.set_cause(span_id);
                     if action == FilterAction::DropAndBreak {
                         ctx.break_connection(from);
                     }
@@ -515,7 +561,48 @@ pub fn fleet_telemetry<S: Service>(sim: &Sim<RuntimeNode<S>>) -> Registry {
         reg.merge(&sim.actor(n).telemetry());
     }
     sim.summary().record_into(&mut reg);
+    // Provenance accounting: flat-trace eviction plus the flight
+    // recorders' span totals (all deterministic for a given seed).
+    reg.set_counter(keys::SIMNET_TRACE_EVICTED, sim.trace().evicted());
+    let (mut recorded, mut evicted) = (0u64, 0u64);
+    for rec in sim.flight_recorders() {
+        recorded += rec.pushed();
+        evicted += rec.evicted();
+    }
+    reg.set_counter(keys::TRACE_SPANS_RECORDED, recorded);
+    reg.set_counter(keys::TRACE_SPANS_EVICTED, evicted);
     reg
+}
+
+/// Wraps the caller's evaluator so the runtime can tap every per-option
+/// prediction for the decision's provenance span without changing what the
+/// resolver sees. Pure pass-through for verdict / budget / telemetry.
+struct TapEval<'e> {
+    inner: &'e mut dyn OptionEvaluator,
+    /// `(option index, prediction)` in evaluation order. Empty when the
+    /// resolver never consulted the evaluator (random/heuristic/static
+    /// rungs, cache hits).
+    taps: Vec<(usize, Prediction)>,
+}
+
+impl OptionEvaluator for TapEval<'_> {
+    fn evaluate(&mut self, index: usize) -> Prediction {
+        let p = self.inner.evaluate(index);
+        self.taps.push((index, p));
+        p
+    }
+
+    fn verdict(&self) -> EvalVerdict {
+        self.inner.verdict()
+    }
+
+    fn states_spent(&self) -> u64 {
+        self.inner.states_spent()
+    }
+
+    fn export_metrics(&self, reg: &mut Registry) {
+        self.inner.export_metrics(reg);
+    }
 }
 
 /// What a service handler sees: the network context plus the runtime's
@@ -676,8 +763,13 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             deadline_fired: false,
         };
         self.core.resolver.observe_health(&signals);
+        // Tap per-option predictions for the decision's provenance span.
+        let mut tap = TapEval {
+            inner: eval,
+            taps: Vec::new(),
+        };
         let stopwatch = Stopwatch::start();
-        let chosen = self.core.resolver.resolve(&request, eval);
+        let chosen = self.core.resolver.resolve(&request, &mut tap);
         let wall_ns = stopwatch.elapsed_ns();
         assert!(
             chosen < options.len(),
@@ -703,15 +795,67 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
         // budget. Charged against the evaluator's total per-decision spend,
         // not just the chosen option's prediction.
         if self.core.report_deadline_states > 0
-            && eval.states_spent() > self.core.report_deadline_states
+            && tap.states_spent() > self.core.report_deadline_states
         {
             self.core
                 .telemetry
                 .inc(keys::CORE_PREDICT_DEADLINE_OVERRUNS);
         }
         // Evaluator-internal accounting (evalcache hits/misses, fused-pass
-        // savings). Delta semantics: once per decision.
-        eval.export_metrics(&mut self.core.telemetry);
+        // savings). Delta semantics: once per decision. Routed through a
+        // scratch registry so the per-decision deltas can also land on the
+        // provenance span, then merged (counters add) into the node
+        // registry — identical totals to exporting directly.
+        let mut eval_reg = Registry::new();
+        tap.export_metrics(&mut eval_reg);
+        let cache_hits = eval_reg.counter(keys::CORE_EVALCACHE_HITS);
+        let cache_misses = eval_reg.counter(keys::CORE_EVALCACHE_MISSES);
+        self.core.telemetry.merge(&eval_reg);
+        let verdict = tap.verdict();
+        // Open the DecisionSpan: parents = whatever event dispatched this
+        // handler (deliver / timer / conn-break / start), carrying the full
+        // option set, every tapped per-option prediction, the verdict,
+        // cache disposition, and the resolver's own attrs (ladder rung,
+        // governor level + dominant pressure cause).
+        let mut attrs: Vec<(String, String)> = Vec::with_capacity(10 + tap.taps.len() * 3);
+        attrs.push(("choice".into(), id.to_string()));
+        attrs.push(("context".into(), context.0.to_string()));
+        attrs.push(("resolver".into(), self.core.resolver.name().to_string()));
+        attrs.push(("options".into(), options.len().to_string()));
+        attrs.push(("chosen".into(), chosen.to_string()));
+        attrs.push(("chosen_key".into(), options[chosen].key.to_string()));
+        for (i, o) in options.iter().enumerate() {
+            attrs.push((format!("opt{i}.key"), o.key.to_string()));
+        }
+        for (i, p) in &tap.taps {
+            attrs.push((format!("opt{i}.objective"), format!("{}", p.objective)));
+            attrs.push((format!("opt{i}.violations"), p.violations.to_string()));
+            attrs.push((format!("opt{i}.states"), p.states_explored.to_string()));
+        }
+        attrs.push((
+            "verdict".into(),
+            match verdict {
+                EvalVerdict::Complete => "complete",
+                EvalVerdict::Partial => "partial",
+            }
+            .into(),
+        ));
+        attrs.push(("evalcache.hits".into(), cache_hits.to_string()));
+        attrs.push(("evalcache.misses".into(), cache_misses.to_string()));
+        self.core.resolver.decision_attrs(&mut attrs);
+        let at_ns = self.net.now_ns();
+        let cause: Vec<SpanId> = self.net.cause().into_iter().collect();
+        let recorder = self.net.recorder_mut();
+        let span_id = recorder.next_id(at_ns);
+        let mut span = Span::new(span_id, SpanKind::Decision, format!("decide:{id}"), cause);
+        span.sim_cost_us = states;
+        span.wall_ns = wall_ns;
+        span.attrs = attrs;
+        recorder.push(span);
+        // Effects the handler emits after this point (sends, timers, conn
+        // breaks) are consequences of the decision, not merely of the
+        // triggering event: re-parent them to the decision span.
+        self.net.set_cause(span_id);
         self.core.decisions.push(DecisionRecord {
             at: self.net.now(),
             id,

@@ -11,6 +11,7 @@
 
 use cb_simnet::time::SimTime;
 use cb_simnet::topology::NodeId;
+use cb_trace::SpanId;
 use std::fmt;
 use std::sync::Arc;
 
@@ -41,6 +42,10 @@ pub struct EventFilter<M> {
     pub budget: Option<u32>,
     /// When the filter was installed.
     pub installed_at: SimTime,
+    /// Provenance span recorded at install time, if any. When the filter
+    /// fires, the fire span is parented to this — the install→fire causal
+    /// edge the blame walk follows back to the predicting decision.
+    pub span: Option<SpanId>,
 }
 
 impl<M> Clone for EventFilter<M> {
@@ -52,6 +57,7 @@ impl<M> Clone for EventFilter<M> {
             action: self.action,
             budget: self.budget,
             installed_at: self.installed_at,
+            span: self.span,
         }
     }
 }
@@ -82,6 +88,7 @@ impl<M> EventFilter<M> {
             action,
             budget: Some(1),
             installed_at,
+            span: None,
         }
     }
 
@@ -100,7 +107,14 @@ impl<M> EventFilter<M> {
             action,
             budget: Some(1),
             installed_at,
+            span: None,
         }
+    }
+
+    /// Attaches the provenance span recorded when the filter was installed.
+    pub fn with_span(mut self, span: SpanId) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// Makes the filter permanent (no match budget).
@@ -197,6 +211,17 @@ impl<M> Steering<M> {
     /// action is returned; the runtime then drops the message and possibly
     /// breaks the connection.
     pub fn check(&mut self, from: NodeId, msg: &M) -> Option<FilterAction> {
+        self.check_traced(from, msg).map(|(action, _)| action)
+    }
+
+    /// Like [`check`](Steering::check), but also returns the fired filter's
+    /// reason and install-time provenance span, so the runtime can parent
+    /// the SteeringFire span to the SteeringInstall span.
+    pub fn check_traced(
+        &mut self,
+        from: NodeId,
+        msg: &M,
+    ) -> Option<(FilterAction, (String, Option<SpanId>))> {
         // A zero-budget filter is already spent; purge (as an expiry)
         // rather than letting the decrement below underflow.
         let before = self.filters.len();
@@ -215,6 +240,7 @@ impl<M> Steering<M> {
         if action == FilterAction::DropAndBreak {
             self.breaks += 1;
         }
+        let provenance = (self.filters[i].reason.clone(), self.filters[i].span);
         if let Some(b) = &mut self.filters[i].budget {
             *b = b.saturating_sub(1);
             if *b == 0 {
@@ -222,7 +248,7 @@ impl<M> Steering<M> {
                 self.expired += 1;
             }
         }
-        Some(action)
+        Some((action, provenance))
     }
 }
 
@@ -403,6 +429,28 @@ mod tests {
         );
         assert!(s.check(NodeId(9), &0).is_none());
         assert_eq!(s.expired, 2);
+    }
+
+    #[test]
+    fn check_traced_returns_install_span_and_reason() {
+        let mut s: Steering<u32> = Steering::new();
+        let span = SpanId {
+            at_ns: 10,
+            node: 2,
+            seq: 5,
+        };
+        s.install(
+            EventFilter::from_sender("storm", NodeId(1), FilterAction::Drop, t0())
+                .with_span(span)
+                .with_budget(2),
+        );
+        let (action, (reason, got)) = s.check_traced(NodeId(1), &0).unwrap();
+        assert_eq!(action, FilterAction::Drop);
+        assert_eq!(reason, "storm");
+        assert_eq!(got, Some(span));
+        // `check` stays a transparent wrapper.
+        assert_eq!(s.check(NodeId(1), &0), Some(FilterAction::Drop));
+        assert_eq!(s.fired, 2);
     }
 
     #[test]

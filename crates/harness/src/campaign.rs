@@ -20,7 +20,9 @@
 
 use crate::json::Json;
 use crate::plan::FaultPlan;
+use crate::provenance::{parse_provenance, provenance_json};
 use crate::scenario::{RunReport, Scenario};
+use cb_trace::Span;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -292,6 +294,16 @@ pub enum ReplayError {
         /// Oracles that failed on replay.
         got: Vec<String>,
     },
+    /// The replay reproduced the violation, but its masked flight-recorder
+    /// tail differs from the artifact's — a determinism bug in the span
+    /// layer (the deterministic half of every span is supposed to be a pure
+    /// function of seed and plan).
+    ProvenanceMismatch {
+        /// Spans recorded in the artifact's tail.
+        artifact_spans: usize,
+        /// Spans in the replay's tail.
+        replay_spans: usize,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -302,6 +314,14 @@ impl std::fmt::Display for ReplayError {
             ReplayError::NotReproduced { expected, got } => write!(
                 f,
                 "replay: violation not reproduced (expected {expected:?}, got {got:?})"
+            ),
+            ReplayError::ProvenanceMismatch {
+                artifact_spans,
+                replay_spans,
+            } => write!(
+                f,
+                "replay: masked provenance tail diverged \
+                 ({artifact_spans} artifact spans vs {replay_spans} replayed)"
             ),
         }
     }
@@ -322,6 +342,13 @@ pub struct Artifact {
     pub failing_oracles: Vec<String>,
     /// Fingerprint of the original failing run.
     pub fingerprint: u64,
+    /// The embedded flight-recorder tail (empty for artifacts written
+    /// before the provenance section existed).
+    pub provenance: Vec<Span>,
+    /// Total spans the original run's recorders pushed.
+    pub spans_recorded: u64,
+    /// Spans the original run's bounded rings evicted.
+    pub spans_evicted: u64,
 }
 
 /// Parses an artifact file.
@@ -363,6 +390,18 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, ReplayError> {
         .and_then(|r| r.get("fingerprint"))
         .and_then(Json::as_u64)
         .unwrap_or(0);
+    let prov_section = json.get("report").and_then(|r| r.get("provenance"));
+    let provenance = match prov_section {
+        Some(section) => parse_provenance(section).map_err(ReplayError::Malformed)?,
+        None => Vec::new(),
+    };
+    let prov_u64 = |key: &str| -> u64 {
+        prov_section
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_str)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
     Ok(Artifact {
         scenario: get_str("scenario")?,
         seed,
@@ -370,12 +409,18 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, ReplayError> {
         shrunk_plan,
         failing_oracles,
         fingerprint,
+        provenance,
+        spans_recorded: prov_u64("recorded"),
+        spans_evicted: prov_u64("evicted"),
     })
 }
 
 /// Replays an artifact against `scenario`: re-runs the recorded seed under
 /// the recorded (original) plan and checks that every recorded failing
-/// oracle fails again. Returns the replay report.
+/// oracle fails again — and, when the artifact embeds a provenance tail,
+/// that the replay's *masked* tail is byte-identical to the recorded one
+/// (wall clocks are the only nondeterministic span field). Returns the
+/// replay report.
 pub fn replay_artifact(
     scenario: &dyn Scenario,
     artifact: &Artifact,
@@ -388,14 +433,29 @@ pub fn replay_artifact(
         .collect();
     let reproduced = !artifact.failing_oracles.is_empty()
         && artifact.failing_oracles.iter().all(|o| got.contains(o));
-    if reproduced {
-        Ok(report)
-    } else {
-        Err(ReplayError::NotReproduced {
+    if !reproduced {
+        return Err(ReplayError::NotReproduced {
             expected: artifact.failing_oracles.clone(),
             got,
-        })
+        });
     }
+    if !artifact.provenance.is_empty() {
+        let recorded = provenance_json(
+            &artifact.provenance,
+            artifact.spans_recorded,
+            artifact.spans_evicted,
+            true,
+        )
+        .to_string_compact();
+        let replayed = report.provenance_masked_json().to_string_compact();
+        if recorded != replayed {
+            return Err(ReplayError::ProvenanceMismatch {
+                artifact_spans: artifact.provenance.len(),
+                replay_spans: report.provenance.len(),
+            });
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -470,6 +530,9 @@ mod tests {
             shrunk_plan: FaultPlan::none(),
             failing_oracles: vec!["ring.heartbeat_connectivity".into()],
             fingerprint: 0,
+            provenance: Vec::new(),
+            spans_recorded: 0,
+            spans_evicted: 0,
         };
         match replay_artifact(&s, &artifact) {
             Err(ReplayError::NotReproduced { expected, got }) => {
@@ -478,6 +541,39 @@ mod tests {
             }
             other => panic!("expected NotReproduced, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn failure_artifacts_embed_a_blameable_provenance_tail() {
+        use cb_trace::{blame, SpanKind};
+        let s = RingScenario::default();
+        let others: Vec<u32> = (0..8u32).filter(|&i| i != 3).collect();
+        let plan = FaultPlan::none().partition(&[3], &others, 0, None);
+        let dir = tmpdir("provenance");
+        let cfg = CampaignConfig {
+            seeds: 1,
+            base_seed: 40,
+            plan_override: Some(plan),
+            artifact_dir: Some(dir.clone()),
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&s, &cfg);
+        assert_eq!(out.failures.len(), 1);
+        let path = out.failures[0].artifact.clone().expect("artifact written");
+        let artifact = read_artifact(&path).expect("parse artifact");
+        // The tail is present and carries a synthesised violation span.
+        assert!(!artifact.provenance.is_empty());
+        let violation = artifact
+            .provenance
+            .iter()
+            .find(|s| s.kind == SpanKind::Violation)
+            .expect("violation span embedded");
+        assert_eq!(violation.id.node, u32::MAX);
+        assert!(!violation.parents.is_empty());
+        // Blame from the violation walks a non-trivial causal chain.
+        let chain = blame(&artifact.provenance, violation.id).expect("violation resolvable");
+        assert!(chain.chain.len() > 1, "blame chain is only the violation");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -412,13 +412,27 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                     _ => return Err(err(*pos, "unknown escape")),
                 }
             }
+            _ if c < 0x80 => out.push(c as char),
             _ => {
-                // Re-decode UTF-8: step back and take the full char.
-                let rest = std::str::from_utf8(&b[*pos - 1..])
-                    .map_err(|_| err(*pos - 1, "invalid utf-8"))?;
-                let ch = rest.chars().next().expect("nonempty");
-                out.push(ch);
-                *pos += ch.len_utf8() - 1;
+                // Multi-byte UTF-8: the lead byte tells us the sequence
+                // length, so validate just this character's bytes (never the
+                // whole remaining input — that would be quadratic over large
+                // documents).
+                let len = match c {
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    0xf0..=0xf7 => 4,
+                    _ => return Err(err(*pos - 1, "invalid utf-8")),
+                };
+                let start = *pos - 1;
+                let end = start + len;
+                if end > b.len() {
+                    return Err(err(start, "invalid utf-8"));
+                }
+                let s =
+                    std::str::from_utf8(&b[start..end]).map_err(|_| err(start, "invalid utf-8"))?;
+                out.push(s.chars().next().expect("nonempty"));
+                *pos = end;
             }
         }
     }

@@ -47,6 +47,7 @@ pub mod campaign;
 pub mod json;
 pub mod oracle;
 pub mod plan;
+pub mod provenance;
 pub mod scenario;
 pub mod telemetry;
 pub mod toy;
@@ -58,6 +59,7 @@ pub use campaign::{
 pub use json::Json;
 pub use oracle::{check_all, Oracle, OracleVerdict};
 pub use plan::{Fault, FaultPlan, PlanParseError};
+pub use provenance::{parse_provenance, provenance_json, span_from_json, span_json};
 pub use scenario::{trace_tail, RunReport, Scenario};
 pub use telemetry::telemetry_json;
 

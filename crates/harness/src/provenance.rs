@@ -1,0 +1,341 @@
+//! The decision-provenance section of campaign artifacts.
+//!
+//! Every [`RunReport`](crate::scenario::RunReport) embeds a bounded tail of
+//! the fleet's flight recorders — the causally-linked spans cb-simnet and
+//! cb-core record along the decision path — plus, on failing runs, one
+//! synthesised [`SpanKind::Violation`] span per failing oracle whose parents
+//! anchor it to the last activity (and last decision) on every node. The
+//! `trace` CLI's `blame` query walks those parent edges from the violation
+//! back to the originating decisions.
+//!
+//! Determinism follows the dual-clock discipline: every span field except
+//! `wall_ns` is a pure function of `(scenario, seed, plan)`, so
+//! [`provenance_json`] with `masked = true` is byte-identical across replays
+//! of the same seed. The JSON key is literally `wall_ns` so generic
+//! key-contains-"wall" masking (the CI determinism check) blanks it without
+//! knowing the schema.
+
+use crate::json::Json;
+use cb_simnet::prelude::{Actor, Sim};
+use cb_trace::{Span, SpanId, SpanKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Schema tag of the `provenance` artifact section.
+pub const PROVENANCE_SCHEMA: &str = "cb-provenance/v1";
+
+/// How many trailing spans per node a report embeds (before the
+/// retained-parent closure pulls in any older causal ancestors).
+pub const TAIL_PER_NODE: usize = 128;
+
+/// Budget multiplier for the retained-parent closure: the closure may at
+/// most double the seeded tail (`TAIL_PER_NODE` × nodes). Without a budget
+/// the closure can chase causal ancestry back through nearly the whole
+/// retained ring (long-running fleets produced 20k+-span, 13 MB artifacts);
+/// parents beyond the budget surface as `unresolved` in `trace blame`, the
+/// same way ring-evicted ancestors do.
+pub const CLOSURE_BUDGET_FACTOR: usize = 2;
+
+/// Node id reserved for harness-synthesised spans (oracle violations).
+pub const VIOLATION_NODE: u32 = u32::MAX;
+
+/// Collects the embedded tail: the last [`TAIL_PER_NODE`] spans of every
+/// node's flight recorder, closed over causal parents that are still
+/// retained anywhere in the fleet (so a blame chain does not dead-end just
+/// because an ancestor fell outside the per-node tail). The closure expands
+/// breadth-first in span-id order and stops once the total span count
+/// reaches [`CLOSURE_BUDGET_FACTOR`] × the seeded tail, keeping artifacts
+/// bounded on long runs; truncated parents show up as `unresolved` in blame
+/// walks, exactly like ring-evicted ones. Sorted by span id
+/// `(at_ns, node, seq)`; deterministic for a given seed.
+pub fn collect_tail<A: Actor>(sim: &Sim<A>, per_node: usize) -> Vec<Span> {
+    let mut all: BTreeMap<SpanId, &Span> = BTreeMap::new();
+    for rec in sim.flight_recorders() {
+        for s in rec.spans() {
+            all.insert(s.id, s);
+        }
+    }
+    let mut picked: BTreeMap<SpanId, &Span> = BTreeMap::new();
+    let mut queue: VecDeque<SpanId> = VecDeque::new();
+    for rec in sim.flight_recorders() {
+        for s in rec.tail(per_node) {
+            if picked.insert(s.id, s).is_none() {
+                queue.push_back(s.id);
+            }
+        }
+        // Decisions are the point of the exercise: seed the export with each
+        // node's retained decision spans (bounded by the recorder's pinned
+        // side-ring plus whatever the main ring still holds, capped here) so
+        // the violation span's decision-parent edges resolve in the tail
+        // even when the last decision predates the per-node window.
+        let decisions: Vec<&Span> = rec
+            .spans()
+            .filter(|s| s.kind == SpanKind::Decision)
+            .collect();
+        let skip = decisions
+            .len()
+            .saturating_sub(cb_trace::DECISION_PIN_CAPACITY);
+        for s in &decisions[skip..] {
+            if picked.insert(s.id, s).is_none() {
+                queue.push_back(s.id);
+            }
+        }
+    }
+    let budget = picked.len().saturating_mul(CLOSURE_BUDGET_FACTOR).max(1);
+    while let Some(id) = queue.pop_front() {
+        if picked.len() >= budget {
+            break;
+        }
+        let parents = picked
+            .get(&id)
+            .map(|s| s.parents.clone())
+            .unwrap_or_default();
+        for p in parents {
+            if picked.len() >= budget {
+                break;
+            }
+            if let Some(span) = all.get(&p) {
+                if picked.insert(p, span).is_none() {
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+    picked.into_values().cloned().collect()
+}
+
+/// Synthesises one [`SpanKind::Violation`] span per failing oracle.
+///
+/// Each violation's parents are, for every node (in node order): the last
+/// span the node retained, and additionally its last retained
+/// [`SpanKind::Decision`] span when that is not already the last span —
+/// guaranteeing `blame` can reach at least one decision without scanning.
+pub fn violation_spans<A: Actor>(sim: &Sim<A>, failing: &[(String, String)]) -> Vec<Span> {
+    let at_ns = sim.now().as_nanos();
+    let mut parents: Vec<SpanId> = Vec::new();
+    for rec in sim.flight_recorders() {
+        let last = rec.spans().last();
+        let last_decision = rec.spans().filter(|s| s.kind == SpanKind::Decision).last();
+        if let Some(s) = last {
+            parents.push(s.id);
+        }
+        if let Some(d) = last_decision {
+            if last.map(|s| s.id) != Some(d.id) {
+                parents.push(d.id);
+            }
+        }
+    }
+    failing
+        .iter()
+        .enumerate()
+        .map(|(k, (name, detail))| {
+            let id = SpanId {
+                at_ns,
+                node: VIOLATION_NODE,
+                seq: (k + 1) as u32,
+            };
+            Span::new(id, SpanKind::Violation, name.clone(), parents.clone())
+                .with_attr("oracle", name.clone())
+                .with_attr("detail", detail.clone())
+        })
+        .collect()
+}
+
+/// Renders one span. `u64` clock fields ride decimal strings (the artifact
+/// convention for values that must survive the f64-backed number type).
+pub fn span_json(s: &Span) -> Json {
+    let mut attrs = Json::obj();
+    for (k, v) in &s.attrs {
+        attrs.set(k.clone(), v.as_str());
+    }
+    Json::obj()
+        .with("id", s.id.to_string())
+        .with("kind", s.kind.label())
+        .with("name", s.name.as_str())
+        .with(
+            "parents",
+            s.parents.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+        )
+        .with("sim_cost_us", s.sim_cost_us.to_string())
+        .with("wall_ns", s.wall_ns.to_string())
+        .with("attrs", attrs)
+}
+
+fn field_u64(j: &Json, key: &str) -> u64 {
+    match j.get(key) {
+        Some(Json::Str(s)) => s.parse().unwrap_or(0),
+        Some(v) => v.as_u64().unwrap_or(0),
+        None => 0,
+    }
+}
+
+/// Parses one span rendered by [`span_json`]. Tolerates blanked/absent
+/// `wall_ns` (masked exports) but rejects structural damage.
+pub fn span_from_json(j: &Json) -> Result<Span, String> {
+    let id: SpanId = j
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("span missing 'id'")?
+        .parse()?;
+    let kind_label = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("span missing 'kind'")?;
+    let kind =
+        SpanKind::parse(kind_label).ok_or_else(|| format!("unknown span kind '{kind_label}'"))?;
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("span missing 'name'")?
+        .to_string();
+    let mut parents = Vec::new();
+    for p in j
+        .get("parents")
+        .and_then(Json::as_array)
+        .ok_or("span missing 'parents'")?
+    {
+        parents.push(p.as_str().ok_or("non-string parent id")?.parse()?);
+    }
+    let mut span = Span::new(id, kind, name, parents);
+    span.sim_cost_us = field_u64(j, "sim_cost_us");
+    span.wall_ns = field_u64(j, "wall_ns");
+    if let Some(Json::Obj(pairs)) = j.get("attrs") {
+        for (k, v) in pairs {
+            if let Some(text) = v.as_str() {
+                span.attrs.push((k.clone(), text.to_string()));
+            }
+        }
+    }
+    Ok(span)
+}
+
+/// Renders the full `provenance` artifact section. With `masked = true`
+/// every span's `wall_ns` is zeroed first, making the output byte-identical
+/// across replays of the same `(scenario, seed, plan)`.
+pub fn provenance_json(spans: &[Span], recorded: u64, evicted: u64, masked: bool) -> Json {
+    let violations: Vec<String> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Violation)
+        .map(|s| s.id.to_string())
+        .collect();
+    Json::obj()
+        .with("schema", PROVENANCE_SCHEMA)
+        .with("recorded", recorded.to_string())
+        .with("evicted", evicted.to_string())
+        .with("violations", violations)
+        .with(
+            "spans",
+            Json::Arr(
+                spans
+                    .iter()
+                    .map(|s| {
+                        if masked {
+                            span_json(&s.masked())
+                        } else {
+                            span_json(s)
+                        }
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Parses a `provenance` section back into spans. Used by the `trace` CLI
+/// and the replay tail-equality check.
+pub fn parse_provenance(j: &Json) -> Result<Vec<Span>, String> {
+    let schema = j
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("provenance missing 'schema'")?;
+    if schema != PROVENANCE_SCHEMA {
+        return Err(format!(
+            "unknown provenance schema '{schema}' (want '{PROVENANCE_SCHEMA}')"
+        ));
+    }
+    j.get("spans")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "provenance missing 'spans'".to_string())?
+        .iter()
+        .map(span_from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_span() -> Span {
+        let mut s = Span::new(
+            SpanId {
+                at_ns: 1_500_000,
+                node: 2,
+                seq: 9,
+            },
+            SpanKind::Decision,
+            "decide:parent.pick",
+            vec![SpanId {
+                at_ns: 1_400_000,
+                node: 2,
+                seq: 8,
+            }],
+        );
+        s.sim_cost_us = 40;
+        s.wall_ns = 12_345;
+        s.attrs.push(("chosen".into(), "1".into()));
+        s.attrs.push(("options".into(), "3".into()));
+        s
+    }
+
+    #[test]
+    fn span_round_trips_through_json() {
+        let s = sample_span();
+        let j = span_json(&s);
+        let back = span_from_json(&j).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn provenance_round_trips_and_lists_violations() {
+        let v = Span::new(
+            SpanId {
+                at_ns: 2_000_000,
+                node: VIOLATION_NODE,
+                seq: 1,
+            },
+            SpanKind::Violation,
+            "tree.reachable",
+            vec![sample_span().id],
+        );
+        let spans = vec![sample_span(), v.clone()];
+        let j = provenance_json(&spans, 10, 0, false);
+        assert_eq!(
+            j.get("violations").and_then(Json::as_array).unwrap().len(),
+            1
+        );
+        let back = parse_provenance(&j).expect("parse");
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn masked_rendering_zeroes_wall_only() {
+        let spans = vec![sample_span()];
+        let mut other = sample_span();
+        other.wall_ns = 99_999;
+        let a = provenance_json(&spans, 1, 0, true).to_string_compact();
+        let b = provenance_json(&[other.clone()], 1, 0, true).to_string_compact();
+        assert_eq!(a, b, "masked exports must ignore wall noise");
+        let unmasked = provenance_json(&[other], 1, 0, false).to_string_compact();
+        assert_ne!(a, unmasked);
+    }
+
+    #[test]
+    fn span_from_json_rejects_damage() {
+        let j = span_json(&sample_span());
+        let mut missing = j.clone();
+        if let Json::Obj(pairs) = &mut missing {
+            pairs.retain(|(k, _)| k != "kind");
+        }
+        assert!(span_from_json(&missing).is_err());
+        let bad = Json::obj().with("id", "garbage");
+        assert!(span_from_json(&bad).is_err());
+    }
+}

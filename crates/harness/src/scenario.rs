@@ -10,9 +10,11 @@
 use crate::json::Json;
 use crate::oracle::OracleVerdict;
 use crate::plan::FaultPlan;
+use crate::provenance::{self, provenance_json};
 use crate::telemetry::telemetry_json;
 use cb_simnet::prelude::{Actor, MetricsSummary, Sim, SimTime};
 use cb_telemetry::{keys, Registry};
+use cb_trace::Span;
 
 /// Everything the campaign runner keeps from one seed's run.
 #[derive(Clone, Debug)]
@@ -45,6 +47,16 @@ pub struct RunReport {
     pub verdicts: Vec<OracleVerdict>,
     /// The last few trace lines, captured only when a verdict failed.
     pub last_trace: Vec<String>,
+    /// The flight-recorder tail: the last spans of every node's recorder,
+    /// closed over retained causal parents, plus one synthesised
+    /// `Violation` span per failing oracle. Deterministic except for each
+    /// span's `wall_ns`.
+    pub provenance: Vec<Span>,
+    /// Total spans the fleet's recorders ever pushed.
+    pub spans_recorded: u64,
+    /// Spans evicted from the bounded rings (the tail may be incomplete
+    /// when nonzero).
+    pub spans_evicted: u64,
     /// Full telemetry registry for the run (standard schema pre-registered,
     /// `net.*` filled from the sim summary; runtime scenarios replace it
     /// with a fleet-wide registry via [`RunReport::with_telemetry`]).
@@ -107,6 +119,26 @@ impl RunReport {
         } else {
             Vec::new()
         };
+        // Decision provenance: the flight-recorder tail rides every report;
+        // failing runs additionally get one Violation span per failing
+        // oracle, anchored to the last span (and last decision) per node.
+        let mut provenance = provenance::collect_tail(sim, provenance::TAIL_PER_NODE);
+        if failed {
+            let failing: Vec<(String, String)> = verdicts
+                .iter()
+                .filter(|v| !v.passed)
+                .map(|v| (v.name.clone(), v.detail.clone()))
+                .collect();
+            provenance.extend(provenance::violation_spans(sim, &failing));
+        }
+        let (mut spans_recorded, mut spans_evicted) = (0u64, 0u64);
+        for rec in sim.flight_recorders() {
+            spans_recorded += rec.pushed();
+            spans_evicted += rec.evicted();
+        }
+        telemetry.set_counter(keys::SIMNET_TRACE_EVICTED, sim.trace().evicted());
+        telemetry.set_counter(keys::TRACE_SPANS_RECORDED, spans_recorded);
+        telemetry.set_counter(keys::TRACE_SPANS_EVICTED, spans_evicted);
         RunReport {
             scenario: scenario.to_string(),
             seed,
@@ -121,6 +153,9 @@ impl RunReport {
             bytes_sent: summary.bytes_sent,
             verdicts,
             last_trace,
+            provenance,
+            spans_recorded,
+            spans_evicted,
             telemetry,
         }
     }
@@ -184,6 +219,26 @@ impl RunReport {
                 ),
             )
             .with("last_trace", self.last_trace.clone())
+            .with(
+                "provenance",
+                provenance_json(
+                    &self.provenance,
+                    self.spans_recorded,
+                    self.spans_evicted,
+                    false,
+                ),
+            )
+    }
+
+    /// The `provenance` section with every span's wall clock blanked —
+    /// byte-identical across replays of the same `(scenario, seed, plan)`.
+    pub fn provenance_masked_json(&self) -> Json {
+        provenance_json(
+            &self.provenance,
+            self.spans_recorded,
+            self.spans_evicted,
+            true,
+        )
     }
 }
 

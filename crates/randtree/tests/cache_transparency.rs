@@ -26,18 +26,28 @@ use cb_harness::scenario::RunReport;
 use cb_randtree::RandTreeCampaign;
 
 /// Keys whose values legitimately differ with the cache on vs off: the
-/// cache's own accounting. Everything else must be byte-identical.
-const CACHE_ACCOUNTING_KEYS: [&str; 3] = [
+/// cache's own accounting — the `core.evalcache.*` telemetry counters, the
+/// derived `cache_hit_rate` summary, and the per-decision `evalcache.hits` /
+/// `evalcache.misses` attrs each decision span carries in the `provenance`
+/// section. They report on the cache, not on behavior; everything else must
+/// be byte-identical.
+const CACHE_ACCOUNTING_KEYS: [&str; 5] = [
     "\"core.evalcache.hits\"",
     "\"core.evalcache.misses\"",
     "\"cache_hit_rate\"",
+    "\"evalcache.hits\"",
+    "\"evalcache.misses\"",
 ];
 
 /// Renders a report the way a campaign artifact embeds it, with wall
-/// metrics masked and the cache-accounting values neutralized.
+/// metrics masked (telemetry `*wall*` keys and every provenance span's
+/// `wall_ns`) and the cache-accounting values neutralized.
 fn normalized_artifact(mut report: RunReport) -> String {
     report.telemetry = report.telemetry.masked();
-    let json = report.to_json().to_string_pretty();
+    let json = report
+        .to_json()
+        .with("provenance", report.provenance_masked_json())
+        .to_string_pretty();
     json.lines()
         .map(|line| {
             let key_hit = CACHE_ACCOUNTING_KEYS

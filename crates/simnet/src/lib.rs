@@ -56,4 +56,5 @@ pub mod prelude {
         AccessLink, LinkParams, NodeId, PathProps, Topology, TransitStubConfig,
     };
     pub use crate::trace::{Trace, TraceEvent, TraceRecord};
+    pub use cb_trace::{FlightRecorder, Span, SpanId, SpanKind};
 }

@@ -32,8 +32,28 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, PathProps, Topology};
 use crate::trace::{Trace, TraceEvent};
+use cb_trace::{FlightRecorder, Span, SpanId, SpanKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Caps span names derived from message debug renderings so the per-node
+/// flight recorders stay cheap even with large payload debug output.
+const SPAN_NAME_MAX: usize = 48;
+
+fn span_name(what: &str) -> String {
+    if what.len() <= SPAN_NAME_MAX {
+        return what.to_string();
+    }
+    let mut cut = SPAN_NAME_MAX;
+    while !what.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &what[..cut])
+}
+
+fn compact(cause: Option<SpanId>) -> u64 {
+    cause.map(|c| c.compact()).unwrap_or(0)
+}
 
 /// Identifies a pending timer; returned by [`Ctx::set_timer`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -90,12 +110,18 @@ enum Ev<M> {
         bytes: u32,
         sent_at: SimTime,
         epoch: u64,
+        /// Provenance span of the originating send (causal parent of the
+        /// delivery). Rides the event so cross-node edges survive delays,
+        /// stalls, and reordering.
+        cause: Option<SpanId>,
     },
     Timer {
         node: NodeId,
         id: TimerId,
         tag: u64,
         incarnation: u32,
+        /// Provenance span of the event that armed the timer.
+        cause: Option<SpanId>,
     },
     Crash {
         node: NodeId,
@@ -106,6 +132,8 @@ enum Ev<M> {
     ConnBroken {
         node: NodeId,
         peer: NodeId,
+        /// Provenance span of the event that broke the connection.
+        cause: Option<SpanId>,
     },
 }
 
@@ -176,6 +204,13 @@ pub struct World<M> {
     metrics: Vec<NodeMetrics>,
     trace: Trace,
     events_processed: u64,
+    /// One provenance flight recorder per node. Lives in the world (not the
+    /// actor) so span sequence numbers survive crash/restart and `(node,
+    /// seq)` stays unique per run.
+    recorders: Vec<FlightRecorder>,
+    /// The span of the event currently being dispatched; every effect the
+    /// running handler emits (send, timer, conn break) is parented to it.
+    current_cause: Option<SpanId>,
 }
 
 fn conn_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -210,7 +245,25 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             metrics: (0..n).map(|_| NodeMetrics::default()).collect(),
             trace: Trace::default(),
             events_processed: 0,
+            recorders: (0..n).map(|i| FlightRecorder::new(i as u32)).collect(),
+            current_cause: None,
         }
+    }
+
+    /// Records a provenance span on `node`'s flight recorder and returns its
+    /// deterministic id.
+    fn record_span(
+        &mut self,
+        node: NodeId,
+        kind: SpanKind,
+        name: String,
+        parents: Vec<SpanId>,
+    ) -> SpanId {
+        let at_ns = self.now.as_nanos();
+        let rec = &mut self.recorders[node.index()];
+        let id = rec.next_id(at_ns);
+        rec.push(Span::new(id, kind, name, parents));
+        id
     }
 
     fn push(&mut self, at: SimTime, ev: Ev<M>) {
@@ -230,24 +283,35 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         let bytes = payload_bytes + HEADER_BYTES;
         self.metrics[from.index()].msgs_sent.inc();
         self.metrics[from.index()].bytes_sent.add(bytes as u64);
+        let what = format!("{msg:?}");
+        let parents = self.current_cause.into_iter().collect();
+        let send_span = self.record_span(from, SpanKind::Send, span_name(&what), parents);
         self.trace.push(
             self.now,
             TraceEvent::Send {
                 from,
                 to,
                 bytes,
-                what: format!("{msg:?}"),
+                what,
+                cause: send_span.compact(),
             },
         );
         if self.blocked.contains(&(from, to)) {
             // Partitioned: TCP eventually times out; tell the sender.
             self.metrics[from.index()].msgs_dropped.inc();
+            self.record_span(
+                from,
+                SpanKind::Drop,
+                "partitioned".to_string(),
+                vec![send_span],
+            );
             self.trace.push(
                 self.now,
                 TraceEvent::Drop {
                     from,
                     to,
                     reason: "partitioned",
+                    cause: send_span.compact(),
                 },
             );
             let path = self.topo.path(from, to);
@@ -257,6 +321,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 Ev::ConnBroken {
                     node: from,
                     peer: to,
+                    cause: Some(send_span),
                 },
             );
             let key = conn_key(from, to);
@@ -282,6 +347,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                     Ev::ConnBroken {
                         node: to,
                         peer: from,
+                        cause: Some(send_span),
                     },
                 );
             }
@@ -306,15 +372,22 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         if retries >= MAX_RETRIES {
             // TCP gives up: break the connection.
             self.metrics[from.index()].msgs_dropped.inc();
+            self.record_span(
+                from,
+                SpanKind::Drop,
+                "retries-exhausted".to_string(),
+                vec![send_span],
+            );
             self.trace.push(
                 self.now,
                 TraceEvent::Drop {
                     from,
                     to,
                     reason: "retries-exhausted",
+                    cause: send_span.compact(),
                 },
             );
-            self.break_conn(from, to);
+            self.break_conn(from, to, Some(send_span));
             return;
         }
         let deliver_at = self.price_delivery(from, to, bytes, path) + extra;
@@ -331,6 +404,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 bytes,
                 sent_at: self.now,
                 epoch,
+                cause: Some(send_span),
             },
         );
     }
@@ -340,23 +414,34 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         let bytes = payload_bytes + HEADER_BYTES;
         self.metrics[from.index()].msgs_sent.inc();
         self.metrics[from.index()].bytes_sent.add(bytes as u64);
+        let what = format!("{msg:?}");
+        let parents = self.current_cause.into_iter().collect();
+        let send_span = self.record_span(from, SpanKind::Send, span_name(&what), parents);
         self.trace.push(
             self.now,
             TraceEvent::Send {
                 from,
                 to,
                 bytes,
-                what: format!("{msg:?}"),
+                what,
+                cause: send_span.compact(),
             },
         );
         if self.blocked.contains(&(from, to)) {
             self.metrics[from.index()].msgs_dropped.inc();
+            self.record_span(
+                from,
+                SpanKind::Drop,
+                "partitioned".to_string(),
+                vec![send_span],
+            );
             self.trace.push(
                 self.now,
                 TraceEvent::Drop {
                     from,
                     to,
                     reason: "partitioned",
+                    cause: send_span.compact(),
                 },
             );
             return;
@@ -364,12 +449,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         let path = self.topo.path(from, to);
         if self.node_rng[from.index()].gen_bool(path.loss) {
             self.metrics[from.index()].msgs_dropped.inc();
+            self.record_span(from, SpanKind::Drop, "loss".to_string(), vec![send_span]);
             self.trace.push(
                 self.now,
                 TraceEvent::Drop {
                     from,
                     to,
                     reason: "loss",
+                    cause: send_span.compact(),
                 },
             );
             return;
@@ -384,6 +471,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 bytes,
                 sent_at: self.now,
                 epoch: EPOCH_UNRELIABLE,
+                cause: Some(send_span),
             },
         );
     }
@@ -408,7 +496,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         done
     }
 
-    fn break_conn(&mut self, a: NodeId, b: NodeId) {
+    fn break_conn(&mut self, a: NodeId, b: NodeId, cause: Option<SpanId>) {
         let key = conn_key(a, b);
         let conn = self.conns.entry(key).or_default();
         conn.epoch += 1;
@@ -420,10 +508,31 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         }
         self.flows.remove(&(a, b));
         self.flows.remove(&(b, a));
-        self.trace.push(self.now, TraceEvent::ConnBroken { a, b });
+        self.trace.push(
+            self.now,
+            TraceEvent::ConnBroken {
+                a,
+                b,
+                cause: compact(cause),
+            },
+        );
         let now = self.now;
-        self.push(now, Ev::ConnBroken { node: a, peer: b });
-        self.push(now, Ev::ConnBroken { node: b, peer: a });
+        self.push(
+            now,
+            Ev::ConnBroken {
+                node: a,
+                peer: b,
+                cause,
+            },
+        );
+        self.push(
+            now,
+            Ev::ConnBroken {
+                node: b,
+                peer: a,
+                cause,
+            },
+        );
     }
 }
 
@@ -487,6 +596,7 @@ impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
         let node = self.node;
         let at = self.world.now + delay;
         let incarnation = self.world.incarnation[node.index()];
+        let cause = self.world.current_cause;
         self.world.push(
             at,
             Ev::Timer {
@@ -494,6 +604,7 @@ impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
                 id,
                 tag,
                 incarnation,
+                cause,
             },
         );
         id
@@ -516,7 +627,8 @@ impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
     /// action.
     pub fn break_connection(&mut self, peer: NodeId) {
         let me = self.node;
-        self.world.break_conn(me, peer);
+        let cause = self.world.current_cause;
+        self.world.break_conn(me, peer, cause);
     }
 
     /// Ground-truth path properties to `to`, as a measurement facility
@@ -548,6 +660,32 @@ impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
                 text: text.into(),
             },
         );
+    }
+
+    /// The provenance span of the event currently being dispatched (the
+    /// delivery, timer firing, start, ... that invoked this callback).
+    /// Effects emitted through this `Ctx` are parented to it.
+    pub fn cause(&self) -> Option<SpanId> {
+        self.world.current_cause
+    }
+
+    /// Re-parents subsequent effects of the running callback to `span`.
+    /// The runtime calls this after recording a decision span so the
+    /// decision — not the triggering delivery — becomes the causal parent
+    /// of everything the handler emits afterwards.
+    pub fn set_cause(&mut self, span: SpanId) {
+        self.world.current_cause = Some(span);
+    }
+
+    /// This node's provenance flight recorder, for recording
+    /// application-level spans (the runtime records decision spans here).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.world.recorders[self.node.index()]
+    }
+
+    /// Current simulated time in nanoseconds (convenience for span ids).
+    pub fn now_ns(&self) -> u64 {
+        self.world.now.as_nanos()
     }
 }
 
@@ -741,9 +879,16 @@ impl<A: Actor> Sim<A> {
             }
         }
         self.world.events_processed += 1;
+        // Provenance: each dispatched event opens a span; the handler's
+        // effects are parented to it via `current_cause`.
+        self.world.current_cause = None;
         match entry.ev {
             Ev::Start { node } => {
                 self.world.up[node.index()] = true;
+                let span =
+                    self.world
+                        .record_span(node, SpanKind::Start, "start".to_string(), vec![]);
+                self.world.current_cause = Some(span);
                 let mut ctx = Ctx {
                     world: &mut self.world,
                     node,
@@ -757,15 +902,23 @@ impl<A: Actor> Sim<A> {
                 bytes,
                 sent_at,
                 epoch,
+                cause,
             } => {
                 if !self.world.up[to.index()] {
                     self.world.metrics[from.index()].msgs_dropped.inc();
+                    self.world.record_span(
+                        to,
+                        SpanKind::Drop,
+                        "dest-down".to_string(),
+                        cause.into_iter().collect(),
+                    );
                     self.world.trace.push(
                         self.world.now,
                         TraceEvent::Drop {
                             from,
                             to,
                             reason: "dest-down",
+                            cause: compact(cause),
                         },
                     );
                     // A reliable segment arriving at a dead host gets no ACK:
@@ -780,7 +933,7 @@ impl<A: Actor> Sim<A> {
                             .get(&conn_key(from, to))
                             .map_or(0, |c| c.epoch);
                         if epoch == current {
-                            self.world.break_conn(from, to);
+                            self.world.break_conn(from, to, cause);
                         }
                     }
                     return Some(entry.at);
@@ -793,12 +946,19 @@ impl<A: Actor> Sim<A> {
                         .map_or(0, |c| c.epoch);
                     if epoch != current {
                         self.world.metrics[from.index()].msgs_dropped.inc();
+                        self.world.record_span(
+                            to,
+                            SpanKind::Drop,
+                            "conn-broken".to_string(),
+                            cause.into_iter().collect(),
+                        );
                         self.world.trace.push(
                             self.world.now,
                             TraceEvent::Drop {
                                 from,
                                 to,
                                 reason: "conn-broken",
+                                cause: compact(cause),
                             },
                         );
                         return Some(entry.at);
@@ -808,12 +968,21 @@ impl<A: Actor> Sim<A> {
                 m.msgs_delivered.inc();
                 m.bytes_received.add(bytes as u64);
                 m.delivery_latency.record_duration(self.world.now - sent_at);
+                let what = format!("{msg:?}");
+                let span = self.world.record_span(
+                    to,
+                    SpanKind::Deliver,
+                    span_name(&what),
+                    cause.into_iter().collect(),
+                );
+                self.world.current_cause = Some(span);
                 self.world.trace.push(
                     self.world.now,
                     TraceEvent::Deliver {
                         from,
                         to,
-                        what: format!("{msg:?}"),
+                        what,
+                        cause: compact(cause),
                     },
                 );
                 let mut ctx = Ctx {
@@ -827,6 +996,7 @@ impl<A: Actor> Sim<A> {
                 id,
                 tag,
                 incarnation,
+                cause,
             } => {
                 if !self.world.up[node.index()]
                     || incarnation != self.world.incarnation[node.index()]
@@ -835,9 +1005,21 @@ impl<A: Actor> Sim<A> {
                     return Some(entry.at);
                 }
                 self.world.metrics[node.index()].timers_fired.inc();
-                self.world
-                    .trace
-                    .push(self.world.now, TraceEvent::Timer { node, tag });
+                let span = self.world.record_span(
+                    node,
+                    SpanKind::Timer,
+                    format!("timer:{tag}"),
+                    cause.into_iter().collect(),
+                );
+                self.world.current_cause = Some(span);
+                self.world.trace.push(
+                    self.world.now,
+                    TraceEvent::Timer {
+                        node,
+                        tag,
+                        cause: compact(cause),
+                    },
+                );
                 let mut ctx = Ctx {
                     world: &mut self.world,
                     node,
@@ -850,6 +1032,9 @@ impl<A: Actor> Sim<A> {
                 }
                 self.world.up[node.index()] = false;
                 self.world.incarnation[node.index()] += 1;
+                let span =
+                    self.world
+                        .record_span(node, SpanKind::Crash, "crash".to_string(), vec![]);
                 self.world
                     .trace
                     .push(self.world.now, TraceEvent::Crash { node });
@@ -867,7 +1052,7 @@ impl<A: Actor> Sim<A> {
                 // pure function of the seed.
                 peers.sort_unstable();
                 for p in peers {
-                    self.world.break_conn(node, p);
+                    self.world.break_conn(node, p, Some(span));
                 }
             }
             Ev::Restart { node } => {
@@ -876,6 +1061,10 @@ impl<A: Actor> Sim<A> {
                 }
                 self.world.up[node.index()] = true;
                 self.world.incarnation[node.index()] += 1;
+                let span =
+                    self.world
+                        .record_span(node, SpanKind::Restart, "restart".to_string(), vec![]);
+                self.world.current_cause = Some(span);
                 self.world
                     .trace
                     .push(self.world.now, TraceEvent::Restart { node });
@@ -886,10 +1075,17 @@ impl<A: Actor> Sim<A> {
                 };
                 self.actors[node.index()].on_start(&mut ctx);
             }
-            Ev::ConnBroken { node, peer } => {
+            Ev::ConnBroken { node, peer, cause } => {
                 if !self.world.up[node.index()] {
                     return Some(entry.at);
                 }
+                let span = self.world.record_span(
+                    node,
+                    SpanKind::ConnBreak,
+                    format!("conn:{}", peer.index()),
+                    cause.into_iter().collect(),
+                );
+                self.world.current_cause = Some(span);
                 let mut ctx = Ctx {
                     world: &mut self.world,
                     node,
@@ -897,6 +1093,7 @@ impl<A: Actor> Sim<A> {
                 self.actors[node.index()].on_conn_broken(&mut ctx, peer);
             }
         }
+        self.world.current_cause = None;
         Some(entry.at)
     }
 
@@ -972,11 +1169,15 @@ impl<A: Actor> Sim<A> {
     /// Runs `f` against a node's actor with a live [`Ctx`], as if an
     /// external client invoked it. Use this to inject operations.
     pub fn invoke<R>(&mut self, n: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg>) -> R) -> R {
+        // External stimuli are causal roots: no parent span.
+        self.world.current_cause = None;
         let mut ctx = Ctx {
             world: &mut self.world,
             node: n,
         };
-        f(&mut self.actors[n.index()], &mut ctx)
+        let r = f(&mut self.actors[n.index()], &mut ctx);
+        self.world.current_cause = None;
+        r
     }
 
     /// Whether a node is currently up.
@@ -1012,6 +1213,16 @@ impl<A: Actor> Sim<A> {
     /// Mutable trace access (e.g. to disable recording for long runs).
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.world.trace
+    }
+
+    /// The per-node provenance flight recorders (index = node id).
+    pub fn flight_recorders(&self) -> &[FlightRecorder] {
+        &self.world.recorders
+    }
+
+    /// One node's provenance flight recorder.
+    pub fn flight_recorder(&self, n: NodeId) -> &FlightRecorder {
+        &self.world.recorders[n.index()]
     }
 }
 

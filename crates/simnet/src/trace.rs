@@ -23,6 +23,9 @@ pub enum TraceEvent {
         bytes: u32,
         /// Debug rendering of the payload.
         what: String,
+        /// Compact provenance span id of the send (0 = none recorded). Joins
+        /// this flat record to the flight-recorder span graph.
+        cause: u64,
     },
     /// A message reached its destination actor.
     Deliver {
@@ -32,6 +35,8 @@ pub enum TraceEvent {
         to: NodeId,
         /// Debug rendering of the payload.
         what: String,
+        /// Compact span id of the originating send (0 = none).
+        cause: u64,
     },
     /// A message was dropped (loss, partition, dead endpoint, broken
     /// connection).
@@ -42,6 +47,8 @@ pub enum TraceEvent {
         to: NodeId,
         /// Why it was dropped.
         reason: &'static str,
+        /// Compact span id of the originating send (0 = none).
+        cause: u64,
     },
     /// A timer fired at a node.
     Timer {
@@ -49,6 +56,8 @@ pub enum TraceEvent {
         node: NodeId,
         /// Application tag attached at `set_timer` time.
         tag: u64,
+        /// Compact span id of the event that set the timer (0 = none).
+        cause: u64,
     },
     /// A node crashed.
     Crash {
@@ -66,6 +75,8 @@ pub enum TraceEvent {
         a: NodeId,
         /// Other endpoint.
         b: NodeId,
+        /// Compact span id of the event that caused the break (0 = none).
+        cause: u64,
     },
     /// Free-form application annotation.
     Note {
@@ -93,15 +104,22 @@ impl fmt::Display for TraceRecord {
 
 /// A bounded ring buffer of trace records.
 ///
-/// When capacity is exceeded the oldest records are discarded; the total
-/// number of records ever pushed is still counted, and the rolling
-/// [`fingerprint`](Trace::fingerprint) covers every record ever pushed,
-/// including discarded ones.
+/// When capacity is exceeded the oldest records are discarded; eviction is
+/// **counted** (see [`evicted`](Trace::evicted), exported as the
+/// `simnet.trace.evicted` telemetry key) so a nonzero count tells you the
+/// retained window is partial. The total number of records ever pushed is
+/// also counted, and the rolling [`fingerprint`](Trace::fingerprint) covers
+/// every record ever pushed, including discarded ones — so two runs whose
+/// fingerprints agree took identical event sequences even if early records
+/// were evicted from *both* rings. The converse caveat: the retained
+/// [`records`](Trace::records) window is post-eviction, so rendering two
+/// equal-fingerprint traces can still differ if their capacities differ.
 #[derive(Clone, Debug)]
 pub struct Trace {
     ring: VecDeque<TraceRecord>,
     capacity: usize,
     pushed: u64,
+    evicted: u64,
     fingerprint: u64,
     enabled: bool,
 }
@@ -113,6 +131,7 @@ impl Trace {
             ring: VecDeque::with_capacity(capacity.min(4096)),
             capacity,
             pushed: 0,
+            evicted: 0,
             fingerprint: 0xcbf2_9ce4_8422_2325, // FNV offset basis
             enabled: true,
         }
@@ -138,6 +157,7 @@ impl Trace {
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
+            self.evicted += 1;
         }
         self.ring.push_back(TraceRecord { at, event });
     }
@@ -158,8 +178,19 @@ impl Trace {
         self.pushed
     }
 
-    /// Rolling hash over every record ever pushed. Equal seeds must yield
-    /// equal fingerprints; the determinism tests rely on this.
+    /// Records evicted from the ring to honour the capacity bound. Exported
+    /// as `simnet.trace.evicted`; nonzero means [`records`](Trace::records)
+    /// shows only the tail of the run.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Rolling hash over every record ever pushed — **including records that
+    /// were later evicted** from the bounded ring. Equal seeds must yield
+    /// equal fingerprints; the determinism tests rely on this. Because the
+    /// hash is computed at push time, eviction can never mask a divergence
+    /// that happened early in a long run, even though the retained window is
+    /// post-eviction.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint ^ self.pushed
     }
@@ -210,6 +241,7 @@ mod tests {
         }
         assert_eq!(t.records().count(), 2);
         assert_eq!(t.total_pushed(), 5);
+        assert_eq!(t.evicted(), 3);
         let last: Vec<_> = t.records().map(|r| r.at).collect();
         assert_eq!(last, vec![SimTime::from_millis(3), SimTime::from_millis(4)]);
     }

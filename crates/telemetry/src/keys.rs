@@ -81,6 +81,15 @@ pub const CORE_GOVERNOR_DECISIONS_HEALTHY: &str = "core.governor.decisions_healt
 pub const CORE_GOVERNOR_DECISIONS_DEGRADED: &str = "core.governor.decisions_degraded";
 /// Decisions resolved while the governor reported `Survival`.
 pub const CORE_GOVERNOR_DECISIONS_SURVIVAL: &str = "core.governor.decisions_survival";
+/// Step-downs whose dominant pressure input was snapshot staleness.
+pub const CORE_GOVERNOR_CAUSE_STALENESS: &str = "core.governor.cause_staleness";
+/// Step-downs whose dominant pressure input was peer-confidence collapse.
+pub const CORE_GOVERNOR_CAUSE_CONFIDENCE: &str = "core.governor.cause_confidence";
+/// Step-downs whose dominant pressure input was steering-filter pressure.
+pub const CORE_GOVERNOR_CAUSE_STEERING: &str = "core.governor.cause_steering";
+/// Step-downs whose dominant pressure input was a prediction-deadline
+/// firing.
+pub const CORE_GOVERNOR_CAUSE_DEADLINE: &str = "core.governor.cause_deadline";
 /// Decisions the ladder resolved on the full-lookahead rung (rung 0).
 pub const CORE_LADDER_RUNG_LOOKAHEAD: &str = "core.ladder.rung_lookahead";
 /// Decisions the ladder resolved on the cached-lookahead rung (rung 1).
@@ -116,6 +125,18 @@ pub const NET_CONNS_ESTABLISHED: &str = "net.conns_established";
 pub const NET_CONNS_BROKEN: &str = "net.conns_broken";
 /// End-to-end delivery latency histogram, sim µs (deterministic).
 pub const NET_DELIVERY_LATENCY_US: &str = "net.delivery_latency_us";
+
+// ---- provenance tracing (cb-trace flight recorders + simnet trace ring) ----
+
+/// Flat simnet trace-ring records evicted to honour the ring's capacity
+/// bound. Nonzero means the retained window (and any failure-artifact
+/// trace tail) shows only the end of the run; the ring's fingerprint still
+/// covers every record.
+pub const SIMNET_TRACE_EVICTED: &str = "simnet.trace.evicted";
+/// Provenance spans recorded across all per-node flight recorders.
+pub const TRACE_SPANS_RECORDED: &str = "trace.spans_recorded";
+/// Provenance spans evicted from the bounded flight-recorder rings.
+pub const TRACE_SPANS_EVICTED: &str = "trace.spans_evicted";
 
 // ---- cb-mck: model-checker exploration budgets ----
 
@@ -167,6 +188,10 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_GOVERNOR_DECISIONS_HEALTHY,
         CORE_GOVERNOR_DECISIONS_DEGRADED,
         CORE_GOVERNOR_DECISIONS_SURVIVAL,
+        CORE_GOVERNOR_CAUSE_STALENESS,
+        CORE_GOVERNOR_CAUSE_CONFIDENCE,
+        CORE_GOVERNOR_CAUSE_STEERING,
+        CORE_GOVERNOR_CAUSE_DEADLINE,
         CORE_LADDER_RUNG_LOOKAHEAD,
         CORE_LADDER_RUNG_CACHED,
         CORE_LADDER_RUNG_HEURISTIC,
@@ -180,6 +205,9 @@ pub fn preregister_standard(reg: &mut Registry) {
         NET_BYTES_SENT,
         NET_CONNS_ESTABLISHED,
         NET_CONNS_BROKEN,
+        SIMNET_TRACE_EVICTED,
+        TRACE_SPANS_RECORDED,
+        TRACE_SPANS_EVICTED,
         MCK_STATES_VISITED,
         MCK_STATES_EXPANDED,
         MCK_TRANSITIONS,

@@ -1,0 +1,202 @@
+//! The per-node flight recorder: a bounded ring of spans.
+
+use crate::span::{Span, SpanId, SpanKind};
+use std::collections::VecDeque;
+
+/// Default ring capacity, in spans. Bounded so long runs cannot grow memory
+/// without limit; eviction is **counted** (never silent) so consumers can
+/// tell when a blame chain may have lost its tail.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// How many [`SpanKind::Decision`] spans survive main-ring eviction. When a
+/// decision would fall off the ring it is *rescued* into a pinned side-ring
+/// of this capacity instead of being dropped — protocols that decide early
+/// and then settle into periodic timer churn would otherwise evict every
+/// decision long before an oracle fires, leaving `blame` nothing to reach.
+pub const DECISION_PIN_CAPACITY: usize = 64;
+
+/// A bounded per-node span ring with a pinned decision side-ring.
+///
+/// Sequence numbers are monotonic for the life of the recorder (they survive
+/// crash/restart of the node they describe, because the recorder lives in the
+/// simulated world, not in the node), which makes `(node, seq)` a unique key
+/// per run.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    node: u32,
+    capacity: usize,
+    ring: VecDeque<Span>,
+    /// Decision spans rescued from main-ring eviction, oldest first. Every
+    /// span here is older (in push order) than everything in `ring`.
+    pinned: VecDeque<Span>,
+    seq: u32,
+    pushed: u64,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// New recorder for `node` with [`DEFAULT_CAPACITY`].
+    pub fn new(node: u32) -> Self {
+        Self::with_capacity(node, DEFAULT_CAPACITY)
+    }
+
+    /// New recorder with an explicit ring capacity (min 1).
+    pub fn with_capacity(node: u32, capacity: usize) -> Self {
+        FlightRecorder {
+            node,
+            capacity: capacity.max(1),
+            ring: VecDeque::with_capacity(capacity.clamp(1, 1024)),
+            pinned: VecDeque::new(),
+            seq: 0,
+            pushed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// The node this recorder belongs to.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Allocate the next deterministic span id at simulated time `at_ns`.
+    pub fn next_id(&mut self, at_ns: u64) -> SpanId {
+        self.seq += 1;
+        SpanId {
+            at_ns,
+            node: self.node,
+            seq: self.seq,
+        }
+    }
+
+    /// Push a fully-built span, evicting (and counting) the oldest if full.
+    /// An evicted [`SpanKind::Decision`] span is rescued into the pinned
+    /// side-ring (bounded by [`DECISION_PIN_CAPACITY`]); `evicted()` only
+    /// counts spans that actually left the recorder.
+    pub fn push(&mut self, span: Span) {
+        if self.ring.len() == self.capacity {
+            let old = self.ring.pop_front().expect("ring is full");
+            if old.kind == SpanKind::Decision {
+                if self.pinned.len() == DECISION_PIN_CAPACITY {
+                    self.pinned.pop_front();
+                    self.evicted += 1;
+                }
+                self.pinned.push_back(old);
+            } else {
+                self.evicted += 1;
+            }
+        }
+        self.ring.push_back(span);
+        self.pushed += 1;
+    }
+
+    /// Convenience: allocate an id and record a costless span in one step.
+    /// Returns the new span's id for use as a causal parent downstream.
+    pub fn record(
+        &mut self,
+        at_ns: u64,
+        kind: SpanKind,
+        name: impl Into<String>,
+        parents: Vec<SpanId>,
+    ) -> SpanId {
+        let id = self.next_id(at_ns);
+        self.push(Span::new(id, kind, name, parents));
+        id
+    }
+
+    /// The retained window — pinned decisions first (they are older in push
+    /// order than everything in the main ring), then the ring, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.pinned.iter().chain(self.ring.iter())
+    }
+
+    /// The last `k` retained spans, oldest first.
+    pub fn tail(&self, k: usize) -> impl Iterator<Item = &Span> {
+        let skip = self.len().saturating_sub(k);
+        self.spans().skip(skip)
+    }
+
+    /// Number of spans currently retained (main ring + pinned decisions).
+    pub fn len(&self) -> usize {
+        self.pinned.len() + self.ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.pinned.is_empty() && self.ring.is_empty()
+    }
+
+    /// Total spans ever pushed (including evicted ones).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Spans evicted from the ring to respect the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_counted_and_bounded() {
+        let mut rec = FlightRecorder::with_capacity(3, 4);
+        for i in 0..10u64 {
+            rec.record(i, SpanKind::Send, format!("m{i}"), vec![]);
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.pushed(), 10);
+        assert_eq!(rec.evicted(), 6);
+        // Oldest retained is the 7th push (seq 7).
+        assert_eq!(rec.spans().next().unwrap().id.seq, 7);
+    }
+
+    #[test]
+    fn seq_is_monotonic_and_one_based() {
+        let mut rec = FlightRecorder::new(1);
+        let a = rec.next_id(10);
+        let b = rec.next_id(10);
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert_ne!(a.compact(), 0);
+    }
+
+    #[test]
+    fn evicted_decisions_are_pinned_not_dropped() {
+        let mut rec = FlightRecorder::with_capacity(5, 4);
+        rec.record(0, SpanKind::Decision, "d1", vec![]);
+        for i in 1..10u64 {
+            rec.record(i, SpanKind::Timer, "t", vec![]);
+        }
+        // The decision fell off the 4-slot ring but survives, pinned.
+        assert_eq!(rec.len(), 5);
+        let kinds: Vec<SpanKind> = rec.spans().map(|s| s.kind).collect();
+        assert_eq!(kinds[0], SpanKind::Decision);
+        assert!(kinds[1..].iter().all(|k| *k == SpanKind::Timer));
+        // Only the 5 dropped timers count as evicted.
+        assert_eq!(rec.evicted(), 5);
+        assert_eq!(rec.pushed(), 10);
+
+        // The pinned ring itself is bounded: overflow there counts.
+        let mut rec = FlightRecorder::with_capacity(6, 1);
+        for i in 0..(DECISION_PIN_CAPACITY as u64 + 3) {
+            rec.record(i, SpanKind::Decision, "d", vec![]);
+        }
+        assert_eq!(rec.len(), DECISION_PIN_CAPACITY + 1);
+        assert_eq!(rec.evicted(), 2);
+    }
+
+    #[test]
+    fn tail_returns_last_k_oldest_first() {
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.record(i, SpanKind::Timer, "t", vec![]);
+        }
+        let tail: Vec<u32> = rec.tail(2).map(|s| s.id.seq).collect();
+        assert_eq!(tail, vec![4, 5]);
+        let all: Vec<u32> = rec.tail(99).map(|s| s.id.seq).collect();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+}

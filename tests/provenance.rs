@@ -1,0 +1,152 @@
+//! Integration tests for decision provenance: the causal span graph that
+//! campaign reports embed, and the blame/explain queries over it.
+//!
+//! Three layers:
+//! 1. Property tests that the exported span graph is acyclic and
+//!    parent-resolvable, and — crucially — **independent of the campaign
+//!    worker count** (1/2/4/8 threads must record byte-identical masked
+//!    provenance, the dual-clock discipline applied to spans).
+//! 2. A seed-exact E11 regression: on the storm arm's recorded
+//!    `tree.reachable` violation, `blame` walks from the synthesised
+//!    violation span back to at least one originating lookahead decision,
+//!    crossing nodes.
+//! 3. Masked provenance is byte-identical across two runs of the same
+//!    `(scenario, seed, plan)`.
+
+use cb_harness::prelude::*;
+use cb_harness::toy::RingScenario;
+use cb_trace::{blame, explain, is_acyclic, SpanIndex, SpanKind};
+use proptest::prelude::*;
+
+/// The ring scenario's guaranteed violation: node 3 partitioned away,
+/// never healed — its successor's heartbeats starve.
+fn ring_violating_plan() -> FaultPlan {
+    let others: Vec<u32> = (0..8u32).filter(|&i| i != 3).collect();
+    FaultPlan::none().partition(&[3], &others, 0, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn provenance_graph_is_acyclic_resolvable_and_worker_independent(seed in 1u64..200) {
+        let scenario = RingScenario::default();
+        let mut masked_exports: Vec<String> = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CampaignConfig {
+                base_seed: seed,
+                seeds: 1,
+                workers,
+                check_determinism: false,
+                shrink: false,
+                artifact_dir: None,
+                plan_override: Some(ring_violating_plan()),
+            };
+            let outcome = run_campaign(&scenario, &cfg);
+            prop_assert_eq!(outcome.failures.len(), 1, "plan must violate");
+            let report = &outcome.failures[0].report;
+            let spans = &report.provenance;
+            prop_assert!(!spans.is_empty());
+
+            // Parent edges form a DAG (evicted parents are external roots).
+            prop_assert!(is_acyclic(spans), "cycle in span parent edges");
+
+            // Violation spans are synthesised with parents anchored to the
+            // collected tail: every one of their parent edges must resolve.
+            let index = SpanIndex::new(spans);
+            let violations: Vec<_> = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Violation)
+                .collect();
+            prop_assert!(!violations.is_empty(), "failing report must embed a violation span");
+            for v in &violations {
+                prop_assert!(!v.parents.is_empty());
+                for p in &v.parents {
+                    prop_assert!(index.get(*p).is_some(), "violation parent {p} not in tail");
+                }
+            }
+
+            // When the tail holds every span ever recorded, *all* parent
+            // edges must resolve — nothing was evicted or truncated.
+            let non_synthetic = spans.iter().filter(|s| s.kind != SpanKind::Violation).count();
+            if report.spans_evicted == 0 && non_synthetic as u64 == report.spans_recorded {
+                for s in spans {
+                    for p in &s.parents {
+                        prop_assert!(index.get(*p).is_some(), "dangling parent {p}");
+                    }
+                }
+            }
+
+            masked_exports.push(report.provenance_masked_json().to_string_compact());
+        }
+        // The recorded span graph is a pure function of (seed, plan): the
+        // worker count must not leak into it.
+        prop_assert!(
+            masked_exports.windows(2).all(|w| w[0] == w[1]),
+            "masked provenance differs across campaign worker counts"
+        );
+    }
+}
+
+/// Seed-exact E11 regression: the storm arm (lookahead control, 20-state
+/// deadline) under an unhealed partition of nodes 7 and 8 violates
+/// `tree.reachable`; `blame` from the synthesised violation span must walk
+/// the causal chain back to at least one originating lookahead decision,
+/// crossing nodes on the way.
+#[test]
+fn e11_storm_blame_reaches_an_originating_decision() {
+    let scenario = cb_randtree::RandTreeCampaign {
+        lookahead: true,
+        storm: true,
+        deadline_states: 20,
+        ..Default::default()
+    };
+    let plan = FaultPlan::from_spec("part:7.8|0.1.2.3.4.5.6.9.10.11.12.13.14@2000-never")
+        .expect("plan spec");
+    let report = scenario.run(1, &plan);
+    assert!(
+        report.failing_oracles().contains(&"tree.reachable"),
+        "expected tree.reachable violation, got {:?}",
+        report.failing_oracles()
+    );
+
+    let spans = &report.provenance;
+    let violation = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Violation)
+        .expect("failing report embeds a violation span");
+    let chain = blame(spans, violation.id).expect("violation span is retained");
+    assert!(
+        !chain.decisions.is_empty(),
+        "blame must reach at least one originating decision span"
+    );
+    assert!(
+        chain.nodes.len() >= 2,
+        "the causal chain must cross nodes, got {:?}",
+        chain.nodes
+    );
+    // The reached decision explains itself: option table with a winner.
+    let text = explain(spans, chain.decisions[0]).expect("decision is explainable");
+    assert!(text.contains("decide:"), "{text}");
+    assert!(text.contains("options:"), "{text}");
+}
+
+/// Masked provenance (wall clocks blanked) is byte-identical across two
+/// independent runs of the same `(scenario, seed, plan)` — the property the
+/// replay tail-equality check relies on.
+#[test]
+fn masked_provenance_is_byte_identical_across_runs() {
+    let scenario = RingScenario::default();
+    let plan = ring_violating_plan();
+    let a = scenario.run(7, &plan);
+    let b = scenario.run(7, &plan);
+    assert_eq!(
+        a.fingerprint, b.fingerprint,
+        "scenario must be deterministic"
+    );
+    assert_eq!(
+        a.provenance_masked_json().to_string_compact(),
+        b.provenance_masked_json().to_string_compact(),
+        "masked provenance must be byte-identical across replays"
+    );
+}
