@@ -5,6 +5,7 @@
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
 //!          [--telemetry] [--lookahead] [--no-evalcache]
 //!          [--storm] [--ladder] [--deadline STATES] [--chrome]
+//!          [--nodes N]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -29,6 +30,9 @@
 //! resolver ladder; `--deadline STATES` sets the per-decision prediction
 //! deadline on randtree (enforced in the ladder arm, reported-only in the
 //! lookahead control arm). Together they reproduce experiment E11.
+//! `--nodes N` overrides the fleet size on the gossip and dissem
+//! scenarios — `--nodes 10000` is the internet-scale arm; fleets of 1000+
+//! nodes automatically use the implicit path store and lite tracing.
 //! `--chrome` additionally writes `<artifact>.chrome.json` next to every
 //! failure artifact — Chrome trace-event JSON of the run's provenance tail,
 //! loadable at `ui.perfetto.dev` (use the `trace` binary for ad-hoc
@@ -48,6 +52,7 @@ fn usage() -> ! {
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
          \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
+         \x20               [--nodes N]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -67,6 +72,7 @@ fn main() {
     let mut ladder = false;
     let mut deadline: u64 = 0;
     let mut chrome = false;
+    let mut nodes: Option<usize> = None;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -130,6 +136,12 @@ fn main() {
                     })
             }
             "--chrome" => chrome = true,
+            "--nodes" => {
+                nodes = Some(need(&args, &mut i, "--nodes").parse().unwrap_or_else(|_| {
+                    eprintln!("--nodes wants a fleet size");
+                    usage();
+                }))
+            }
             "--telemetry" => show_telemetry = true,
             "--no-determinism" => cfg.check_determinism = false,
             "--out" => cfg.artifact_dir = Some(PathBuf::from(need(&args, &mut i, "--out"))),
@@ -227,6 +239,32 @@ fn main() {
                 "--lookahead/--no-evalcache/--storm/--ladder/--deadline apply to the \
                  randtree and gossip scenarios"
             );
+            usage();
+        }
+    }
+    if let Some(n) = nodes {
+        // Fleet-size override for the scale-capable scenarios. Composes
+        // with --storm/--ladder on gossip (re-applied here so the earlier
+        // swap is not lost).
+        let mut touched = false;
+        if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "gossip") {
+            *slot = Box::new(cb_gossip::GossipCampaign {
+                nodes: n,
+                ladder,
+                storm,
+                ..Default::default()
+            });
+            touched = true;
+        }
+        if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "dissem") {
+            *slot = Box::new(cb_dissem::SwarmCampaign {
+                peers: n,
+                ..Default::default()
+            });
+            touched = true;
+        }
+        if !touched {
+            eprintln!("--nodes applies to the gossip and dissem scenarios");
             usage();
         }
     }

@@ -14,6 +14,7 @@ pub mod decisions;
 pub mod experiments;
 pub mod models;
 pub mod registry;
+pub mod simnet;
 pub mod steeringlab;
 pub mod table;
 

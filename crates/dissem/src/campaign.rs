@@ -67,14 +67,25 @@ impl Scenario for SwarmCampaign {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let ts = TransitStubConfig {
-            transit_routers: 2,
-            stubs_per_transit: 1,
-            hosts_per_stub: self.peers.div_ceil(2),
-            ..Default::default()
-        };
+        // Small swarms keep the historical two-transit shape (and thus
+        // historical fingerprints); large ones get a proportioned backbone
+        // with an exact host count.
         let mut trng = SimRng::seed_from(seed.wrapping_mul(0x5DEE_CE66));
-        let topo = Topology::transit_stub(&ts, &mut trng);
+        let topo = if self.peers <= 64 {
+            let ts = TransitStubConfig {
+                transit_routers: 2,
+                stubs_per_transit: 1,
+                hosts_per_stub: self.peers.div_ceil(2),
+                ..Default::default()
+            };
+            Topology::transit_stub(&ts, &mut trng)
+        } else {
+            Topology::transit_stub_exact(
+                &TransitStubConfig::balanced_for(self.peers),
+                self.peers,
+                &mut trng,
+            )
+        };
         let mut arng = SimRng::seed_from(seed.wrapping_add(17));
         let assignments = assign_neighbors(
             &topo,
@@ -105,6 +116,11 @@ impl Scenario for SwarmCampaign {
                     .controller_every(SimDuration::from_secs(5)),
             )
         });
+        // Large fleets run in lite-trace mode (compact word fingerprints,
+        // empty provenance rings); see the gossip campaign for rationale.
+        if peers >= 1000 {
+            sim.set_lite(true);
+        }
         for p in 0..peers as u32 {
             sim.schedule_start(NodeId(p), SimTime::ZERO);
         }

@@ -92,10 +92,22 @@ impl Scenario for GossipCampaign {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let topo = Topology::transit_stub(
-            &TransitStubConfig::default().with_at_least_hosts(self.nodes),
-            &mut SimRng::seed_from(seed.wrapping_mul(0xA5A5_5A5A)),
-        );
+        // Small fleets keep the historical config (and thus historical
+        // fingerprints); large ones get a backbone proportioned to the
+        // fleet and an exact host count.
+        let mut trng = SimRng::seed_from(seed.wrapping_mul(0xA5A5_5A5A));
+        let topo = if self.nodes <= 64 {
+            Topology::transit_stub(
+                &TransitStubConfig::default().with_at_least_hosts(self.nodes),
+                &mut trng,
+            )
+        } else {
+            Topology::transit_stub_exact(
+                &TransitStubConfig::balanced_for(self.nodes),
+                self.nodes,
+                &mut trng,
+            )
+        };
         let n = self.nodes;
         let rumors = self.rumors;
         let ladder = self.ladder;
@@ -120,6 +132,12 @@ impl Scenario for GossipCampaign {
                 RuntimeConfig::new(resolver).controller_every(SimDuration::from_secs(2)),
             )
         });
+        // Fleets at 1000+ nodes run in lite-trace mode: fingerprints come
+        // from compact word records instead of rendered debug strings, and
+        // per-node provenance rings stay empty. Deterministic either way.
+        if n >= 1000 {
+            sim.set_lite(true);
+        }
         for i in 0..n as u32 {
             sim.schedule_start(NodeId(i), SimTime::ZERO);
         }

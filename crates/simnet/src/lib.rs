@@ -45,15 +45,16 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 /// Everything most users need, in one import.
 pub mod prelude {
     pub use crate::metrics::{Histogram, HistogramExt, MetricsSummary, NodeMetrics};
     pub use crate::rng::SimRng;
-    pub use crate::sim::{Actor, Ctx, Sim, TimerId, DEFAULT_MSG_BYTES};
+    pub use crate::sim::{Actor, Ctx, SchedulerKind, Sim, TimerId, DEFAULT_MSG_BYTES};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{
-        AccessLink, LinkParams, NodeId, PathProps, Topology, TransitStubConfig,
+        AccessLink, FatTreeConfig, LinkParams, NodeId, PathProps, Topology, TransitStubConfig,
     };
     pub use crate::trace::{Trace, TraceEvent, TraceRecord};
     pub use cb_trace::{FlightRecorder, Span, SpanId, SpanKind};

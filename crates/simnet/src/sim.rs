@@ -32,6 +32,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, PathProps, Topology};
 use crate::trace::{Trace, TraceEvent};
+use crate::wheel::EventWheel;
 use cb_trace::{FlightRecorder, Span, SpanId, SpanKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -137,27 +138,115 @@ enum Ev<M> {
     },
 }
 
+impl<M> Ev<M> {
+    /// The node an event is addressed to — the second component of the
+    /// explicit dispatch order.
+    fn target(&self) -> NodeId {
+        match self {
+            Ev::Start { node }
+            | Ev::Timer { node, .. }
+            | Ev::Crash { node }
+            | Ev::Restart { node }
+            | Ev::ConnBroken { node, .. } => *node,
+            Ev::Deliver { to, .. } => *to,
+        }
+    }
+}
+
 struct HeapEntry<M> {
     at: SimTime,
+    node: NodeId,
     seq: u64,
     ev: Ev<M>,
 }
 
 impl<M> PartialEq for HeapEntry<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.node == other.node && self.seq == other.seq
     }
 }
 impl<M> Eq for HeapEntry<M> {}
 impl<M> Ord for HeapEntry<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by (time, seq): earlier first, FIFO on ties.
-        Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
+        // Min-heap on the explicit dispatch key (time, node, seq): earlier
+        // first, lower target node on time ties, FIFO within a node. The
+        // key is specified here — not inherited from heap internals — so
+        // both schedulers implement the identical total order.
+        Reverse((self.at, self.node, self.seq)).cmp(&Reverse((other.at, other.node, other.seq)))
     }
 }
 impl<M> PartialOrd for HeapEntry<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Which event-queue implementation drives the simulation.
+///
+/// The hierarchical wheel is the default; the binary heap is kept as the
+/// executable reference (mirroring the multipass/fused split in the decision
+/// hot path): the differential tests run every schedule through both and
+/// require identical dispatch order, fingerprints, and telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel with a far-future overflow heap (O(1)
+    /// amortized; the 10k-node default).
+    #[default]
+    Wheel,
+    /// Global `BinaryHeap` reference implementation (O(log n)).
+    Heap,
+}
+
+/// The pending-event queue: both scheduler implementations behind one
+/// interface, each dispatching in the same explicit (time, node, seq) order.
+enum EventQueue<M> {
+    Heap(BinaryHeap<HeapEntry<M>>),
+    Wheel(EventWheel<Ev<M>>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            SchedulerKind::Wheel => EventQueue::Wheel(EventWheel::new()),
+        }
+    }
+
+    fn kind(&self) -> SchedulerKind {
+        match self {
+            EventQueue::Heap(_) => SchedulerKind::Heap,
+            EventQueue::Wheel(_) => SchedulerKind::Wheel,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, seq: u64, ev: Ev<M>) {
+        match self {
+            EventQueue::Heap(h) => h.push(HeapEntry { at, node, seq, ev }),
+            EventQueue::Wheel(w) => w.push(at.as_nanos(), node.0, seq, ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Ev<M>)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|e| (e.at, e.ev)),
+            EventQueue::Wheel(w) => w.pop().map(|(at, ev)| (SimTime::from_nanos(at), ev)),
+        }
+    }
+
+    /// Timestamp of the next event. `&mut` because the wheel may advance its
+    /// cursor to locate the exact minimum.
+    fn peek_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|e| e.at),
+            EventQueue::Wheel(w) => w.peek_key().map(|(at, _, _)| SimTime::from_nanos(at)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
     }
 }
 
@@ -185,7 +274,7 @@ const EPOCH_UNRELIABLE: u64 = u64::MAX;
 pub struct World<M> {
     topo: Topology,
     now: SimTime,
-    queue: BinaryHeap<HeapEntry<M>>,
+    queue: EventQueue<M>,
     seq: u64,
     next_timer: u64,
     cancelled: HashSet<TimerId>,
@@ -211,6 +300,32 @@ pub struct World<M> {
     /// The span of the event currently being dispatched; every effect the
     /// running handler emits (send, timer, conn break) is parented to it.
     current_cause: Option<SpanId>,
+    /// Large-fleet mode: skip payload `Debug` rendering, span recording, and
+    /// trace-ring retention; fingerprint via the compact word hash instead
+    /// of the rendered-event hash. Deterministic, but lite fingerprints only
+    /// compare with other lite runs.
+    lite: bool,
+}
+
+/// Lite-fingerprint event tags (see [`Trace::push_words`]).
+const LT_SEND: u64 = 1;
+const LT_DELIVER: u64 = 2;
+const LT_DROP: u64 = 3;
+const LT_TIMER: u64 = 4;
+const LT_CRASH: u64 = 5;
+const LT_RESTART: u64 = 6;
+const LT_CONN_BROKEN: u64 = 7;
+const LT_NOTE: u64 = 8;
+
+/// Deterministic code for a drop-reason string (FNV-1a; reasons are short
+/// static strings, so this stays off the hot path's allocation budget).
+fn reason_code(reason: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in reason.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 fn conn_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -222,14 +337,14 @@ fn conn_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 }
 
 impl<M: Clone + std::fmt::Debug + 'static> World<M> {
-    fn new(topo: Topology, seed: u64) -> Self {
+    fn new(topo: Topology, seed: u64, scheduler: SchedulerKind) -> Self {
         let n = topo.host_count();
         let mut root = SimRng::seed_from(seed);
         let node_rng = (0..n).map(|_| root.fork()).collect();
         World {
             topo,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             seq: 0,
             next_timer: 0,
             cancelled: HashSet::new(),
@@ -247,7 +362,16 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
             events_processed: 0,
             recorders: (0..n).map(|i| FlightRecorder::new(i as u32)).collect(),
             current_cause: None,
+            lite: false,
         }
+    }
+
+    /// Allocates a span id without recording a span: the lite-mode stand-in
+    /// for [`World::record_span`], keeping cause ids (and thus the event
+    /// stream) identical whether or not spans are being retained.
+    fn span_id_only(&mut self, node: NodeId) -> SpanId {
+        let at_ns = self.now.as_nanos();
+        self.recorders[node.index()].next_id(at_ns)
     }
 
     /// Records a provenance span on `node`'s flight recorder and returns its
@@ -274,15 +398,24 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(HeapEntry { at, seq, ev });
+        self.queue.push(at, ev.target(), seq, ev);
     }
 
-    /// Prices a reliable message and enqueues its delivery, or records why
-    /// it could not be sent.
-    fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M, payload_bytes: u32) {
-        let bytes = payload_bytes + HEADER_BYTES;
-        self.metrics[from.index()].msgs_sent.inc();
-        self.metrics[from.index()].bytes_sent.add(bytes as u64);
+    /// Records a send on the trace and flight recorder, returning the send
+    /// span id (lite mode allocates the id without rendering or retention).
+    fn trace_send(&mut self, from: NodeId, to: NodeId, bytes: u32, msg: &M) -> SpanId {
+        if self.lite {
+            let span = self.span_id_only(from);
+            self.trace.push_words(&[
+                LT_SEND,
+                self.now.as_nanos(),
+                from.0 as u64,
+                to.0 as u64,
+                bytes as u64,
+                span.compact(),
+            ]);
+            return span;
+        }
         let what = format!("{msg:?}");
         let parents = self.current_cause.into_iter().collect();
         let send_span = self.record_span(from, SpanKind::Send, span_name(&what), parents);
@@ -296,24 +429,58 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
                 cause: send_span.compact(),
             },
         );
+        send_span
+    }
+
+    /// Records a message drop: metrics, a Drop span on `span_node`, and the
+    /// trace event (word-hashed in lite mode).
+    fn trace_drop(
+        &mut self,
+        span_node: NodeId,
+        from: NodeId,
+        to: NodeId,
+        reason: &'static str,
+        parent: Option<SpanId>,
+    ) {
+        self.metrics[from.index()].msgs_dropped.inc();
+        if self.lite {
+            self.trace.push_words(&[
+                LT_DROP,
+                self.now.as_nanos(),
+                from.0 as u64,
+                to.0 as u64,
+                reason_code(reason),
+                compact(parent),
+            ]);
+            return;
+        }
+        self.record_span(
+            span_node,
+            SpanKind::Drop,
+            reason.to_string(),
+            parent.into_iter().collect(),
+        );
+        self.trace.push(
+            self.now,
+            TraceEvent::Drop {
+                from,
+                to,
+                reason,
+                cause: compact(parent),
+            },
+        );
+    }
+
+    /// Prices a reliable message and enqueues its delivery, or records why
+    /// it could not be sent.
+    fn send_reliable(&mut self, from: NodeId, to: NodeId, msg: M, payload_bytes: u32) {
+        let bytes = payload_bytes + HEADER_BYTES;
+        self.metrics[from.index()].msgs_sent.inc();
+        self.metrics[from.index()].bytes_sent.add(bytes as u64);
+        let send_span = self.trace_send(from, to, bytes, &msg);
         if self.blocked.contains(&(from, to)) {
             // Partitioned: TCP eventually times out; tell the sender.
-            self.metrics[from.index()].msgs_dropped.inc();
-            self.record_span(
-                from,
-                SpanKind::Drop,
-                "partitioned".to_string(),
-                vec![send_span],
-            );
-            self.trace.push(
-                self.now,
-                TraceEvent::Drop {
-                    from,
-                    to,
-                    reason: "partitioned",
-                    cause: send_span.compact(),
-                },
-            );
+            self.trace_drop(from, from, to, "partitioned", Some(send_span));
             let path = self.topo.path(from, to);
             let timeout = self.now + path.latency.mul_f64(2.0 * MAX_RETRIES as f64);
             self.push(
@@ -371,22 +538,7 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         }
         if retries >= MAX_RETRIES {
             // TCP gives up: break the connection.
-            self.metrics[from.index()].msgs_dropped.inc();
-            self.record_span(
-                from,
-                SpanKind::Drop,
-                "retries-exhausted".to_string(),
-                vec![send_span],
-            );
-            self.trace.push(
-                self.now,
-                TraceEvent::Drop {
-                    from,
-                    to,
-                    reason: "retries-exhausted",
-                    cause: send_span.compact(),
-                },
-            );
+            self.trace_drop(from, from, to, "retries-exhausted", Some(send_span));
             self.break_conn(from, to, Some(send_span));
             return;
         }
@@ -414,51 +566,14 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         let bytes = payload_bytes + HEADER_BYTES;
         self.metrics[from.index()].msgs_sent.inc();
         self.metrics[from.index()].bytes_sent.add(bytes as u64);
-        let what = format!("{msg:?}");
-        let parents = self.current_cause.into_iter().collect();
-        let send_span = self.record_span(from, SpanKind::Send, span_name(&what), parents);
-        self.trace.push(
-            self.now,
-            TraceEvent::Send {
-                from,
-                to,
-                bytes,
-                what,
-                cause: send_span.compact(),
-            },
-        );
+        let send_span = self.trace_send(from, to, bytes, &msg);
         if self.blocked.contains(&(from, to)) {
-            self.metrics[from.index()].msgs_dropped.inc();
-            self.record_span(
-                from,
-                SpanKind::Drop,
-                "partitioned".to_string(),
-                vec![send_span],
-            );
-            self.trace.push(
-                self.now,
-                TraceEvent::Drop {
-                    from,
-                    to,
-                    reason: "partitioned",
-                    cause: send_span.compact(),
-                },
-            );
+            self.trace_drop(from, from, to, "partitioned", Some(send_span));
             return;
         }
         let path = self.topo.path(from, to);
         if self.node_rng[from.index()].gen_bool(path.loss) {
-            self.metrics[from.index()].msgs_dropped.inc();
-            self.record_span(from, SpanKind::Drop, "loss".to_string(), vec![send_span]);
-            self.trace.push(
-                self.now,
-                TraceEvent::Drop {
-                    from,
-                    to,
-                    reason: "loss",
-                    cause: send_span.compact(),
-                },
-            );
+            self.trace_drop(from, from, to, "loss", Some(send_span));
             return;
         }
         let deliver_at = self.price_delivery(from, to, bytes, path);
@@ -508,14 +623,24 @@ impl<M: Clone + std::fmt::Debug + 'static> World<M> {
         }
         self.flows.remove(&(a, b));
         self.flows.remove(&(b, a));
-        self.trace.push(
-            self.now,
-            TraceEvent::ConnBroken {
-                a,
-                b,
-                cause: compact(cause),
-            },
-        );
+        if self.lite {
+            self.trace.push_words(&[
+                LT_CONN_BROKEN,
+                self.now.as_nanos(),
+                a.0 as u64,
+                b.0 as u64,
+                compact(cause),
+            ]);
+        } else {
+            self.trace.push(
+                self.now,
+                TraceEvent::ConnBroken {
+                    a,
+                    b,
+                    cause: compact(cause),
+                },
+            );
+        }
         let now = self.now;
         self.push(
             now,
@@ -653,6 +778,16 @@ impl<'a, M: Clone + std::fmt::Debug + 'static> Ctx<'a, M> {
     pub fn note(&mut self, text: impl Into<String>) {
         let node = self.node;
         let now = self.world.now;
+        if self.world.lite {
+            let text = text.into();
+            self.world.trace.push_words(&[
+                LT_NOTE,
+                now.as_nanos(),
+                node.0 as u64,
+                reason_code(&text),
+            ]);
+            return;
+        }
         self.world.trace.push(
             now,
             TraceEvent::Note {
@@ -727,14 +862,52 @@ pub struct Sim<A: Actor> {
 impl<A: Actor> Sim<A> {
     /// Creates a simulation with one actor per host, built by `factory`.
     /// No node is started yet; use [`Sim::start_all`] or
-    /// [`Sim::schedule_start`].
+    /// [`Sim::schedule_start`]. Uses the default scheduler
+    /// ([`SchedulerKind::Wheel`]).
     pub fn new(topo: Topology, seed: u64, factory: impl Fn(NodeId) -> A + 'static) -> Self {
+        Sim::new_with_scheduler(topo, seed, SchedulerKind::default(), factory)
+    }
+
+    /// Creates a simulation with an explicit event-queue implementation.
+    /// [`SchedulerKind::Heap`] is the reference scheduler the differential
+    /// tests compare the wheel against; both dispatch in the identical
+    /// (time, node, seq) order, so same-seed runs produce byte-identical
+    /// traces under either.
+    pub fn new_with_scheduler(
+        topo: Topology,
+        seed: u64,
+        scheduler: SchedulerKind,
+        factory: impl Fn(NodeId) -> A + 'static,
+    ) -> Self {
         let actors = topo.hosts().map(&factory).collect();
         Sim {
             actors,
             factory: Box::new(factory),
-            world: World::new(topo, seed),
+            world: World::new(topo, seed, scheduler),
         }
+    }
+
+    /// The event-queue implementation driving this simulation.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.world.queue.kind()
+    }
+
+    /// Switches large-fleet "lite" mode on or off (default off). Lite mode
+    /// makes the hot loop allocation-free: payload `Debug` rendering, span
+    /// recording, and trace-ring retention are skipped, and the trace
+    /// fingerprint is computed over a compact word encoding of each event
+    /// instead of its rendered form. Runs stay fully deterministic — equal
+    /// seeds give equal fingerprints — but a lite fingerprint is only
+    /// comparable to another lite run's. The 10k-node campaign arms enable
+    /// this before scheduling any event.
+    pub fn set_lite(&mut self, lite: bool) {
+        self.world.lite = lite;
+        self.world.trace.set_enabled(!lite);
+    }
+
+    /// Whether large-fleet lite mode is active.
+    pub fn is_lite(&self) -> bool {
+        self.world.lite
     }
 
     /// Starts every node at the current time.
@@ -800,6 +973,15 @@ impl<A: Actor> Sim<A> {
         let cur = self.world.stalled_until[node.index()];
         self.world.stalled_until[node.index()] = cur.max(until);
         let now = self.world.now;
+        if self.world.lite {
+            self.world.trace.push_words(&[
+                LT_NOTE,
+                now.as_nanos(),
+                node.0 as u64,
+                until.as_nanos(),
+            ]);
+            return;
+        }
         self.world.trace.push(
             now,
             TraceEvent::Note {
@@ -855,8 +1037,8 @@ impl<A: Actor> Sim<A> {
     /// Processes a single event. Returns its timestamp, or `None` when the
     /// queue is empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        let entry = self.world.queue.pop()?;
-        self.world.now = entry.at;
+        let (at, ev) = self.world.queue.pop()?;
+        self.world.now = at;
         // Gray-failure stalls: a stalled node is paused, not dead. Events
         // addressed to it — starts, deliveries, timers, connection
         // notifications — are deferred to the end of the stall instead of
@@ -864,7 +1046,7 @@ impl<A: Actor> Sim<A> {
         // can still be killed). Events are re-pushed in pop order, so the
         // (time, seq) heap order at the stall end preserves the original
         // chronology and the run stays deterministic.
-        let stall_target = match &entry.ev {
+        let stall_target = match &ev {
             Ev::Start { node } => Some(*node),
             Ev::Deliver { to, .. } => Some(*to),
             Ev::Timer { node, .. } => Some(*node),
@@ -874,20 +1056,23 @@ impl<A: Actor> Sim<A> {
         if let Some(n) = stall_target {
             let until = self.world.stalled_until[n.index()];
             if self.world.now < until {
-                self.world.push(until, entry.ev);
-                return Some(entry.at);
+                self.world.push(until, ev);
+                return Some(at);
             }
         }
         self.world.events_processed += 1;
         // Provenance: each dispatched event opens a span; the handler's
         // effects are parented to it via `current_cause`.
         self.world.current_cause = None;
-        match entry.ev {
+        match ev {
             Ev::Start { node } => {
                 self.world.up[node.index()] = true;
-                let span =
+                let span = if self.world.lite {
+                    self.world.span_id_only(node)
+                } else {
                     self.world
-                        .record_span(node, SpanKind::Start, "start".to_string(), vec![]);
+                        .record_span(node, SpanKind::Start, "start".to_string(), vec![])
+                };
                 self.world.current_cause = Some(span);
                 let mut ctx = Ctx {
                     world: &mut self.world,
@@ -905,22 +1090,7 @@ impl<A: Actor> Sim<A> {
                 cause,
             } => {
                 if !self.world.up[to.index()] {
-                    self.world.metrics[from.index()].msgs_dropped.inc();
-                    self.world.record_span(
-                        to,
-                        SpanKind::Drop,
-                        "dest-down".to_string(),
-                        cause.into_iter().collect(),
-                    );
-                    self.world.trace.push(
-                        self.world.now,
-                        TraceEvent::Drop {
-                            from,
-                            to,
-                            reason: "dest-down",
-                            cause: compact(cause),
-                        },
-                    );
+                    self.world.trace_drop(to, from, to, "dest-down", cause);
                     // A reliable segment arriving at a dead host gets no ACK:
                     // the sender's TCP eventually resets. Without this, a
                     // connection (re-)established while the peer was down
@@ -936,7 +1106,7 @@ impl<A: Actor> Sim<A> {
                             self.world.break_conn(from, to, cause);
                         }
                     }
-                    return Some(entry.at);
+                    return Some(at);
                 }
                 if epoch != EPOCH_UNRELIABLE {
                     let current = self
@@ -945,46 +1115,43 @@ impl<A: Actor> Sim<A> {
                         .get(&conn_key(from, to))
                         .map_or(0, |c| c.epoch);
                     if epoch != current {
-                        self.world.metrics[from.index()].msgs_dropped.inc();
-                        self.world.record_span(
-                            to,
-                            SpanKind::Drop,
-                            "conn-broken".to_string(),
-                            cause.into_iter().collect(),
-                        );
-                        self.world.trace.push(
-                            self.world.now,
-                            TraceEvent::Drop {
-                                from,
-                                to,
-                                reason: "conn-broken",
-                                cause: compact(cause),
-                            },
-                        );
-                        return Some(entry.at);
+                        self.world.trace_drop(to, from, to, "conn-broken", cause);
+                        return Some(at);
                     }
                 }
                 let m = &mut self.world.metrics[to.index()];
                 m.msgs_delivered.inc();
                 m.bytes_received.add(bytes as u64);
                 m.delivery_latency.record_duration(self.world.now - sent_at);
-                let what = format!("{msg:?}");
-                let span = self.world.record_span(
-                    to,
-                    SpanKind::Deliver,
-                    span_name(&what),
-                    cause.into_iter().collect(),
-                );
-                self.world.current_cause = Some(span);
-                self.world.trace.push(
-                    self.world.now,
-                    TraceEvent::Deliver {
-                        from,
+                if self.world.lite {
+                    let span = self.world.span_id_only(to);
+                    self.world.current_cause = Some(span);
+                    self.world.trace.push_words(&[
+                        LT_DELIVER,
+                        self.world.now.as_nanos(),
+                        from.0 as u64,
+                        to.0 as u64,
+                        compact(cause),
+                    ]);
+                } else {
+                    let what = format!("{msg:?}");
+                    let span = self.world.record_span(
                         to,
-                        what,
-                        cause: compact(cause),
-                    },
-                );
+                        SpanKind::Deliver,
+                        span_name(&what),
+                        cause.into_iter().collect(),
+                    );
+                    self.world.current_cause = Some(span);
+                    self.world.trace.push(
+                        self.world.now,
+                        TraceEvent::Deliver {
+                            from,
+                            to,
+                            what,
+                            cause: compact(cause),
+                        },
+                    );
+                }
                 let mut ctx = Ctx {
                     world: &mut self.world,
                     node: to,
@@ -1002,24 +1169,36 @@ impl<A: Actor> Sim<A> {
                     || incarnation != self.world.incarnation[node.index()]
                     || self.world.cancelled.remove(&id)
                 {
-                    return Some(entry.at);
+                    return Some(at);
                 }
                 self.world.metrics[node.index()].timers_fired.inc();
-                let span = self.world.record_span(
-                    node,
-                    SpanKind::Timer,
-                    format!("timer:{tag}"),
-                    cause.into_iter().collect(),
-                );
-                self.world.current_cause = Some(span);
-                self.world.trace.push(
-                    self.world.now,
-                    TraceEvent::Timer {
-                        node,
+                if self.world.lite {
+                    let span = self.world.span_id_only(node);
+                    self.world.current_cause = Some(span);
+                    self.world.trace.push_words(&[
+                        LT_TIMER,
+                        self.world.now.as_nanos(),
+                        node.0 as u64,
                         tag,
-                        cause: compact(cause),
-                    },
-                );
+                        compact(cause),
+                    ]);
+                } else {
+                    let span = self.world.record_span(
+                        node,
+                        SpanKind::Timer,
+                        format!("timer:{tag}"),
+                        cause.into_iter().collect(),
+                    );
+                    self.world.current_cause = Some(span);
+                    self.world.trace.push(
+                        self.world.now,
+                        TraceEvent::Timer {
+                            node,
+                            tag,
+                            cause: compact(cause),
+                        },
+                    );
+                }
                 let mut ctx = Ctx {
                     world: &mut self.world,
                     node,
@@ -1028,16 +1207,27 @@ impl<A: Actor> Sim<A> {
             }
             Ev::Crash { node } => {
                 if !self.world.up[node.index()] {
-                    return Some(entry.at);
+                    return Some(at);
                 }
                 self.world.up[node.index()] = false;
                 self.world.incarnation[node.index()] += 1;
-                let span =
+                let span = if self.world.lite {
+                    let span = self.world.span_id_only(node);
+                    self.world.trace.push_words(&[
+                        LT_CRASH,
+                        self.world.now.as_nanos(),
+                        node.0 as u64,
+                    ]);
+                    span
+                } else {
+                    let span =
+                        self.world
+                            .record_span(node, SpanKind::Crash, "crash".to_string(), vec![]);
                     self.world
-                        .record_span(node, SpanKind::Crash, "crash".to_string(), vec![]);
-                self.world
-                    .trace
-                    .push(self.world.now, TraceEvent::Crash { node });
+                        .trace
+                        .push(self.world.now, TraceEvent::Crash { node });
+                    span
+                };
                 // All of the node's connections break; peers will be
                 // notified (they observe a TCP reset / timeout).
                 let mut peers: Vec<NodeId> = self
@@ -1057,17 +1247,30 @@ impl<A: Actor> Sim<A> {
             }
             Ev::Restart { node } => {
                 if self.world.up[node.index()] {
-                    return Some(entry.at);
+                    return Some(at);
                 }
                 self.world.up[node.index()] = true;
                 self.world.incarnation[node.index()] += 1;
-                let span =
+                if self.world.lite {
+                    let span = self.world.span_id_only(node);
+                    self.world.current_cause = Some(span);
+                    self.world.trace.push_words(&[
+                        LT_RESTART,
+                        self.world.now.as_nanos(),
+                        node.0 as u64,
+                    ]);
+                } else {
+                    let span = self.world.record_span(
+                        node,
+                        SpanKind::Restart,
+                        "restart".to_string(),
+                        vec![],
+                    );
+                    self.world.current_cause = Some(span);
                     self.world
-                        .record_span(node, SpanKind::Restart, "restart".to_string(), vec![]);
-                self.world.current_cause = Some(span);
-                self.world
-                    .trace
-                    .push(self.world.now, TraceEvent::Restart { node });
+                        .trace
+                        .push(self.world.now, TraceEvent::Restart { node });
+                }
                 self.actors[node.index()] = (self.factory)(node);
                 let mut ctx = Ctx {
                     world: &mut self.world,
@@ -1077,14 +1280,18 @@ impl<A: Actor> Sim<A> {
             }
             Ev::ConnBroken { node, peer, cause } => {
                 if !self.world.up[node.index()] {
-                    return Some(entry.at);
+                    return Some(at);
                 }
-                let span = self.world.record_span(
-                    node,
-                    SpanKind::ConnBreak,
-                    format!("conn:{}", peer.index()),
-                    cause.into_iter().collect(),
-                );
+                let span = if self.world.lite {
+                    self.world.span_id_only(node)
+                } else {
+                    self.world.record_span(
+                        node,
+                        SpanKind::ConnBreak,
+                        format!("conn:{}", peer.index()),
+                        cause.into_iter().collect(),
+                    )
+                };
                 self.world.current_cause = Some(span);
                 let mut ctx = Ctx {
                     world: &mut self.world,
@@ -1094,7 +1301,7 @@ impl<A: Actor> Sim<A> {
             }
         }
         self.world.current_cause = None;
-        Some(entry.at)
+        Some(at)
     }
 
     /// Runs until the queue is empty or the next event is after `deadline`;
@@ -1102,8 +1309,8 @@ impl<A: Actor> Sim<A> {
     /// `deadline`. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(entry) = self.world.queue.peek() {
-            if entry.at > deadline {
+        while let Some(at) = self.world.queue.peek_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -1123,8 +1330,8 @@ impl<A: Actor> Sim<A> {
     /// Returns the time of the last processed event.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
         let mut last = self.world.now;
-        while let Some(entry) = self.world.queue.peek() {
-            if entry.at > limit {
+        while let Some(at) = self.world.queue.peek_at() {
+            if at > limit {
                 break;
             }
             last = self.step().expect("peeked entry exists");
@@ -1640,5 +1847,129 @@ mod tests {
         let mut sim = two_node_sim();
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn equal_timestamp_ties_break_by_node_then_seq() {
+        // Two timers land on the same nanosecond on different nodes. The
+        // dispatch key is (at, node, seq): node 0's timer must fire first
+        // even though node 3's was *scheduled* first (lower seq). Under the
+        // old accidental (at, seq) ordering inherited from heap internals,
+        // node 3 would win and this test fails.
+        #[derive(Default)]
+        struct Recorder;
+        impl Actor for Recorder {
+            type Msg = ();
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, ()>, _from: NodeId, _m: ()) {}
+        }
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let topo = Topology::star(4, SimDuration::from_millis(1), 10_000_000);
+            let mut sim = Sim::new_with_scheduler(topo, 1, kind, |_| Recorder);
+            sim.start_all();
+            sim.run_until(SimTime::ZERO);
+            // Schedule in descending node order so seq order opposes node order.
+            let d = SimDuration::from_millis(5);
+            sim.invoke(NodeId(3), |_, ctx| {
+                ctx.set_timer(d, 3);
+            });
+            sim.invoke(NodeId(0), |_, ctx| {
+                ctx.set_timer(d, 0);
+            });
+            sim.invoke(NodeId(2), |_, ctx| {
+                ctx.set_timer(d, 2);
+            });
+            sim.invoke(NodeId(1), |_, ctx| {
+                ctx.set_timer(d, 1);
+            });
+            sim.run_until_quiescent(SimTime::from_secs(1));
+            let order: Vec<u64> = sim
+                .trace()
+                .records()
+                .filter_map(|r| match r.event {
+                    crate::trace::TraceEvent::Timer { tag, .. } => Some(tag),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                order,
+                vec![0, 1, 2, 3],
+                "{kind:?}: ties must break by node id"
+            );
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_schedulers_are_trace_equivalent() {
+        // The differential pin at engine level: a workload with random
+        // targets, timers, loss, crash/restart and stalls must produce the
+        // same trace fingerprint and delivery counts under both schedulers.
+        let run = |kind: SchedulerKind, seed: u64| {
+            let cfg = crate::topology::TransitStubConfig {
+                transit_routers: 2,
+                stubs_per_transit: 2,
+                hosts_per_stub: 3,
+                transit_loss: 0.05,
+                ..Default::default()
+            };
+            let topo = Topology::transit_stub(&cfg, &mut SimRng::seed_from(seed));
+            let n = topo.host_count() as u32;
+            let mut sim = Sim::new_with_scheduler(topo, seed, kind, |_| Pinger::default());
+            sim.start_all();
+            sim.run_until(SimTime::ZERO);
+            for i in 0..n {
+                sim.invoke(NodeId(i), |_, ctx| {
+                    let to = NodeId(ctx.rng().gen_below(n as u64) as u32);
+                    if to != ctx.id() {
+                        ctx.send(to, 0);
+                        ctx.send_unreliable(to, 1);
+                    }
+                    ctx.set_timer(SimDuration::from_millis(15), 7);
+                });
+            }
+            sim.stall_until(NodeId(2), SimTime::from_millis(40));
+            sim.schedule_crash(NodeId(1), SimTime::from_millis(50));
+            sim.schedule_restart(NodeId(1), SimTime::from_millis(500));
+            sim.run_until_quiescent(SimTime::from_secs(10));
+            (
+                sim.trace().fingerprint(),
+                sim.summary().msgs_delivered,
+                sim.summary().msgs_dropped,
+                sim.now(),
+            )
+        };
+        for seed in [1u64, 7, 23, 91] {
+            assert_eq!(
+                run(SchedulerKind::Heap, seed),
+                run(SchedulerKind::Wheel, seed),
+                "schedulers diverge at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lite_mode_fingerprint_is_deterministic_and_scheduler_independent() {
+        // Lite mode hashes compact word records instead of rendered events;
+        // within the mode, heap and wheel must still agree byte-for-byte.
+        let run = |kind: SchedulerKind, seed: u64| {
+            let topo = Topology::star(8, SimDuration::from_millis(3), 10_000_000);
+            let mut sim = Sim::new_with_scheduler(topo, seed, kind, |_| Pinger::default());
+            sim.set_lite(true);
+            sim.start_all();
+            sim.run_until(SimTime::ZERO);
+            for i in 0..8u32 {
+                sim.invoke(NodeId(i), |_, ctx| {
+                    let to = NodeId(ctx.rng().gen_below(8) as u32);
+                    if to != ctx.id() {
+                        ctx.send(to, 0);
+                    }
+                    ctx.set_timer(SimDuration::from_millis(9), 3);
+                });
+            }
+            sim.run_until_quiescent(SimTime::from_secs(5));
+            sim.trace().fingerprint()
+        };
+        assert_eq!(run(SchedulerKind::Heap, 5), run(SchedulerKind::Wheel, 5));
+        assert_eq!(run(SchedulerKind::Wheel, 5), run(SchedulerKind::Wheel, 5));
+        assert_ne!(run(SchedulerKind::Wheel, 5), run(SchedulerKind::Wheel, 6));
     }
 }

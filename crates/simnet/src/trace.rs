@@ -145,13 +145,15 @@ impl Trace {
 
     /// Appends a record.
     pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        use std::fmt::Write;
         self.pushed += 1;
-        // FNV-1a over the debug rendering: cheap and stable across runs.
-        let rendered = format!("{at:?}|{event:?}");
-        for b in rendered.as_bytes() {
-            self.fingerprint ^= *b as u64;
-            self.fingerprint = self.fingerprint.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        // FNV-1a over the debug rendering, streamed straight into the hash
+        // state so the hot loop never allocates the rendered string. The
+        // byte sequence is identical to hashing `format!("{at:?}|{event:?}")`,
+        // so fingerprints are unchanged from the allocating implementation.
+        let mut sink = FnvSink(self.fingerprint);
+        let _ = write!(sink, "{at:?}|{event:?}");
+        self.fingerprint = sink.0;
         if !self.enabled {
             return;
         }
@@ -160,6 +162,26 @@ impl Trace {
             self.evicted += 1;
         }
         self.ring.push_back(TraceRecord { at, event });
+    }
+
+    /// Advances the fingerprint over a compact word encoding of an event
+    /// without retaining anything in the ring. The large-fleet "lite" mode
+    /// uses this instead of [`Trace::push`]: no payload rendering, no
+    /// formatting machinery, no allocation — just the FNV-1a state update.
+    ///
+    /// Lite fingerprints are deterministic and order-sensitive exactly like
+    /// full fingerprints, but hash different bytes, so a lite run's
+    /// fingerprint is only comparable to another lite run's.
+    pub fn push_words(&mut self, words: &[u64]) {
+        self.pushed += 1;
+        let mut h = self.fingerprint;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        self.fingerprint = h;
     }
 
     /// Records retained in the ring, oldest first.
@@ -208,6 +230,22 @@ impl Trace {
 impl Default for Trace {
     fn default() -> Self {
         Trace::new(65_536)
+    }
+}
+
+/// An FNV-1a hash state that absorbs formatted output directly, so hashing a
+/// `Debug` rendering needs no intermediate `String`.
+struct FnvSink(u64);
+
+impl fmt::Write for FnvSink {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let mut h = self.0;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+        Ok(())
     }
 }
 
@@ -280,6 +318,46 @@ mod tests {
         b.push(SimTime::ZERO, note("2"));
         b.push(SimTime::ZERO, note("1"));
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn streamed_fingerprint_matches_allocated_rendering() {
+        // The streamed hash must cover the exact bytes of the historical
+        // `format!("{at:?}|{event:?}")` encoding — this pins fingerprint
+        // stability across the allocation-free rewrite.
+        let mut t = Trace::new(8);
+        let at = SimTime::from_millis(17);
+        let event = TraceEvent::Send {
+            from: NodeId(3),
+            to: NodeId(5),
+            bytes: 320,
+            what: "Push { rumor: 9 }".to_string(),
+            cause: 42,
+        };
+        t.push(at, event.clone());
+        let mut expect = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{at:?}|{event:?}").as_bytes() {
+            expect ^= *b as u64;
+            expect = expect.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        assert_eq!(t.fingerprint(), expect ^ 1);
+    }
+
+    #[test]
+    fn push_words_is_deterministic_and_order_sensitive() {
+        let mut a = Trace::new(8);
+        let mut b = Trace::new(8);
+        a.push_words(&[1, 2, 3]);
+        a.push_words(&[4, 5]);
+        b.push_words(&[1, 2, 3]);
+        b.push_words(&[4, 5]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.records().count(), 0, "lite pushes retain nothing");
+        assert_eq!(a.total_pushed(), 2);
+        let mut c = Trace::new(8);
+        c.push_words(&[4, 5]);
+        c.push_words(&[1, 2, 3]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Property tests for the generated large-fleet topologies.
+//!
+//! The 10k-node campaign arms build their networks from seeded generators
+//! (`transit_stub_exact`, `fat_tree`) instead of hand-written shapes.
+//! These tests pin the three properties the campaigns rely on: the
+//! generators produce exactly the requested host count, every host pair is
+//! connected with sane path properties, and the result is a pure function
+//! of the generator seed — including when a campaign sweeps it from 1, 2,
+//! 4, or 8 worker threads.
+
+use cb_harness::prelude::*;
+use cb_harness::telemetry_json;
+use cb_simnet::prelude::*;
+use cb_simnet::rng::SimRng;
+use proptest::prelude::*;
+
+/// A seeded sample of path properties across the id range — cheap to
+/// compare for equality without materializing an n² matrix.
+fn path_sample(topo: &Topology, seed: u64) -> Vec<(u64, u64, f64, u32)> {
+    let n = topo.host_count() as u64;
+    let mut rng = SimRng::seed_from(seed);
+    (0..64)
+        .map(|_| {
+            let a = NodeId(rng.gen_below(n) as u32);
+            let b = NodeId(rng.gen_below(n) as u32);
+            let p = topo.path(a, b);
+            (p.latency.as_nanos(), p.bandwidth_bps, p.loss, p.hops)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `transit_stub_exact` hits the requested size exactly — including
+    /// sizes that don't divide evenly across stubs — and connects every
+    /// sampled pair both ways.
+    #[test]
+    fn transit_stub_exact_is_size_exact_and_connected(
+        seed in any::<u64>(),
+        hosts in 2usize..2600,
+    ) {
+        let cfg = TransitStubConfig::balanced_for(hosts);
+        let topo = Topology::transit_stub_exact(&cfg, hosts, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(topo.host_count(), hosts);
+        let n = hosts as u64;
+        let mut rng = SimRng::seed_from(seed ^ 0xC0FFEE);
+        for _ in 0..32 {
+            let a = NodeId(rng.gen_below(n) as u32);
+            let b = NodeId(rng.gen_below(n) as u32);
+            let fwd = topo.path(a, b);
+            let rev = topo.path(b, a);
+            if a == b {
+                continue;
+            }
+            prop_assert!(fwd.latency > SimDuration::ZERO, "{:?}->{:?} dark", a, b);
+            prop_assert!(fwd.bandwidth_bps > 0);
+            prop_assert!(fwd.loss < 1.0, "{:?}->{:?} fully lossy", a, b);
+            prop_assert_eq!(fwd.latency, rev.latency, "asymmetric {:?}<->{:?}", a, b);
+        }
+    }
+
+    /// `FatTreeConfig::for_hosts` always covers the request, and the built
+    /// tree is size-exact, connected, and tiered (more hops across pods
+    /// than within an edge).
+    #[test]
+    fn fat_tree_for_hosts_covers_and_connects(
+        seed in any::<u64>(),
+        hosts in 2usize..3000,
+    ) {
+        let cfg = FatTreeConfig::for_hosts(hosts);
+        prop_assert!(cfg.capacity() >= hosts, "k={} too small for {}", cfg.k, hosts);
+        let topo = Topology::fat_tree(&cfg, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(topo.host_count(), hosts);
+        let n = hosts as u64;
+        let mut rng = SimRng::seed_from(seed ^ 0xFA7);
+        for _ in 0..32 {
+            let a = NodeId(rng.gen_below(n) as u32);
+            let b = NodeId(rng.gen_below(n) as u32);
+            if a == b {
+                continue;
+            }
+            let p = topo.path(a, b);
+            prop_assert!(p.latency > SimDuration::ZERO);
+            prop_assert!(p.bandwidth_bps > 0);
+            prop_assert!(p.hops >= 2 && p.hops <= 6, "fat-tree hops {}", p.hops);
+        }
+    }
+
+    /// Generator output is a pure function of the seed: same seed, same
+    /// paths; different seeds, different jittered latencies (for the
+    /// families that jitter).
+    #[test]
+    fn generators_are_seed_deterministic(seed in any::<u64>(), hosts in 64usize..1500) {
+        let cfg = TransitStubConfig::balanced_for(hosts);
+        let a = Topology::transit_stub_exact(&cfg, hosts, &mut SimRng::seed_from(seed));
+        let b = Topology::transit_stub_exact(&cfg, hosts, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(path_sample(&a, 1), path_sample(&b, 1));
+
+        let ft = FatTreeConfig::for_hosts(hosts);
+        let fa = Topology::fat_tree(&ft, &mut SimRng::seed_from(seed));
+        let fb = Topology::fat_tree(&ft, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(path_sample(&fa, 2), path_sample(&fb, 2));
+    }
+}
+
+/// A campaign sweep's outcome — pass/fail verdicts, per-seed fingerprints
+/// (exercised via `check_determinism`), event totals, and the merged
+/// masked telemetry — must not depend on how many worker threads split
+/// the seeds. This is what makes generated-topology campaigns replayable
+/// from any machine.
+#[test]
+fn campaign_outcome_is_worker_count_invariant() {
+    let run = |workers: usize| {
+        let scenario = cb_gossip::GossipCampaign::default();
+        let cfg = CampaignConfig {
+            seeds: 8,
+            base_seed: 100,
+            workers,
+            shrink: false,
+            artifact_dir: None,
+            ..Default::default()
+        };
+        let outcome = run_campaign(&scenario, &cfg);
+        let failing: Vec<u64> = outcome.failures.iter().map(|f| f.report.seed).collect();
+        (
+            outcome.passed,
+            failing,
+            outcome.nondeterministic_seeds.clone(),
+            outcome.total_events,
+            telemetry_json(&outcome.telemetry.masked()).to_string_pretty(),
+        )
+    };
+    let baseline = run(1);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(
+            baseline,
+            run(workers),
+            "campaign outcome changed at {workers} workers"
+        );
+    }
+}
