@@ -5,7 +5,7 @@
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
 //!          [--telemetry] [--lookahead] [--no-evalcache]
 //!          [--storm] [--ladder] [--deadline STATES] [--chrome]
-//!          [--nodes N]
+//!          [--nodes N] [--unsafe-reads]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -14,7 +14,9 @@
 //! violation a JSON failure artifact lands under `--out` (default
 //! `results/campaigns/`) carrying the seed, the fault-plan spec, the
 //! shrunk minimal repro, oracle verdicts, and the final trace window;
-//! `--replay` re-runs an artifact and verifies the violation reproduces.
+//! `--replay` re-runs an artifact and verifies the violation reproduces;
+//! artifacts record the fault plan but not scenario-config arms, so pass
+//! the same arm flags the sweep used (e.g. `--replay ART --unsafe-reads`).
 //! `--telemetry` prints a per-scenario digest of the merged telemetry
 //! (decision-latency p50/p99 on the sim-cost clock, cache hit rate,
 //! states explored per decision) after each summary line.
@@ -25,7 +27,11 @@
 //! cache-transparency check (the `cache_transparency` integration test in
 //! `cb-randtree` automates it).
 //! `--storm` layers the fault-storm schedule (gray-failure stalls, a
-//! latency spike, extra loss) onto the randtree and gossip scenarios;
+//! latency spike, extra loss) onto the randtree, gossip, kv, and mencius
+//! scenarios; `--unsafe-reads` switches the kv scenario to its
+//! deliberately unsound local-read arm (no guard round), the planted bug
+//! the linearizability oracle exists to catch — a sweep with it is
+//! *expected* to exit 1;
 //! `--ladder` resolves their choices through the degradation-governed
 //! resolver ladder; `--deadline STATES` sets the per-decision prediction
 //! deadline on randtree (enforced in the ladder arm, reported-only in the
@@ -52,7 +58,7 @@ fn usage() -> ! {
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
          \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
-         \x20               [--nodes N]\n\
+         \x20               [--nodes N] [--unsafe-reads]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -69,6 +75,7 @@ fn main() {
     let mut lookahead = false;
     let mut evalcache = true;
     let mut storm = false;
+    let mut unsafe_reads = false;
     let mut ladder = false;
     let mut deadline: u64 = 0;
     let mut chrome = false;
@@ -126,6 +133,7 @@ fn main() {
             "--lookahead" => lookahead = true,
             "--no-evalcache" => evalcache = false,
             "--storm" => storm = true,
+            "--unsafe-reads" => unsafe_reads = true,
             "--ladder" => ladder = true,
             "--deadline" => {
                 deadline = need(&args, &mut i, "--deadline")
@@ -162,10 +170,34 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let Some(scenario) = scenario_by_name(&artifact.scenario) else {
+        let Some(mut scenario) = scenario_by_name(&artifact.scenario) else {
             eprintln!("artifact names unknown scenario '{}'", artifact.scenario);
             std::process::exit(2);
         };
+        // Artifacts record the fault plan but not scenario-config arms
+        // (--unsafe-reads, --lookahead, ...). Re-specify the arm flags the
+        // sweep used and the same overrides are applied here, so arm
+        // artifacts round-trip: `--replay ART --unsafe-reads`.
+        match (artifact.scenario.as_str(), unsafe_reads) {
+            ("kv", true) => {
+                scenario = Box::new(cb_kv::KvCampaign {
+                    storm,
+                    unsafe_reads,
+                    ..Default::default()
+                })
+            }
+            ("randtree", _) if lookahead || !evalcache || storm || ladder || deadline > 0 => {
+                scenario = Box::new(cb_randtree::RandTreeCampaign {
+                    lookahead,
+                    evalcache,
+                    ladder,
+                    deadline_states: deadline,
+                    storm,
+                    ..Default::default()
+                })
+            }
+            _ => {}
+        }
         println!(
             "replaying {} seed {} plan '{}'",
             artifact.scenario,
@@ -206,10 +238,11 @@ fn main() {
         },
         None => cb_bench::registry::all_scenarios(),
     };
-    if lookahead || !evalcache || storm || ladder || deadline > 0 {
+    if lookahead || !evalcache || storm || ladder || deadline > 0 || unsafe_reads {
         // The lookahead/evalcache/deadline knobs live on the randtree
         // scenario — the one campaign protocol whose choices route through
-        // the predictive evaluator; storm/ladder also apply to gossip.
+        // the predictive evaluator; storm/ladder also apply to gossip, and
+        // storm/unsafe-reads to the replicated-KV family (kv, mencius).
         // Swap the registry entries for configured instances; other
         // scenarios are unaffected.
         let mut touched = false;
@@ -234,10 +267,29 @@ fn main() {
                 touched = true;
             }
         }
+        if storm || unsafe_reads {
+            if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "kv") {
+                *slot = Box::new(cb_kv::KvCampaign {
+                    storm,
+                    unsafe_reads,
+                    ..Default::default()
+                });
+                touched = true;
+            }
+        }
+        if storm {
+            if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "mencius") {
+                *slot = Box::new(cb_paxos::MenciusCampaign {
+                    storm,
+                    ..Default::default()
+                });
+                touched = true;
+            }
+        }
         if !touched {
             eprintln!(
-                "--lookahead/--no-evalcache/--storm/--ladder/--deadline apply to the \
-                 randtree and gossip scenarios"
+                "--lookahead/--no-evalcache/--storm/--ladder/--deadline/--unsafe-reads \
+                 apply to the randtree, gossip, kv, and mencius scenarios"
             );
             usage();
         }

@@ -1,0 +1,126 @@
+//! Micro-benchmark guard for the WGL linearizability checker.
+//!
+//! ```text
+//! lincheck [--ops N] [--histories N] [--base-seed S] [--ceiling-ms MS]
+//! ```
+//!
+//! The campaign oracles run `check_history` inside every kv/mencius run,
+//! so a performance regression in the checker silently multiplies sweep
+//! wall time. This guard pins the cost: it generates `--histories`
+//! synthetic single-key histories of `--ops` operations each (single key
+//! is the worst case — every op contends in one WGL search), checks them
+//! all, and **exits nonzero** if the total exceeds `--ceiling-ms` of wall
+//! time. Two correctness tripwires ride along so a vacuous checker cannot
+//! pass the guard:
+//!
+//! - every linearizable-by-construction history must check `Ok`, and
+//! - each history re-checked with one completed read's value tampered
+//!   must be rejected.
+//!
+//! Exit status: 0 = all green under the ceiling, 1 = ceiling breached or
+//! a tripwire fired, 2 = usage error.
+
+use cb_harness::linearizability::{check_history, synthetic_history, OpKind};
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: lincheck [--ops N] [--histories N] [--base-seed S] [--ceiling-ms MS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ops: usize = 1000;
+    let mut histories: u64 = 8;
+    let mut base_seed: u64 = 1;
+    let mut ceiling_ms: u128 = 5000;
+    let mut i = 0;
+    let need = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs an argument");
+                usage();
+            })
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ops" => {
+                ops = need(&args, &mut i, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--histories" => {
+                histories = need(&args, &mut i, "--histories")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--base-seed" => {
+                base_seed = need(&args, &mut i, "--base-seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--ceiling-ms" => {
+                ceiling_ms = need(&args, &mut i, "--ceiling-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+    let start = Instant::now();
+    for h in 0..histories {
+        let seed = base_seed.wrapping_add(h);
+        let history = synthetic_history(ops, 8, 1, seed);
+
+        // Tripwire 1: a valid history must pass.
+        let t0 = Instant::now();
+        if let Err(v) = check_history(&history) {
+            println!(
+                "seed {seed}: FALSE POSITIVE on a valid history: {}",
+                v.detail()
+            );
+            failed = true;
+        }
+        let check_ms = t0.elapsed().as_millis();
+
+        // Tripwire 2: tamper one completed read — the checker must object.
+        // Runs on a shorter history: refuting a violating history means
+        // exhausting the search space, which is deliberately NOT what this
+        // guard times (campaigns pay the passing-history cost every run;
+        // the refutation cost only on failures).
+        let mut tampered = synthetic_history(ops.min(200), 8, 1, seed);
+        if let Some(op) = tampered
+            .iter_mut()
+            .rev()
+            .find(|o| o.respond_ns.is_some() && matches!(o.kind, OpKind::Read(_)))
+        {
+            if let OpKind::Read(v) = op.kind {
+                op.kind = OpKind::Read(v.wrapping_add(0xBAD));
+            }
+            if check_history(&tampered).is_ok() {
+                println!("seed {seed}: MISSED VIOLATION on a tampered read");
+                failed = true;
+            }
+        } else {
+            println!("seed {seed}: history has no completed read to tamper");
+            failed = true;
+        }
+
+        println!("seed {seed}: {ops} ops checked in {check_ms}ms");
+    }
+    let total_ms = start.elapsed().as_millis();
+    println!("{histories} histories x {ops} ops: {total_ms}ms total (ceiling {ceiling_ms}ms)");
+    if total_ms > ceiling_ms {
+        println!("CEILING BREACHED: the WGL checker has regressed");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

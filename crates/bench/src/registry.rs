@@ -1,6 +1,6 @@
 //! The scenario registry: every protocol the campaign runner can sweep.
 //!
-//! One place that knows about all four application scenarios (plus the
+//! One place that knows about all the application scenarios (plus the
 //! harness's built-in toy ring); the `campaign` binary and the smoke tests
 //! both resolve scenario names through it.
 
@@ -15,6 +15,8 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(cb_paxos::PaxosCampaign::default()),
         Box::new(cb_dissem::SwarmCampaign::default()),
         Box::new(RingScenario::default()),
+        Box::new(cb_kv::KvCampaign::default()),
+        Box::new(cb_paxos::MenciusCampaign::default()),
     ]
 }
 
@@ -40,6 +42,8 @@ mod tests {
         assert!(names.contains(&"paxos"));
         assert!(names.contains(&"dissem"));
         assert!(names.contains(&"ring"));
+        assert!(names.contains(&"kv"));
+        assert!(names.contains(&"mencius"));
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -19,6 +19,8 @@
 //! * [`plan`] — declarative [`FaultPlan`]s (crash/restart, partitions,
 //!   loss windows, churn) with a round-trippable spec string.
 //! * [`oracle`] — the [`Oracle`] trait and [`OracleVerdict`]s.
+//! * [`linearizability`] — per-key WGL-style history checking (plus the
+//!   brute-force ground truth it is differentially tested against).
 //! * [`scenario`] — the [`Scenario`] trait and per-run [`RunReport`]s.
 //! * [`campaign`] — the parallel sweep, shrinking, artifacts, replay.
 //! * [`json`] — a dependency-free JSON reader/writer for artifacts.
@@ -45,6 +47,7 @@
 
 pub mod campaign;
 pub mod json;
+pub mod linearizability;
 pub mod oracle;
 pub mod plan;
 pub mod provenance;
@@ -57,6 +60,10 @@ pub use campaign::{
     Artifact, CampaignConfig, CampaignOutcome, Failure, ReplayError, ARTIFACT_SCHEMA,
 };
 pub use json::Json;
+pub use linearizability::{
+    brute_force_check, check_history, linearizability_verdict, synthetic_history, wgl_check,
+    LinViolation, Op, OpKind, INIT_VALUE,
+};
 pub use oracle::{check_all, Oracle, OracleVerdict};
 pub use plan::{Fault, FaultPlan, PlanParseError};
 pub use provenance::{parse_provenance, provenance_json, span_from_json, span_json};
@@ -70,6 +77,7 @@ pub mod prelude {
         Failure,
     };
     pub use crate::json::Json;
+    pub use crate::linearizability::{linearizability_verdict, Op, OpKind};
     pub use crate::oracle::{Oracle, OracleVerdict};
     pub use crate::plan::{Fault, FaultPlan};
     pub use crate::scenario::{RunReport, Scenario};

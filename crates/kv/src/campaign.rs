@@ -1,0 +1,219 @@
+//! Campaign registration: the replicated KV under fault schedules.
+//!
+//! A star-topology deployment — five replicas (`NodeId 0..5`), four client
+//! sessions (`NodeId 5..9`) — checked against:
+//!
+//! * `kv.linearizable` (safety) — the concatenation of every session's
+//!   recorded history is linearizable per key under the WGL checker. This
+//!   is the scenario's heart: it holds regardless of crashes, partitions,
+//!   elections, and fan-out choices — unless the `--unsafe-reads` arm
+//!   removes the read guard, at which point a partitioned read replica
+//!   serves stale values and this oracle fires.
+//! * `kv.progress` (liveness-by-horizon) — once faults heal and a
+//!   majority is back, every session finishes its operation budget before
+//!   the horizon (sessions resubmit on timeout).
+
+use crate::node::KvNode;
+use crate::replica::Replica;
+use crate::session::Session;
+use cb_core::resolve::random::RandomResolver;
+use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
+use cb_harness::linearizability::{check_history, Op};
+use cb_harness::prelude::*;
+use cb_harness::scenario::RunReport;
+use cb_simnet::prelude::*;
+
+/// The campaign-facing replicated-KV scenario.
+pub struct KvCampaign {
+    /// Number of replicas (ids `0..replicas`).
+    pub replicas: usize,
+    /// Number of client sessions (ids `replicas..replicas+clients`).
+    pub clients: usize,
+    /// Operations per session.
+    pub ops_per_client: u32,
+    /// Distinct keys the workload touches.
+    pub keys: u64,
+    /// Run horizon.
+    pub horizon: SimTime,
+    /// Layer stalls, delay spikes, and heavier loss onto the default plan.
+    pub storm: bool,
+    /// Serve reads from the chosen replica's local store without a guard
+    /// round — the deliberately unsound arm that the linearizability
+    /// oracle exists to catch.
+    pub unsafe_reads: bool,
+}
+
+impl Default for KvCampaign {
+    fn default() -> Self {
+        KvCampaign {
+            replicas: 5,
+            clients: 4,
+            ops_per_client: 12,
+            keys: 4,
+            horizon: SimTime::from_secs(180),
+            storm: false,
+            unsafe_reads: false,
+        }
+    }
+}
+
+impl KvCampaign {
+    /// Runs a campaign and returns the concatenated, completed-or-pending
+    /// history — exposed for tests that want to inspect it directly.
+    pub fn collect_history(
+        sim: &Sim<RuntimeNode<KvNode>>,
+        replicas: usize,
+        clients: usize,
+    ) -> Vec<Op> {
+        let mut history = Vec::new();
+        for i in replicas as u32..(replicas + clients) as u32 {
+            if let Some(s) = sim.actor(NodeId(i)).service().as_session() {
+                history.extend(s.history.iter().cloned());
+            }
+        }
+        history
+    }
+}
+
+impl Scenario for KvCampaign {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+
+    fn node_count(&self) -> usize {
+        self.replicas + self.clients
+    }
+
+    fn default_plan(&self, seed: u64) -> FaultPlan {
+        // Crash one rotating replica mid-run and restart it (majority
+        // stays up), cut a different replica off behind a healed
+        // partition, and add a loss window; a storm layers stalls and a
+        // delay spike on top. Clients are never faulted.
+        let r = self.replicas as u64;
+        let victim = (seed % r) as u32;
+        let cut = ((seed + 2) % r) as u32;
+        let mut plan = FaultPlan::none()
+            .crash(victim, 20_000)
+            .restart(victim, 45_000)
+            .loss(0.05, 10_000, 30_000);
+        if cut != victim {
+            let others: Vec<u32> = (0..self.node_count() as u32)
+                .filter(|&i| i != cut)
+                .collect();
+            plan = plan.partition(&[cut], &others, 30_000, Some(60_000));
+        }
+        if self.storm {
+            let stalled = ((seed + 3) % r) as u32;
+            plan = plan
+                .stall(stalled, 12_000, 22_000)
+                .delayspike(150, 8_000, 25_000)
+                .loss(0.10, 65_000, 80_000);
+        }
+        plan
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let topo = Topology::star(self.node_count(), SimDuration::from_millis(20), 20_000_000);
+        let group: Vec<NodeId> = (0..self.replicas as u32).map(NodeId).collect();
+        let replicas = self.replicas;
+        let clients = self.clients;
+        let per_client = self.ops_per_client;
+        let keys = self.keys;
+        let unsafe_reads = self.unsafe_reads;
+        let group_clone = group.clone();
+        let mut sim: Sim<RuntimeNode<KvNode>> = Sim::new(topo, seed, move |id| {
+            let svc = if (id.0 as usize) < replicas {
+                KvNode::Replica(Replica::new(id, group_clone.clone(), unsafe_reads))
+            } else if (id.0 as usize) < replicas + clients {
+                KvNode::Client(Session::new(id, group_clone.clone(), keys, per_client))
+            } else {
+                KvNode::Idle
+            };
+            RuntimeNode::new(
+                svc,
+                RuntimeConfig::new(Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 24))))
+                    .controller_every(SimDuration::from_secs(5)),
+            )
+        });
+        for i in 0..self.node_count() as u32 {
+            sim.schedule_start(NodeId(i), SimTime::ZERO);
+        }
+        plan.drive(&mut sim, seed ^ 0x5eed, self.horizon);
+
+        // Linearizability: the WGL checker over all sessions' histories.
+        let history = Self::collect_history(&sim, replicas, clients);
+        let lin = match check_history(&history) {
+            Ok(()) => OracleVerdict::pass(
+                "kv.linearizable",
+                format!("{} ops linearizable", history.len()),
+            ),
+            Err(v) => OracleVerdict::fail("kv.linearizable", v.detail()),
+        };
+        // Progress: every session finished its budget.
+        let mut completed = 0usize;
+        for i in replicas as u32..(replicas + clients) as u32 {
+            if let Some(s) = sim.actor(NodeId(i)).service().as_session() {
+                completed += s.completed();
+            }
+        }
+        let target = clients * per_client as usize;
+        let verdicts = vec![
+            lin,
+            OracleVerdict::check(
+                "kv.progress",
+                completed >= target,
+                format!("{completed}/{target} ops completed"),
+            ),
+        ];
+        // Replica ticks and session sweeps re-arm forever; skip the
+        // quiescence oracle.
+        RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
+            .with_telemetry(fleet_telemetry(&sim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_passes() {
+        let s = KvCampaign::default();
+        let r = s.run(1, &FaultPlan::none());
+        assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn default_plan_recovers() {
+        let s = KvCampaign::default();
+        let plan = s.default_plan(3);
+        let r = s.run(3, &plan);
+        assert!(!r.violated(), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn storm_keeps_linearizability() {
+        let s = KvCampaign {
+            storm: true,
+            ..KvCampaign::default()
+        };
+        let plan = s.default_plan(5);
+        let r = s.run(5, &plan);
+        let failing = r.failing_oracles();
+        assert!(!failing.contains(&"kv.linearizable"), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn majority_loss_stalls_progress_but_keeps_linearizability() {
+        let s = KvCampaign::default();
+        // Permanently cut three of five replicas off: no quorum, no
+        // progress — but every answered op must still linearize.
+        let others: Vec<u32> = (0..9u32).filter(|&i| i > 2).collect();
+        let plan = FaultPlan::none().partition(&[0, 1, 2], &others, 5_000, None);
+        let r = s.run(7, &plan);
+        assert!(r.violated(), "{:?}", r.verdicts);
+        let failing = r.failing_oracles();
+        assert!(failing.contains(&"kv.progress"), "{failing:?}");
+        assert!(!failing.contains(&"kv.linearizable"), "{failing:?}");
+    }
+}

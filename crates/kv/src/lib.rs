@@ -1,0 +1,32 @@
+//! # cb-kv — a replicated KV store on the explicit-choice runtime
+//!
+//! The paper's running examples are consensus and replication; this crate
+//! is the replication half: a term-based leader/follower KV service whose
+//! operational knobs are **exposed choices** the runtime resolves:
+//!
+//! * `kv.leader` — which replica an election nominates;
+//! * `kv.fanout` — how many followers a write is synchronously
+//!   replicated to (quorum-minimum through everyone);
+//! * `kv.read_replica` — which replica a client sends each read to.
+//!
+//! Correctness is judged from the outside: every client session records
+//! its operations as a real-time history, and the campaign's
+//! `kv.linearizable` oracle runs the WGL checker from `cb-harness` over
+//! it. The `unsafe_reads` arm removes the leader's read guard so the
+//! chosen read replica answers from its local store — the classic
+//! stale-read bug, planted so campaigns have a real violation to find and
+//! `trace blame` has a real decision (`kv.read_replica`) to pin it on.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod node;
+pub mod proto;
+pub mod replica;
+pub mod session;
+
+pub use campaign::KvCampaign;
+pub use node::KvNode;
+pub use proto::{Entry, KvMsg, Version};
+pub use replica::{KvCheckpoint, Replica, Role};
+pub use session::Session;

@@ -13,9 +13,12 @@
 //! * [`client`] — the submitting client and the three proposer regimes.
 //! * [`node`] — the unified service hosting either role.
 //! * [`scenario`] — the WAN deployment and regime comparison (E7).
+//! * [`mencius`] — a multi-leader replicated KV layered on the core, with
+//!   execution-order client acks and a linearizability oracle.
 
 pub mod campaign;
 pub mod client;
+pub mod mencius;
 pub mod node;
 pub mod proto;
 pub mod replica;
@@ -23,6 +26,7 @@ pub mod scenario;
 
 pub use campaign::PaxosCampaign;
 pub use client::{Client, ProposerRegime};
+pub use mencius::{MenciusCampaign, MenciusNode, MenciusReplica, MenciusSession};
 pub use node::PaxosNode;
 pub use proto::{Ballot, Command, PaxosMsg, MAX_REPLICAS};
 pub use replica::{Replica, ReplicaCheckpoint, SlotOwnership};

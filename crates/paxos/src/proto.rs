@@ -143,6 +143,27 @@ pub enum PaxosMsg {
         /// The value to propose if the slot is free.
         cmd: Command,
     },
+    /// Learner catch-up: ask a peer to re-send its learned log from
+    /// `from_slot` up (bounded batch). Decided values are safe to copy —
+    /// this is how a restarted amnesiac rejoins without ever touching the
+    /// acceptor or revocation paths for its missing history.
+    LearnReq {
+        /// First slot the requester is missing.
+        from_slot: u64,
+    },
+    /// State-machine execution result, sent to the submitting client by
+    /// each replica whose executed prefix reaches the command's slot. The
+    /// Mencius KV layer acks clients with this — *after* every earlier
+    /// slot is decided and executed — rather than with [`PaxosMsg::Committed`],
+    /// which fires at accept-quorum and would break the real-time ordering
+    /// the linearizability oracle checks.
+    Result {
+        /// The executed command.
+        cmd: Command,
+        /// Execution result: the read value for gets, the written value
+        /// for puts.
+        value: u64,
+    },
 }
 
 #[cfg(test)]

@@ -83,6 +83,12 @@ pub struct Replica {
     proposals: BTreeMap<u64, Proposal>,
     /// Next owned slot to use for a fresh command.
     next_owned_slot: Option<u64>,
+    /// Lowest ballot round this replica's explicit (phase-1) proposals may
+    /// use. Restarted incarnations raise it above anything the previous
+    /// incarnation could have proposed — an amnesiac reusing a forgotten
+    /// ballot for a different value would let two values decide in one
+    /// slot.
+    ballot_round_floor: u64,
     /// Learned log: slot -> command.
     pub learned: BTreeMap<u64, Command>,
     /// Commands committed by this replica acting as proposer.
@@ -102,6 +108,7 @@ impl Replica {
             acceptors: BTreeMap::new(),
             proposals: BTreeMap::new(),
             next_owned_slot: None,
+            ballot_round_floor: 0,
             learned: BTreeMap::new(),
             committed_here: 0,
             nacks_seen: 0,
@@ -163,6 +170,20 @@ impl Replica {
             return;
         };
         self.next_owned_slot = self.first_owned_slot_from(slot + 1);
+        self.propose_base_in_slot(ctx, slot, value);
+    }
+
+    /// Phase-2-only proposal at this replica's base ballot in a specific
+    /// slot. Safe only for owned slots this incarnation has never proposed
+    /// in before — [`Replica::propose_owned`] and the Mencius skip-fill
+    /// path both draw slots from the monotone owned cursor, which
+    /// guarantees exactly that.
+    pub(crate) fn propose_base_in_slot(
+        &mut self,
+        ctx: &mut ServiceCtx<'_, '_, PaxosMsg, ReplicaCheckpoint>,
+        slot: u64,
+        value: Command,
+    ) {
         let ballot = Ballot::base(self.index);
         self.proposals.insert(
             slot,
@@ -188,6 +209,21 @@ impl Replica {
         }
     }
 
+    /// Raises the minimum ballot round for this replica's explicit
+    /// proposals (see the `ballot_round_floor` field).
+    pub(crate) fn set_ballot_round_floor(&mut self, floor: u64) {
+        self.ballot_round_floor = self.ballot_round_floor.max(floor);
+    }
+
+    /// Clamps a ballot to the configured round floor.
+    fn floored(&self, b: Ballot) -> Ballot {
+        if b.round() < self.ballot_round_floor {
+            Ballot::new(self.ballot_round_floor, self.index)
+        } else {
+            b
+        }
+    }
+
     /// Starts consensus for `value` in an arbitrary slot with an explicit
     /// phase 1 (used when contending for a slot this replica does not own).
     pub fn propose_in_slot(
@@ -196,7 +232,22 @@ impl Replica {
         slot: u64,
         value: Command,
     ) {
-        let ballot = self.implicit_promise(slot).bump_for(self.index);
+        if self.proposals.get(&slot).is_some_and(|p| p.committed) {
+            return;
+        }
+        // Start above everything this replica has already seen promised
+        // for the slot, not just the implicit owner promise: a re-proposal
+        // that opens below the going rate is pure nack traffic (under a
+        // revocation storm, enough of it to congest the network and starve
+        // the very slot it is trying to close). And never regress below —
+        // or reuse — our own earlier attempt's ballot: a reused ballot
+        // with a different value could decide twice.
+        let mut ballot = self.floored(self.effective_promise(slot).bump_for(self.index));
+        if let Some(p) = self.proposals.get(&slot) {
+            if p.ballot.proposer() == self.index && p.ballot >= ballot {
+                ballot = p.ballot.bump_for(self.index);
+            }
+        }
         self.proposals.insert(
             slot,
             Proposal {
@@ -353,14 +404,19 @@ impl Replica {
     ) {
         self.nacks_seen += 1;
         let group = self.group.clone();
-        let Some(p) = self.proposals.get_mut(&slot) else {
-            return;
-        };
-        if p.committed {
-            return;
+        // Only a nack that post-dates our current attempt is news. Stale
+        // nacks (crossed in flight with a bump they themselves caused)
+        // MUST be dropped: retrying on each would answer every nack of a
+        // broadcast with another full Prepare broadcast — a self-feeding
+        // message storm that congests the network and starves the slot.
+        match self.proposals.get(&slot) {
+            None => return,
+            Some(p) if p.committed || promised <= p.ballot => return,
+            Some(_) => {}
         }
         // Retry phase 1 with a ballot above the one we lost to.
-        let ballot = promised.bump_for(self.index);
+        let ballot = self.floored(promised.bump_for(self.index));
+        let p = self.proposals.get_mut(&slot).expect("checked above");
         p.ballot = ballot;
         p.promises.clear();
         p.accepts.clear();
@@ -399,8 +455,59 @@ impl Replica {
             PaxosMsg::Learn { slot, value } => {
                 self.learned.insert(slot, value);
             }
-            PaxosMsg::Committed { .. } => {}
+            PaxosMsg::LearnReq { from_slot } => self.on_learn_req(ctx, from, from_slot),
+            PaxosMsg::Committed { .. } | PaxosMsg::Result { .. } => {}
         }
+    }
+
+    /// Learner catch-up: re-send a bounded batch of learned slots starting
+    /// at `from_slot` to the requester. Decided values only, so this can
+    /// never conflict with anything.
+    fn on_learn_req(
+        &mut self,
+        ctx: &mut ServiceCtx<'_, '_, PaxosMsg, ReplicaCheckpoint>,
+        from: NodeId,
+        from_slot: u64,
+    ) {
+        const CATCHUP_BATCH: usize = 64;
+        for (&slot, &value) in self.learned.range(from_slot..).take(CATCHUP_BATCH) {
+            ctx.send_sized(
+                from,
+                PaxosMsg::Learn { slot, value },
+                crate::scenario::CMD_BYTES,
+            );
+        }
+    }
+
+    /// Advances the owned-slot cursor to the first owned slot at or after
+    /// `floor` (never backwards), returning the owned slots that were
+    /// jumped over. The Mencius layer calls this before every fresh
+    /// proposal — so an owner that learned about later slots does not
+    /// propose into the past — and no-op-fills the returned slots so
+    /// execution never stalls on holes this skip created.
+    pub(crate) fn fast_forward_owned(&mut self, floor: u64) -> Vec<u64> {
+        let mut skipped = Vec::new();
+        let Some(mut cur) = self.next_owned_slot else {
+            return skipped;
+        };
+        while cur < floor {
+            skipped.push(cur);
+            match self.first_owned_slot_from(cur + 1) {
+                Some(next) => cur = next,
+                None => {
+                    self.next_owned_slot = None;
+                    return skipped;
+                }
+            }
+        }
+        self.next_owned_slot = Some(cur);
+        skipped
+    }
+
+    /// The first slot at or after `from` this replica owns (see
+    /// [`SlotOwnership`]).
+    pub(crate) fn first_owned_at_or_after(&self, from: u64) -> Option<u64> {
+        self.first_owned_slot_from(from)
     }
 
     /// The other members of the replica group (checkpoint recipients).

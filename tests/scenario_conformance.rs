@@ -1,0 +1,177 @@
+//! Scenario-conformance harness: the campaign contracts every registered
+//! scenario must uphold, checked uniformly across the whole registry.
+//!
+//! A scenario that joins the registry (see `cb_bench::registry`) inherits
+//! three promises the rest of the tooling builds on:
+//!
+//! 1. **Replay determinism** — running the same `(seed, plan)` twice
+//!    produces the same fingerprint, byte-identical masked provenance, and
+//!    identical telemetry. This is what makes failure artifacts replayable
+//!    and `trace explain/blame` trustworthy.
+//! 2. **Worker-count invariance** — a campaign's outcome (which seeds
+//!    passed, which failed with what fingerprint, total events) is a pure
+//!    function of `(scenario, seeds, plan)`; the thread count used to sweep
+//!    must not leak in.
+//! 3. **Well-formed provenance** — the exported span graph is acyclic,
+//!    violation spans anchor to retained parents, and when nothing was
+//!    evicted every parent edge resolves.
+//!
+//! New scenarios get these checks for free by registering; a scenario that
+//! can't pass them has no business in the campaign runner.
+
+use cb_bench::registry::all_scenarios;
+use cb_harness::prelude::*;
+use cb_trace::{is_acyclic, SpanIndex, SpanKind};
+
+/// Telemetry digest with the wall-clock metrics masked out: histograms
+/// keyed `*_wall_ns` time the host machine, not the simulation, and are
+/// nondeterministic by design (same reason provenance masks `wall_ns`).
+/// Everything else — counters, gauges, sim-clock histograms — must be a
+/// pure function of `(seed, plan)`.
+fn masked_telemetry_digest(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (k, v) in reg.counters() {
+        out.push_str(&format!("c {k}={v}\n"));
+    }
+    for (k, v) in reg.gauges() {
+        out.push_str(&format!("g {k}={v}\n"));
+    }
+    for (k, h) in reg.hists() {
+        if k.contains("wall_ns") {
+            // Deterministic in count only; values time the host.
+            out.push_str(&format!("h {k} count={}\n", h.count()));
+        } else if h.is_empty() {
+            out.push_str(&format!("h {k} empty\n"));
+        } else {
+            out.push_str(&format!(
+                "h {k} count={} min={} max={} p50={} p99={}\n",
+                h.count(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ));
+        }
+    }
+    out
+}
+
+/// Seeds swept per scenario. Small (tier-1 runs in debug) but enough to mix
+/// passing and failing runs on the fault-injected scenarios.
+const SEEDS: u64 = 4;
+const BASE_SEED: u64 = 1;
+
+/// Contracts 1 and 3: per `(scenario, seed)`, two direct runs under the
+/// scenario's default plan must agree byte-for-byte, and each report's
+/// provenance graph must be structurally sound.
+#[test]
+fn replay_is_deterministic_and_provenance_well_formed() {
+    for scenario in all_scenarios() {
+        for seed in BASE_SEED..BASE_SEED + SEEDS {
+            let plan = scenario.default_plan(seed);
+            let a = scenario.run(seed, &plan);
+            let b = scenario.run(seed, &plan);
+            let tag = format!("{} seed {seed}", scenario.name());
+
+            assert_eq!(a.fingerprint, b.fingerprint, "{tag}: fingerprint drift");
+            assert_eq!(
+                a.events_processed, b.events_processed,
+                "{tag}: event count drift"
+            );
+            assert_eq!(
+                a.provenance_masked_json().to_string_pretty(),
+                b.provenance_masked_json().to_string_pretty(),
+                "{tag}: masked provenance not byte-identical on replay"
+            );
+            assert_eq!(
+                masked_telemetry_digest(&a.telemetry),
+                masked_telemetry_digest(&b.telemetry),
+                "{tag}: telemetry drift on replay"
+            );
+            let verdicts = |r: &RunReport| -> Vec<(String, bool)> {
+                r.verdicts
+                    .iter()
+                    .map(|v| (v.name.clone(), v.passed))
+                    .collect()
+            };
+            assert_eq!(verdicts(&a), verdicts(&b), "{tag}: verdict drift");
+
+            // Contract 3 on the first report.
+            let spans = &a.provenance;
+            assert!(is_acyclic(spans), "{tag}: cycle in span parent edges");
+            let index = SpanIndex::new(spans);
+            for v in spans.iter().filter(|s| s.kind == SpanKind::Violation) {
+                assert!(!v.parents.is_empty(), "{tag}: unanchored violation span");
+                for p in &v.parents {
+                    assert!(
+                        index.get(*p).is_some(),
+                        "{tag}: violation parent {p} not in tail"
+                    );
+                }
+            }
+            let non_synthetic = spans
+                .iter()
+                .filter(|s| s.kind != SpanKind::Violation)
+                .count() as u64;
+            if a.spans_evicted == 0 && non_synthetic == a.spans_recorded {
+                for s in spans {
+                    for p in &s.parents {
+                        assert!(index.get(*p).is_some(), "{tag}: dangling parent {p}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Contract 2: a campaign's observable outcome must not depend on how many
+/// worker threads swept it. Compares pass/fail sets (with per-failure
+/// fingerprints), determinism flags, and total event counts across
+/// 1-, 2-, 4-, and 8-worker sweeps of the same seed range.
+#[test]
+fn campaign_outcome_is_worker_count_invariant() {
+    for scenario in all_scenarios() {
+        let mut digests: Vec<(usize, String)> = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CampaignConfig {
+                base_seed: BASE_SEED,
+                seeds: SEEDS,
+                workers,
+                check_determinism: false,
+                shrink: false,
+                artifact_dir: None,
+                plan_override: None,
+            };
+            let outcome = run_campaign(scenario.as_ref(), &cfg);
+            let failures: Vec<String> = outcome
+                .failures
+                .iter()
+                .map(|f| {
+                    format!(
+                        "seed {} fp {} oracles {:?}",
+                        f.report.seed,
+                        f.report.fingerprint,
+                        f.report.failing_oracles()
+                    )
+                })
+                .collect();
+            digests.push((
+                workers,
+                format!(
+                    "passed={} failures={failures:?} nondet={:?} events={}",
+                    outcome.passed, outcome.nondeterministic_seeds, outcome.total_events
+                ),
+            ));
+        }
+        for pair in digests.windows(2) {
+            assert_eq!(
+                pair[0].1,
+                pair[1].1,
+                "{}: campaign outcome differs between {} and {} workers",
+                scenario.name(),
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
