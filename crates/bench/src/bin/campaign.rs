@@ -6,6 +6,7 @@
 //!          [--telemetry] [--lookahead] [--no-evalcache]
 //!          [--storm] [--ladder] [--deadline STATES] [--chrome]
 //!          [--nodes N] [--unsafe-reads]
+//!          [--record-policy PILE.cbp] [--policy PILE.cbp]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -39,6 +40,14 @@
 //! `--nodes N` overrides the fleet size on the gossip and dissem
 //! scenarios — `--nodes 10000` is the internet-scale arm; fleets of 1000+
 //! nodes automatically use the implicit path store and lite tracing.
+//! `--record-policy PILE` trains the cross-run policy store: the randtree
+//! and kv scenarios resolve through the recording ladder, the per-seed
+//! stores are merged deterministically (worker-count invariant), and the
+//! result is saved as a versioned policy pile at PILE. `--policy PILE`
+//! loads a previously recorded pile and warm-starts those scenarios'
+//! ladders from it, so store-hits skip lookahead entirely (watch
+//! `core.policy.hits` in `--telemetry` artifacts). The two flags compose:
+//! load-and-re-record refreshes a pile in place.
 //! `--chrome` additionally writes `<artifact>.chrome.json` next to every
 //! failure artifact — Chrome trace-event JSON of the run's provenance tail,
 //! loadable at `ui.perfetto.dev` (use the `trace` binary for ad-hoc
@@ -59,6 +68,7 @@ fn usage() -> ! {
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
          \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
          \x20               [--nodes N] [--unsafe-reads]\n\
+         \x20               [--record-policy PILE.cbp] [--policy PILE.cbp]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}",
@@ -80,6 +90,8 @@ fn main() {
     let mut deadline: u64 = 0;
     let mut chrome = false;
     let mut nodes: Option<usize> = None;
+    let mut record_policy: Option<PathBuf> = None;
+    let mut policy_path: Option<PathBuf> = None;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -144,6 +156,10 @@ fn main() {
                     })
             }
             "--chrome" => chrome = true,
+            "--record-policy" => {
+                record_policy = Some(PathBuf::from(need(&args, &mut i, "--record-policy")))
+            }
+            "--policy" => policy_path = Some(PathBuf::from(need(&args, &mut i, "--policy"))),
             "--nodes" => {
                 nodes = Some(need(&args, &mut i, "--nodes").parse().unwrap_or_else(|_| {
                     eprintln!("--nodes wants a fleet size");
@@ -162,6 +178,24 @@ fn main() {
         i += 1;
     }
 
+    // Warm-start pile: loaded once, handed to scenarios by name. Policy
+    // flags apply to the scenarios whose decisions route through the
+    // ladder (randtree, kv).
+    let loaded_pile = policy_path.as_ref().map(|p| {
+        cb_policy::PolicyPile::load(p).unwrap_or_else(|e| {
+            eprintln!("--policy {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    });
+    let store_for = |name: &str| -> Option<std::sync::Arc<cb_policy::PolicyStore>> {
+        loaded_pile
+            .as_ref()
+            .and_then(|p| p.get(name))
+            .cloned()
+            .map(std::sync::Arc::new)
+    };
+    let policy_on = loaded_pile.is_some() || record_policy.is_some();
+
     if let Some(path) = replay {
         let artifact = match read_artifact(&path) {
             Ok(a) => a,
@@ -178,21 +212,25 @@ fn main() {
         // (--unsafe-reads, --lookahead, ...). Re-specify the arm flags the
         // sweep used and the same overrides are applied here, so arm
         // artifacts round-trip: `--replay ART --unsafe-reads`.
-        match (artifact.scenario.as_str(), unsafe_reads) {
-            ("kv", true) => {
+        match artifact.scenario.as_str() {
+            "kv" if unsafe_reads || storm || policy_on => {
                 scenario = Box::new(cb_kv::KvCampaign {
                     storm,
                     unsafe_reads,
+                    policy: store_for("kv"),
                     ..Default::default()
                 })
             }
-            ("randtree", _) if lookahead || !evalcache || storm || ladder || deadline > 0 => {
+            "randtree"
+                if lookahead || !evalcache || storm || ladder || deadline > 0 || policy_on =>
+            {
                 scenario = Box::new(cb_randtree::RandTreeCampaign {
                     lookahead,
                     evalcache,
                     ladder,
                     deadline_states: deadline,
                     storm,
+                    policy: store_for("randtree"),
                     ..Default::default()
                 })
             }
@@ -238,7 +276,7 @@ fn main() {
         },
         None => cb_bench::registry::all_scenarios(),
     };
-    if lookahead || !evalcache || storm || ladder || deadline > 0 || unsafe_reads {
+    if lookahead || !evalcache || storm || ladder || deadline > 0 || unsafe_reads || policy_on {
         // The lookahead/evalcache/deadline knobs live on the randtree
         // scenario — the one campaign protocol whose choices route through
         // the predictive evaluator; storm/ladder also apply to gossip, and
@@ -253,6 +291,8 @@ fn main() {
                 ladder,
                 deadline_states: deadline,
                 storm,
+                policy: store_for("randtree"),
+                record_policy: record_policy.is_some(),
                 ..Default::default()
             });
             touched = true;
@@ -267,11 +307,13 @@ fn main() {
                 touched = true;
             }
         }
-        if storm || unsafe_reads {
+        if storm || unsafe_reads || policy_on {
             if let Some(slot) = scenarios.iter_mut().find(|s| s.name() == "kv") {
                 *slot = Box::new(cb_kv::KvCampaign {
                     storm,
                     unsafe_reads,
+                    policy: store_for("kv"),
+                    record_policy: record_policy.is_some(),
                     ..Default::default()
                 });
                 touched = true;
@@ -288,8 +330,9 @@ fn main() {
         }
         if !touched {
             eprintln!(
-                "--lookahead/--no-evalcache/--storm/--ladder/--deadline/--unsafe-reads \
-                 apply to the randtree, gossip, kv, and mencius scenarios"
+                "--lookahead/--no-evalcache/--storm/--ladder/--deadline/--unsafe-reads/\
+                 --policy/--record-policy apply to the randtree, gossip, kv, and mencius \
+                 scenarios"
             );
             usage();
         }
@@ -322,9 +365,20 @@ fn main() {
     }
 
     let mut any_failed = false;
+    // Starting from the loaded pile (when both flags are given) makes
+    // --policy --record-policy a refresh-in-place: stale entries are
+    // overwritten by the merge rule, untouched scenarios keep theirs.
+    let mut recorded_pile = if record_policy.is_some() {
+        loaded_pile.clone().unwrap_or_default()
+    } else {
+        cb_policy::PolicyPile::new()
+    };
     for scenario in &scenarios {
         let start = std::time::Instant::now();
         let outcome = run_campaign(scenario.as_ref(), &cfg);
+        if let Some(store) = &outcome.policy {
+            recorded_pile.insert_store(store.clone());
+        }
         println!(
             "{} ({:.1}s wall)",
             outcome.summary_line(),
@@ -368,6 +422,21 @@ fn main() {
             println!("  seed {seed}: NONDETERMINISTIC (fingerprint mismatch on re-run)");
         }
         any_failed |= !outcome.all_passed();
+    }
+    if let Some(path) = &record_policy {
+        match recorded_pile.save(path) {
+            Ok(()) => println!(
+                "policy pile: {} scenario(s), {} entries, content id {} -> {}",
+                recorded_pile.len(),
+                recorded_pile.total_entries(),
+                recorded_pile.content_id(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("--record-policy {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
     }
     std::process::exit(if any_failed { 1 } else { 0 });
 }

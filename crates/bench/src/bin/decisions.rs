@@ -1,7 +1,7 @@
 //! The decision hot-path benchmark. Usage:
 //!
 //! ```text
-//! decisions [--quick] [--out PATH]
+//! decisions [--quick] [--out PATH] [--policy] [--policy-out PATH]
 //! ```
 //!
 //! Resolves a stream of predictive decisions for every registered scenario
@@ -13,26 +13,41 @@
 //! runtime's 1 µs/state rate — so the artifact is byte-stable across
 //! machines. `--quick` shrinks the decision stream for CI smoke runs.
 //!
+//! `--policy` additionally writes the cross-run policy-store arm to
+//! `BENCH_policy.json` (or `--policy-out PATH`): the same stream resolved
+//! cold through a recording ladder (training a content-addressed store) and
+//! then warm through a store-loaded ladder whose hits skip lookahead
+//! entirely, with the governed refresh cadence included in the warm cost.
+//!
 //! Exit status: 0 when at least 3 of the 5 scenarios show a ≥ 2× reduction
-//! (the bench's regression bar), 1 otherwise.
+//! (the bench's regression bar) — and, with `--policy`, at least 3
+//! scenarios at ≥ 5× warm speedup with exact warm≡cold agreement on all;
+//! 1 otherwise.
 
-use cb_bench::decisions::{run_all, to_json, ScenarioBench};
+use cb_bench::decisions::{policy_to_json, run_all, to_json, ScenarioBench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut policy = false;
     let mut out = "BENCH_decision.json".to_string();
+    let mut policy_out = "BENCH_policy.json".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--policy" => policy = true,
             "--out" => {
                 i += 1;
                 out = args.get(i).expect("--out needs a path").clone();
             }
+            "--policy-out" => {
+                i += 1;
+                policy_out = args.get(i).expect("--policy-out needs a path").clone();
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: decisions [--quick] [--out PATH]");
+                eprintln!("usage: decisions [--quick] [--out PATH] [--policy] [--policy-out PATH]");
                 std::process::exit(2);
             }
         }
@@ -65,8 +80,49 @@ fn main() {
     let json = to_json(&benches, decisions, quick);
     std::fs::write(&out, json.to_string_pretty()).expect("write bench artifact");
     println!("wrote {out}");
+    let mut failed = false;
     if at_2x < 3 {
         eprintln!("regression: only {at_2x} of 5 scenarios at >=2x reduction");
+        failed = true;
+    }
+    if policy {
+        println!();
+        println!("policy store: cold (recording ladder) vs warm (store-hit) states per decision");
+        println!(
+            "{:<10} {:>12} {:>12} {:>9} {:>10} {:>8}",
+            "scenario", "cold", "warm", "speedup", "agreement", "entries"
+        );
+        let mut at_5x = 0;
+        let mut agreement_ok = true;
+        for b in &benches {
+            let p = &b.policy;
+            if p.speedup() >= 5.0 {
+                at_5x += 1;
+            }
+            agreement_ok &= p.agreement == 1.0;
+            println!(
+                "{:<10} {:>12.1} {:>12.1} {:>8.2}x {:>9.0}% {:>8}",
+                b.scenario,
+                p.cold_states_per_decision(),
+                p.warm_states_per_decision(),
+                p.speedup(),
+                p.agreement * 100.0,
+                p.trained_entries
+            );
+        }
+        let json = policy_to_json(&benches, decisions, quick);
+        std::fs::write(&policy_out, json.to_string_pretty()).expect("write policy bench artifact");
+        println!("wrote {policy_out}");
+        if at_5x < 3 {
+            eprintln!("regression: only {at_5x} of 5 scenarios at >=5x warm speedup");
+            failed = true;
+        }
+        if !agreement_ok {
+            eprintln!("regression: warm resolution disagreed with cold lookahead");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -29,15 +29,19 @@
 //! [`OptionEvaluator::evaluate`]: cb_core::choice::OptionEvaluator::evaluate
 
 use crate::models::{flood_coverage, Flood};
-use cb_core::choice::{OptionEvaluator, Prediction};
+use cb_core::choice::{ChoiceRequest, OptionDesc, OptionEvaluator, Prediction, Resolver};
+use cb_core::governor::HealthSignals;
 use cb_core::objective::ObjectiveSet;
 use cb_core::predict::{ModelEvaluator, PredictConfig};
+use cb_core::resolve::ladder::{LadderResolver, PolicyDisposition};
 use cb_harness::json::Json;
 use cb_mck::props::Property;
 use cb_mck::system::TransitionSystem;
+use cb_policy::PolicyStore;
 use cb_randtree::{attach_depth, JState, JoinDescent, TreeCheckpoint};
 use cb_simnet::rng::SimRng;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Aggregate cost of running one mode over a scenario's decision stream.
 #[derive(Clone, Debug, Default)]
@@ -50,6 +54,59 @@ pub struct ModeStats {
     pub cache_misses: u64,
     /// Dedicated liveness searches the fused pass avoided.
     pub fused_searches_saved: u64,
+}
+
+/// The cross-run policy-store arm (`BENCH_policy.json`): the same decision
+/// stream resolved **cold** (a recording ladder running full lookahead per
+/// decision, training the store) and then **warm** (a fresh ladder serving
+/// store-hits, falling back to lookahead only on the governed refresh
+/// cadence).
+#[derive(Clone, Debug, Default)]
+pub struct PolicyArm {
+    /// Entries the cold pass recorded.
+    pub trained_entries: u64,
+    /// Content id of the trained store (deterministic).
+    pub store_content_id: u64,
+    /// States explored by the cold (training) pass.
+    pub cold_total_states: u64,
+    /// Decisions in the cold pass.
+    pub cold_decisions: u64,
+    /// States explored by the warm replay (refresh decisions only; pure
+    /// hits cost zero modeled states).
+    pub warm_total_states: u64,
+    /// Decisions in the warm replay (several laps over the stream, so the
+    /// refresh cadence actually fires).
+    pub warm_decisions: u64,
+    /// Store hits in the warm replay.
+    pub hits: u64,
+    /// Store misses in the warm replay.
+    pub misses: u64,
+    /// Stale entries the refresh cadence caught (0 for a deterministic
+    /// evaluator).
+    pub stale: u64,
+    /// Refresh re-resolutions that ran real lookahead.
+    pub refreshes: u64,
+    /// Fraction of warm decisions resolving the same option key as the
+    /// cold pass. The transparency contract pins this at exactly 1.0.
+    pub agreement: f64,
+}
+
+impl PolicyArm {
+    /// Mean states per decision in the cold (training) pass.
+    pub fn cold_states_per_decision(&self) -> f64 {
+        self.cold_total_states as f64 / self.cold_decisions.max(1) as f64
+    }
+
+    /// Mean states per decision in the warm replay.
+    pub fn warm_states_per_decision(&self) -> f64 {
+        self.warm_total_states as f64 / self.warm_decisions.max(1) as f64
+    }
+
+    /// Deterministic warm-vs-cold speedup in states (= sim-µs) per
+    /// decision.
+    pub fn speedup(&self) -> f64 {
+        self.cold_states_per_decision() / self.warm_states_per_decision().max(1e-9)
+    }
 }
 
 /// One scenario's before/after record.
@@ -67,6 +124,8 @@ pub struct ScenarioBench {
     pub optimized: ModeStats,
     /// Fraction of decisions where both modes picked the same option.
     pub agreement: f64,
+    /// The cross-run policy-store arm over the same decision stream.
+    pub policy: PolicyArm,
 }
 
 impl ScenarioBench {
@@ -161,6 +220,7 @@ where
             agreements += 1;
         }
     }
+    let policy = policy_arm(scenario, decisions, n_options, &cfg, objectives, seed, &mk);
     ScenarioBench {
         scenario,
         decisions,
@@ -168,7 +228,103 @@ where
         baseline,
         optimized,
         agreement: agreements as f64 / decisions.max(1) as f64,
+        policy,
     }
+}
+
+/// The policy-store arm over the same decision stream as [`drive`]: train a
+/// store through a *recording* ladder resolving cold (full fused+cached
+/// lookahead per decision), then replay the stream through a *warm* ladder
+/// loaded with that store. The replay loops the stream enough times that the
+/// governor-gated refresh cadence (every 16th hit) actually fires, so the
+/// reported warm cost includes the honesty re-checks — the steady-state
+/// amortized cost, not the best case.
+fn policy_arm<T, F>(
+    scenario: &'static str,
+    decisions: u64,
+    n_options: usize,
+    cfg: &PredictConfig,
+    objectives: &ObjectiveSet<T::State>,
+    seed: u64,
+    mk: &F,
+) -> PolicyArm
+where
+    T: TransitionSystem,
+    T::State: 'static,
+    F: Fn(u64, usize) -> T,
+{
+    let opt_cfg = PredictConfig {
+        cache: true,
+        ..cfg.clone()
+    };
+    let options: Vec<OptionDesc> = (0..n_options as u64).map(OptionDesc::key).collect();
+    // Per-decision state fingerprint: distinct decisions in the stream are
+    // distinct store entries (same scenario, different modeled snapshot).
+    let state_fp = |d: u64| mix(seed ^ d);
+
+    // Cold pass: a recording ladder trains the store.
+    let rec = Arc::new(Mutex::new(PolicyStore::new(scenario)));
+    let mut trainer = LadderResolver::new().recording_into(rec.clone());
+    let mut arm = PolicyArm {
+        cold_decisions: decisions,
+        ..PolicyArm::default()
+    };
+    let mut cold_picks = Vec::with_capacity(decisions as usize);
+    for d in 0..decisions {
+        let rng_seed = seed ^ d.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut eval = ModelEvaluator::new(
+            |i| mk(d, i),
+            objectives,
+            opt_cfg.clone(),
+            SimRng::seed_from(rng_seed),
+        );
+        trainer.observe_health(&HealthSignals::default());
+        let req = ChoiceRequest::new(scenario, &options).with_state_fp(state_fp(d));
+        let pick = trainer.resolve(&req, &mut eval);
+        arm.cold_total_states += eval.states_spent();
+        cold_picks.push(pick);
+    }
+    let store = rec.lock().expect("policy recorder poisoned").clone();
+    arm.trained_entries = store.len() as u64;
+    arm.store_content_id = store.content_id();
+    let store = Arc::new(store);
+
+    // Warm replay: enough laps over the stream that at least two refresh
+    // re-checks fire at the default cadence of 16 hits.
+    let laps = (32 / decisions.max(1)).max(4);
+    let mut warm = LadderResolver::new().with_policy(store);
+    let mut agreements = 0u64;
+    for _ in 0..laps {
+        for d in 0..decisions {
+            let rng_seed = seed ^ d.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut eval = ModelEvaluator::new(
+                |i| mk(d, i),
+                objectives,
+                opt_cfg.clone(),
+                SimRng::seed_from(rng_seed),
+            );
+            warm.observe_health(&HealthSignals::default());
+            let req = ChoiceRequest::new(scenario, &options).with_state_fp(state_fp(d));
+            let pick = warm.resolve(&req, &mut eval);
+            arm.warm_total_states += eval.states_spent();
+            arm.warm_decisions += 1;
+            if matches!(
+                warm.last_policy(),
+                PolicyDisposition::Refreshed | PolicyDisposition::Stale
+            ) {
+                arm.refreshes += 1;
+            }
+            if pick == cold_picks[d as usize] {
+                agreements += 1;
+            }
+        }
+    }
+    let (hits, misses, stale, _) = warm.policy_counters();
+    arm.hits = hits;
+    arm.misses = misses;
+    arm.stale = stale;
+    arm.agreement = agreements as f64 / arm.warm_decisions.max(1) as f64;
+    arm
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -642,6 +798,88 @@ pub fn to_json(benches: &[ScenarioBench], decisions: u64, quick: bool) -> Json {
         )
 }
 
+/// Schema tag of `BENCH_policy.json`.
+pub const POLICY_BENCH_SCHEMA: &str = "cb-bench-policy/v1";
+
+/// Serializes the policy-store arm into the `BENCH_policy.json` schema (see
+/// EXPERIMENTS.md, "Reading BENCH_policy.json"). Like `BENCH_decision.json`
+/// the artifact carries only deterministic sim-costs — no wall-clock
+/// numbers — so reruns are byte-identical.
+pub fn policy_to_json(benches: &[ScenarioBench], decisions: u64, quick: bool) -> Json {
+    let mut rows = Vec::new();
+    let mut at_5x = 0u64;
+    let mut log_sum = 0.0f64;
+    let mut agreement_all = true;
+    for b in benches {
+        let p = &b.policy;
+        let speedup = p.speedup();
+        if speedup >= 5.0 {
+            at_5x += 1;
+        }
+        log_sum += speedup.max(1e-9).ln();
+        agreement_all &= p.agreement == 1.0;
+        rows.push(
+            Json::obj()
+                .with("scenario", b.scenario)
+                .with("options_per_decision", b.options)
+                .with(
+                    "store",
+                    Json::obj()
+                        .with("entries", p.trained_entries)
+                        // Decimal string: content ids use the full u64
+                        // range, beyond JSON's f64-safe 2^53.
+                        .with("content_id", p.store_content_id.to_string()),
+                )
+                .with(
+                    "cold",
+                    Json::obj()
+                        .with("mode", "ladder-lookahead-recording")
+                        .with("decisions", p.cold_decisions)
+                        .with("total_states", p.cold_total_states)
+                        .with("states_per_decision", p.cold_states_per_decision())
+                        .with("sim_cost_us_per_decision", p.cold_states_per_decision()),
+                )
+                .with(
+                    "warm",
+                    Json::obj()
+                        .with("mode", "ladder-policy-store")
+                        .with("decisions", p.warm_decisions)
+                        .with("total_states", p.warm_total_states)
+                        .with("states_per_decision", p.warm_states_per_decision())
+                        .with("sim_cost_us_per_decision", p.warm_states_per_decision())
+                        .with("policy_hits", p.hits)
+                        .with("policy_misses", p.misses)
+                        .with("policy_stale", p.stale)
+                        .with("refreshes", p.refreshes),
+                )
+                .with("speedup", speedup)
+                .with("agreement", p.agreement),
+        );
+    }
+    let geomean = (log_sum / benches.len().max(1) as f64).exp();
+    Json::obj()
+        .with("bench", "policy")
+        .with("schema", POLICY_BENCH_SCHEMA)
+        .with(
+            "unit",
+            "states explored per resolved decision; sim-cost at 1 us/state",
+        )
+        .with(
+            "config",
+            Json::obj()
+                .with("decisions", decisions)
+                .with("quick", quick),
+        )
+        .with("scenarios", rows)
+        .with(
+            "summary",
+            Json::obj()
+                .with("scenarios_at_5x", at_5x)
+                .with("geomean_speedup", geomean)
+                .with("agreement_all", agreement_all),
+        )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,6 +936,79 @@ mod tests {
                 .map(|b| (b.scenario, b.reduction()))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn policy_arm_is_transparent_and_amortizes_lookahead() {
+        for b in run_all(2) {
+            let p = &b.policy;
+            assert_eq!(
+                p.agreement, 1.0,
+                "{}: warm resolution must agree with cold exactly",
+                b.scenario
+            );
+            assert!(p.trained_entries > 0, "{}: nothing recorded", b.scenario);
+            assert!(p.cold_total_states > 0, "{}: free cold pass?", b.scenario);
+            assert!(
+                p.refreshes >= 2,
+                "{}: refresh cadence never fired ({} warm decisions)",
+                b.scenario,
+                p.warm_decisions
+            );
+            assert_eq!(
+                p.stale, 0,
+                "{}: deterministic evaluator went stale",
+                b.scenario
+            );
+            assert!(
+                p.speedup() >= 5.0,
+                "{}: warm speedup only {:.2}x",
+                b.scenario,
+                p.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_arm_is_deterministic() {
+        let a = run_all(2);
+        let b = run_all(2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.policy.store_content_id, y.policy.store_content_id);
+            assert_eq!(x.policy.cold_total_states, y.policy.cold_total_states);
+            assert_eq!(x.policy.warm_total_states, y.policy.warm_total_states);
+            assert_eq!(x.policy.hits, y.policy.hits);
+        }
+    }
+
+    #[test]
+    fn policy_json_schema_has_the_contract_fields() {
+        let benches = run_all(1);
+        let json = policy_to_json(&benches, 1, true);
+        assert_eq!(json.get("bench").and_then(|j| j.as_str()), Some("policy"));
+        assert_eq!(
+            json.get("schema").and_then(|j| j.as_str()),
+            Some(POLICY_BENCH_SCHEMA)
+        );
+        let rows = json
+            .get("scenarios")
+            .and_then(|j| j.as_array())
+            .expect("scenarios array");
+        assert_eq!(rows.len(), 5);
+        for row in rows {
+            for key in ["scenario", "store", "cold", "warm", "speedup", "agreement"] {
+                assert!(row.get(key).is_some(), "missing {key}");
+            }
+            assert!(row
+                .get("warm")
+                .and_then(|w| w.get("states_per_decision"))
+                .is_some());
+            assert!(row.get("store").and_then(|s| s.get("content_id")).is_some());
+        }
+        let summary = json.get("summary").expect("summary");
+        for key in ["scenarios_at_5x", "geomean_speedup", "agreement_all"] {
+            assert!(summary.get(key).is_some(), "missing summary.{key}");
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Policy pile round-trip contract over the full scenario registry.
+//!
+//! The `--record-policy` pile is a cross-run artifact: it must survive
+//! save → load → save with byte-identical output for every scenario the
+//! bench registry knows, and a loaded pile must compare equal to the one
+//! that was written — content id included.
+
+use cb_bench::registry;
+use cb_policy::{PolicyEntry, PolicyKey, PolicyPile, PolicyStore};
+
+/// A deterministic synthetic store exercising several keys per scenario.
+fn synthetic_store(scenario: &str, salt: u64) -> PolicyStore {
+    let mut store = PolicyStore::new(scenario);
+    for i in 0..5u64 {
+        let key = PolicyKey::for_choice(
+            &format!("{scenario}.choice{i}"),
+            salt.wrapping_mul(31).wrapping_add(i),
+            cb_policy::mix64(salt ^ i),
+        );
+        let entry = PolicyEntry::new(i % 3, (i as f64) * 0.25 - 0.5, i % 2, 40 + i);
+        assert!(store.insert(key, entry), "fresh key must insert");
+    }
+    store
+}
+
+#[test]
+fn pile_round_trips_byte_identically_for_every_registered_scenario() {
+    let names = registry::scenario_names();
+    assert!(!names.is_empty(), "registry is empty");
+    let mut pile = PolicyPile::new();
+    for (i, name) in names.iter().enumerate() {
+        pile.insert_store(synthetic_store(name, i as u64 + 1));
+    }
+    assert_eq!(pile.len(), names.len());
+    assert_eq!(pile.total_entries(), names.len() * 5);
+
+    let dir = std::env::temp_dir().join(format!("cb-policy-pile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("registry.cbp");
+
+    pile.save(&path).expect("save");
+    let first = std::fs::read(&path).expect("read saved pile");
+    let loaded = PolicyPile::load(&path).expect("load");
+    assert_eq!(loaded, pile, "loaded pile differs from the saved one");
+    assert_eq!(loaded.content_id(), pile.content_id());
+
+    loaded.save(&path).expect("re-save");
+    let second = std::fs::read(&path).expect("read re-saved pile");
+    assert_eq!(first, second, "save -> load -> save is not byte-identical");
+    for name in &names {
+        assert!(
+            loaded.get(name).is_some(),
+            "scenario {name} lost in transit"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merged_pile_bytes_are_insertion_order_invariant() {
+    let names = registry::scenario_names();
+    let mut forward = PolicyPile::new();
+    for (i, name) in names.iter().enumerate() {
+        forward.insert_store(synthetic_store(name, i as u64 + 1));
+    }
+    let mut reverse = PolicyPile::new();
+    for (i, name) in names.iter().enumerate().rev() {
+        reverse.insert_store(synthetic_store(name, i as u64 + 1));
+    }
+    assert_eq!(forward.to_bytes(), reverse.to_bytes());
+    assert_eq!(forward.content_id(), reverse.content_id());
+}
+
+#[test]
+fn truncated_pile_is_rejected_not_misread() {
+    let mut pile = PolicyPile::new();
+    pile.insert_store(synthetic_store("kv", 7));
+    let bytes = pile.to_bytes();
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            PolicyPile::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} bytes must not parse"
+        );
+    }
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    assert!(
+        PolicyPile::from_bytes(&corrupt).is_err(),
+        "checksum corruption must not parse"
+    );
+}

@@ -57,6 +57,12 @@ pub struct ChoiceRequest<'a> {
     pub options: &'a [OptionDesc],
     /// Scenario context for learned resolution.
     pub context: ContextKey,
+    /// Optional fingerprint of the decision-relevant state beyond the
+    /// option set itself (e.g. a hash of the workload position). Folded
+    /// into the cross-run policy store's content address; `0` means "the
+    /// option set is the state", which is the right default for runtime
+    /// decisions whose options already name the live alternatives.
+    pub state_fp: u64,
 }
 
 impl<'a> ChoiceRequest<'a> {
@@ -66,12 +72,19 @@ impl<'a> ChoiceRequest<'a> {
             id,
             options,
             context: ContextKey::default(),
+            state_fp: 0,
         }
     }
 
     /// Sets the scenario context.
     pub fn in_context(mut self, context: ContextKey) -> Self {
         self.context = context;
+        self
+    }
+
+    /// Sets an explicit state fingerprint for cross-run memoization.
+    pub fn with_state_fp(mut self, state_fp: u64) -> Self {
+        self.state_fp = state_fp;
         self
     }
 

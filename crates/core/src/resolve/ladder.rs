@@ -1,7 +1,7 @@
 //! The resolver fallback ladder: graceful degradation of choice resolution.
 //!
 //! Prediction quality tracks model health (paper §3.4). Instead of a binary
-//! predict-or-don't switch, the ladder composes four rungs of decreasing
+//! predict-or-don't switch, the ladder composes six rungs of decreasing
 //! cost and model dependence and lets the
 //! [`DegradationGovernor`](crate::governor::DegradationGovernor) pick the
 //! rung per decision:
@@ -10,28 +10,116 @@
 //! |---|---|---|
 //! | 0 | full lookahead ([`LookaheadResolver`]) | fresh models, budget |
 //! | 1 | cached lookahead ([`CachedResolver`]) | occasionally-fresh models |
-//! | 2 | feature heuristic (lowest first feature) | option features only |
-//! | 3 | static safe default (first option) | nothing |
+//! | 2 | precomputed table ([`PrecomputedResolver`]) | a cross-run policy store hit |
+//! | 3 | learned bandit ([`LearnedResolver`]) | prior feedback or warm-start |
+//! | 4 | feature heuristic (lowest first feature) | option features only |
+//! | 5 | static safe default (first option) | nothing |
 //!
-//! While the governor reports `Healthy` (and no prediction deadline fired on
-//! the previous decision) the ladder is a *pure delegation* to its rung-0
+//! The governor's three health levels map onto the *fallback chain*
+//! lookahead → cached → heuristic → static (rungs 0, 1, 4, 5); a
+//! [`Partial`](EvalVerdict::Partial) verdict from the previous decision's
+//! evaluator bumps the next decision one chain position further down.
+//! Rungs 2 and 3 are the *fast rungs*: they answer only when they actually
+//! know something — rung 2 when a loaded [`PolicyStore`] has a
+//! content-addressed entry for the exact decision at hand, rung 3 when the
+//! bandit has arm statistics for the (choice, context) pair — and are
+//! consulted *before* the expensive chain rungs, so a warm store turns the
+//! common-case decision into a table lookup (~ns, zero modeled states).
+//!
+//! Staleness degrades safely two ways. A stored entry whose chosen option
+//! key is no longer offered is a miss, never a wrong answer. And while the
+//! governor reports `Healthy` — the only level at which fresh lookahead is
+//! trustworthy — every `policy_refresh_every`-th store hit is re-resolved
+//! by full lookahead and compared against the store ("governor-gated
+//! background refresh"): a mismatch counts `core.policy.stale`, serves the
+//! *fresh* answer, and re-records it.
+//!
+//! While the governor reports `Healthy`, no deadline fired, and no policy
+//! store is loaded, the ladder remains a *pure delegation* to its rung-0
 //! `LookaheadResolver` — decision-for-decision identical, which the
-//! differential tests assert. A [`Partial`](EvalVerdict::Partial) verdict
-//! from the previous decision's evaluator bumps the next decision one rung
-//! down on top of the governor's level: a blown deadline is evidence the
-//! current rung is too expensive *right now*, before the governor's
-//! hysteresis has caught up.
+//! differential tests assert.
 
 use crate::choice::{
     ChoiceId, ChoiceRequest, ContextKey, EvalVerdict, OptionEvaluator, Prediction, Resolver,
 };
 use crate::governor::{DegradationGovernor, GovernorConfig, Health, HealthSignals};
 use crate::resolve::cached::CachedResolver;
+use crate::resolve::learned::{BanditPolicy, LearnedResolver};
 use crate::resolve::lookahead::LookaheadResolver;
+use crate::resolve::precomputed::PrecomputedResolver;
+use cb_mck::hash::fingerprint;
+use cb_policy::{PolicyEntry, PolicyKey, PolicyStore};
 use cb_telemetry::{keys, Registry};
+use std::sync::{Arc, Mutex};
 
 /// Number of rungs on the ladder.
-pub const RUNGS: usize = 4;
+pub const RUNGS: usize = 6;
+
+/// The health-driven fallback chain: governor level + deadline bump pick a
+/// position here, not a raw rung index (the fast rungs 2–3 are gated on
+/// knowledge, not health).
+const CHAIN: [usize; 4] = [0, 1, 4, 5];
+
+/// The content address of a choice request in the cross-run policy store:
+/// hashed choice id, raw context key, and an order-independent fingerprint
+/// of the offered option keys folded with the request's explicit state
+/// fingerprint. Option *rotations* (same set, different order) address the
+/// same entry; the stored value is an option key, not an index, so the
+/// answer is rotation-stable too.
+pub fn policy_key(request: &ChoiceRequest<'_>) -> PolicyKey {
+    let mut keys: Vec<u64> = request.options.iter().map(|o| o.key).collect();
+    keys.sort_unstable();
+    let set = fingerprint(&keys);
+    PolicyKey::for_choice(
+        request.id,
+        request.context.0,
+        set ^ cb_policy::mix64(request.state_fp),
+    )
+}
+
+/// How the policy store participated in the most recent decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyDisposition {
+    /// No store is loaded.
+    Off,
+    /// Served from the store (rung 2, zero modeled states).
+    Hit,
+    /// Store loaded but could not answer; the health chain resolved.
+    Miss,
+    /// Refresh cadence fired: fresh lookahead agreed with the store.
+    Refreshed,
+    /// Refresh cadence fired and caught a stale entry: the fresh answer
+    /// was served and re-recorded.
+    Stale,
+}
+
+impl PolicyDisposition {
+    /// Stable label for provenance attributes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyDisposition::Off => "off",
+            PolicyDisposition::Hit => "hit",
+            PolicyDisposition::Miss => "miss",
+            PolicyDisposition::Refreshed => "refresh",
+            PolicyDisposition::Stale => "stale",
+        }
+    }
+}
+
+/// Fallback type for the ladder's precomputed rung. Never invoked: the
+/// ladder consults the table through `try_resolve`, which has no fallback
+/// path.
+struct NoFallback;
+
+impl Resolver for NoFallback {
+    fn resolve(&mut self, _request: &ChoiceRequest<'_>, _eval: &mut dyn OptionEvaluator) -> usize {
+        unreachable!("ladder consults the precomputed table via try_resolve only")
+    }
+
+    fn name(&self) -> &'static str {
+        "unreachable"
+    }
+}
 
 /// A health-governed resolver that steps down a ladder of strategies as the
 /// predictive model degrades, and climbs back only after sustained health.
@@ -41,18 +129,39 @@ pub struct LadderResolver {
     /// Rung 1: cached lookahead (its own inner `LookaheadResolver` runs
     /// only on misses/refreshes).
     cached: CachedResolver<LookaheadResolver>,
-    /// The health state machine deciding the base rung.
+    /// Rung 2: the precomputed table, lazily materialized from policy-store
+    /// hits (the store keys are hashed; the live request supplies the
+    /// `'static` choice id the table needs).
+    precomputed: PrecomputedResolver<NoFallback>,
+    /// Rung 3: contextual bandit, trained by live feedback and warm-started
+    /// from policy-store hits. ε=0 (pure exploitation): the rung only fires
+    /// when arms exist, and exploration is the store's job, not survival
+    /// mode's.
+    learned: LearnedResolver,
+    /// The health state machine deciding the base chain position.
     governor: DegradationGovernor,
     /// Set when the previous decision's evaluator reported a `Partial`
     /// verdict (prediction deadline fired): the next decision is resolved
-    /// one rung lower than the governor alone would pick.
+    /// one chain position lower than the governor alone would pick.
     deadline_pending: bool,
     /// Decisions resolved on each rung.
     rung_hits: [u64; RUNGS],
     /// Rung used for the most recent decision.
     last_rung: usize,
-    /// The prediction backing the most recent decision (rungs 0–1 only).
+    /// The prediction backing the most recent decision (rungs 0–2 only).
     last_prediction: Option<Prediction>,
+    /// Warm side: the loaded cross-run policy store.
+    policy: Option<Arc<PolicyStore>>,
+    /// Training side: where rung-0 decisions are recorded.
+    recorder: Option<Arc<Mutex<PolicyStore>>>,
+    /// Every n-th store hit is re-checked by fresh lookahead while Healthy.
+    /// 0 disables refresh.
+    policy_refresh_every: u64,
+    policy_hits: u64,
+    policy_misses: u64,
+    policy_stale: u64,
+    policy_inserts: u64,
+    last_policy: PolicyDisposition,
 }
 
 impl LadderResolver {
@@ -63,7 +172,7 @@ impl LadderResolver {
     }
 
     /// A ladder with explicit governor thresholds and cache refresh
-    /// interval.
+    /// interval (also used as the policy-store refresh cadence).
     ///
     /// # Panics
     ///
@@ -72,12 +181,36 @@ impl LadderResolver {
         LadderResolver {
             lookahead: LookaheadResolver::new(),
             cached: CachedResolver::new(LookaheadResolver::new(), refresh_every),
+            precomputed: PrecomputedResolver::new(NoFallback),
+            learned: LearnedResolver::new(BanditPolicy::EpsilonGreedy { epsilon: 0.0 }, 0),
             governor: DegradationGovernor::new(cfg),
             deadline_pending: false,
             rung_hits: [0; RUNGS],
             last_rung: 0,
             last_prediction: None,
+            policy: None,
+            recorder: None,
+            policy_refresh_every: refresh_every,
+            policy_hits: 0,
+            policy_misses: 0,
+            policy_stale: 0,
+            policy_inserts: 0,
+            last_policy: PolicyDisposition::Off,
         }
+    }
+
+    /// Loads a cross-run policy store: content-addressed hits are served on
+    /// the precomputed rung without evaluating anything.
+    pub fn with_policy(mut self, store: Arc<PolicyStore>) -> Self {
+        self.policy = Some(store);
+        self
+    }
+
+    /// Records every rung-0 (fresh lookahead) decision into `recorder` so a
+    /// campaign sweep can persist it as a policy store.
+    pub fn recording_into(mut self, recorder: Arc<Mutex<PolicyStore>>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// The governor's current health level.
@@ -90,7 +223,7 @@ impl LadderResolver {
         &self.governor
     }
 
-    /// Decisions resolved on each rung, index 0 (lookahead) to 3 (static).
+    /// Decisions resolved on each rung, index 0 (lookahead) to 5 (static).
     pub fn rung_hits(&self) -> [u64; RUNGS] {
         self.rung_hits
     }
@@ -100,13 +233,28 @@ impl LadderResolver {
         self.last_rung
     }
 
+    /// How the policy store participated in the most recent decision.
+    pub fn last_policy(&self) -> PolicyDisposition {
+        self.last_policy
+    }
+
+    /// Policy-store counters: (hits, misses, stale, inserts).
+    pub fn policy_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.policy_hits,
+            self.policy_misses,
+            self.policy_stale,
+            self.policy_inserts,
+        )
+    }
+
     /// Whether the next decision will be bumped a rung down because the
     /// previous decision's prediction deadline fired.
     pub fn deadline_pending(&self) -> bool {
         self.deadline_pending
     }
 
-    /// Rung 2: prefer the lowest first feature (conventionally the
+    /// Rung 4: prefer the lowest first feature (conventionally the
     /// cheapest/closest option); options without features score as
     /// `+INFINITY` cost and lose to any featured option. Ties break to the
     /// earliest option, keeping the rung deterministic.
@@ -122,6 +270,89 @@ impl LadderResolver {
         }
         best
     }
+
+    /// Records the decision just made (chosen key + backing prediction)
+    /// into the training store, if one is attached.
+    fn record(&mut self, request: &ChoiceRequest<'_>, idx: usize) {
+        if let (Some(rec), Some(p)) = (&self.recorder, self.last_prediction) {
+            let entry = PolicyEntry::new(
+                request.options[idx].key,
+                p.objective,
+                p.violations,
+                p.states_explored,
+            );
+            rec.lock()
+                .expect("policy recorder poisoned")
+                .insert(policy_key(request), entry);
+            self.policy_inserts += 1;
+        }
+    }
+
+    /// Consults the loaded policy store. `Some((idx, rung))` when the store
+    /// answered (or a due refresh re-resolved); `None` on miss.
+    fn consult_policy(
+        &mut self,
+        request: &ChoiceRequest<'_>,
+        eval: &mut dyn OptionEvaluator,
+        base: usize,
+    ) -> Option<(usize, usize)> {
+        let store = self.policy.clone()?;
+        let entry = match store.get(&policy_key(request)) {
+            Some(e) => *e,
+            None => {
+                self.policy_misses += 1;
+                return None;
+            }
+        };
+        if !request.options.iter().any(|o| o.key == entry.chosen_key) {
+            // The stored option left the set (peer gone, block done): a
+            // safe miss, never a wrong answer.
+            self.policy_misses += 1;
+            return None;
+        }
+        self.policy_hits += 1;
+        let refresh_due = base == 0
+            && self.policy_refresh_every > 0
+            && self.policy_hits.is_multiple_of(self.policy_refresh_every);
+        if refresh_due {
+            // Governor-gated honesty check: only while Healthy is fresh
+            // lookahead trustworthy enough to arbitrate staleness.
+            let fresh = self.lookahead.resolve(request, eval);
+            self.last_prediction = self.lookahead.last_prediction();
+            self.last_policy = if request.options[fresh].key != entry.chosen_key {
+                self.policy_stale += 1;
+                PolicyDisposition::Stale
+            } else {
+                PolicyDisposition::Refreshed
+            };
+            self.record(request, fresh);
+            return Some((fresh, 0));
+        }
+        // Warm the first-class fast rungs with the store's conclusion: the
+        // precomputed table serves this decision; the bandit gains a prior
+        // arm so rung 3 can generalize when the option set shifts later.
+        self.last_policy = PolicyDisposition::Hit;
+        self.precomputed
+            .insert(request.id, request.context, entry.chosen_key);
+        if self
+            .learned
+            .arm(request.id, request.context, entry.chosen_key)
+            .is_none()
+        {
+            self.learned
+                .feedback(request.id, request.context, entry.chosen_key, 1.0);
+        }
+        let idx = self
+            .precomputed
+            .try_resolve(request)
+            .expect("entry just warmed must resolve");
+        self.last_prediction = Some(Prediction {
+            objective: entry.objective(),
+            violations: entry.violations,
+            states_explored: 0,
+        });
+        Some((idx, 2))
+    }
 }
 
 impl Default for LadderResolver {
@@ -133,37 +364,62 @@ impl Default for LadderResolver {
 impl Resolver for LadderResolver {
     fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
         assert!(!request.is_empty(), "cannot resolve an empty choice");
-        let mut rung = self.governor.health().rung();
+        let mut pos = self.governor.health().rung();
         if self.deadline_pending {
-            rung = (rung + 1).min(RUNGS - 1);
+            pos = (pos + 1).min(CHAIN.len() - 1);
         }
+        let base = CHAIN[pos];
+        self.last_policy = if self.policy.is_some() {
+            PolicyDisposition::Miss
+        } else {
+            PolicyDisposition::Off
+        };
+        // The store-backed fast path runs at every non-static level: a
+        // content-addressed hit is cheaper than anything else the ladder
+        // can do, and under degradation it is also *better* (it memoizes a
+        // healthy run's lookahead).
+        let resolved = if base < 5 {
+            self.consult_policy(request, eval, base)
+        } else {
+            None
+        };
+        let (idx, rung) = match resolved {
+            Some(v) => v,
+            None => match base {
+                0 => {
+                    let i = self.lookahead.resolve(request, eval);
+                    self.last_prediction = self.lookahead.last_prediction();
+                    self.record(request, i);
+                    (i, 0)
+                }
+                1 => {
+                    let i = self.cached.resolve(request, eval);
+                    self.last_prediction = self.cached.last_prediction();
+                    (i, 1)
+                }
+                4 => {
+                    self.last_prediction = None;
+                    if self.learned.has_arms(request.id, request.context) {
+                        // Survival with a trained bandit: exploit what past
+                        // feedback (or a warm store) taught, model-free.
+                        (self.learned.resolve(request, eval), 3)
+                    } else {
+                        (Self::heuristic_pick(request), 4)
+                    }
+                }
+                _ => {
+                    // Static safe default: the service's first-listed option.
+                    self.last_prediction = None;
+                    (0, 5)
+                }
+            },
+        };
         self.last_rung = rung;
         self.rung_hits[rung] += 1;
-        let idx = match rung {
-            0 => {
-                let i = self.lookahead.resolve(request, eval);
-                self.last_prediction = self.lookahead.last_prediction();
-                i
-            }
-            1 => {
-                let i = self.cached.resolve(request, eval);
-                self.last_prediction = self.cached.last_prediction();
-                i
-            }
-            2 => {
-                self.last_prediction = None;
-                Self::heuristic_pick(request)
-            }
-            _ => {
-                // Static safe default: the service's first-listed option.
-                self.last_prediction = None;
-                0
-            }
-        };
         // A Partial verdict means this decision's prediction hit its
-        // deadline: bump the next decision down a rung. Rungs 2–3 never
-        // evaluate, so their verdict is Complete and the bump self-clears —
-        // the ladder automatically re-probes the governor's level.
+        // deadline: bump the next decision down a rung. Non-evaluating
+        // rungs leave the verdict Complete and the bump self-clears — the
+        // ladder automatically re-probes the governor's level.
         self.deadline_pending = eval.verdict() == EvalVerdict::Partial;
         idx
     }
@@ -171,6 +427,7 @@ impl Resolver for LadderResolver {
     fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
         self.lookahead.feedback(id, context, option_key, reward);
         self.cached.feedback(id, context, option_key, reward);
+        self.learned.feedback(id, context, option_key, reward);
     }
 
     fn observe_health(&mut self, signals: &HealthSignals) {
@@ -190,10 +447,9 @@ impl Resolver for LadderResolver {
     }
 
     fn decision_attrs(&self, out: &mut Vec<(String, String)>) {
-        // The rung index doubles as the number of higher-fidelity rungs
-        // passed over for this decision (rung 2 = lookahead and cached
-        // both skipped).
         out.push(("ladder.rung".into(), self.last_rung.to_string()));
+        // How many higher-fidelity chain rungs were passed over (fast-rung
+        // hits skip the whole chain below them).
         out.push(("ladder.rungs_skipped".into(), self.last_rung.to_string()));
         out.push((
             "governor.level".into(),
@@ -207,13 +463,20 @@ impl Resolver for LadderResolver {
             "ladder.deadline_pending".into(),
             self.deadline_pending.to_string(),
         ));
+        out.push(("policy".into(), self.last_policy.label().into()));
     }
 
     fn export_metrics(&self, reg: &mut Registry) {
         reg.set_counter(keys::CORE_LADDER_RUNG_LOOKAHEAD, self.rung_hits[0]);
         reg.set_counter(keys::CORE_LADDER_RUNG_CACHED, self.rung_hits[1]);
-        reg.set_counter(keys::CORE_LADDER_RUNG_HEURISTIC, self.rung_hits[2]);
-        reg.set_counter(keys::CORE_LADDER_RUNG_STATIC, self.rung_hits[3]);
+        reg.set_counter(keys::CORE_LADDER_RUNG_PRECOMPUTED, self.rung_hits[2]);
+        reg.set_counter(keys::CORE_LADDER_RUNG_LEARNED, self.rung_hits[3]);
+        reg.set_counter(keys::CORE_LADDER_RUNG_HEURISTIC, self.rung_hits[4]);
+        reg.set_counter(keys::CORE_LADDER_RUNG_STATIC, self.rung_hits[5]);
+        reg.set_counter(keys::CORE_POLICY_HITS, self.policy_hits);
+        reg.set_counter(keys::CORE_POLICY_MISSES, self.policy_misses);
+        reg.set_counter(keys::CORE_POLICY_STALE, self.policy_stale);
+        reg.set_counter(keys::CORE_POLICY_INSERTS, self.policy_inserts);
         self.governor.export_metrics(reg);
         // Both rungs 0 and 1 run lookahead evaluations; export the sum
         // rather than delegating (delegation would overwrite the shared
@@ -270,13 +533,14 @@ mod tests {
             let b = reference.resolve(&req, &mut RisingEval);
             assert_eq!(a, b);
             assert_eq!(ladder.last_rung(), 0);
+            assert_eq!(ladder.last_policy(), PolicyDisposition::Off);
             assert_eq!(ladder.last_prediction(), reference.last_prediction());
         }
-        assert_eq!(ladder.rung_hits(), [20, 0, 0, 0]);
+        assert_eq!(ladder.rung_hits(), [20, 0, 0, 0, 0, 0]);
     }
 
     #[test]
-    fn degraded_health_steps_down_to_cached_then_static() {
+    fn degraded_health_steps_down_to_cached_then_heuristic() {
         let o = opts(4);
         let req = ChoiceRequest::new("t", &o);
         let mut ladder = LadderResolver::new();
@@ -287,15 +551,37 @@ mod tests {
         assert_eq!(ladder.health(), Health::Degraded);
         ladder.resolve(&req, &mut RisingEval);
         assert_eq!(ladder.last_rung(), 1);
-        // Two more: Degraded -> Survival; rung 2 = heuristic.
+        // Two more: Degraded -> Survival; rung 4 = heuristic (no policy
+        // store, no trained bandit, so both fast rungs stay silent).
         for _ in 0..2 {
             ladder.observe_health(&survival_signals());
         }
         assert_eq!(ladder.health(), Health::Survival);
         let pick = ladder.resolve(&req, &mut RisingEval);
-        assert_eq!(ladder.last_rung(), 2);
+        assert_eq!(ladder.last_rung(), 4);
         // Heuristic prefers the lowest first feature: key 3 (cost 1.0).
         assert_eq!(pick, 3);
+        assert!(ladder.last_prediction().is_none());
+    }
+
+    #[test]
+    fn survival_with_trained_bandit_uses_learned_rung() {
+        let o = opts(3);
+        let req = ChoiceRequest::new("t", &o);
+        let mut ladder = LadderResolver::new();
+        // Live feedback taught the bandit that key 1 pays off.
+        for _ in 0..3 {
+            ladder.feedback("t", ContextKey::default(), 1, 1.0);
+            ladder.feedback("t", ContextKey::default(), 0, 0.1);
+            ladder.feedback("t", ContextKey::default(), 2, 0.1);
+        }
+        for _ in 0..4 {
+            ladder.observe_health(&survival_signals());
+        }
+        assert_eq!(ladder.health(), Health::Survival);
+        let pick = ladder.resolve(&req, &mut RisingEval);
+        assert_eq!(ladder.last_rung(), 3, "trained bandit beats heuristic");
+        assert_eq!(pick, 1);
         assert!(ladder.last_prediction().is_none());
     }
 
@@ -317,7 +603,8 @@ mod tests {
         ladder.resolve(&req, &mut PartialEval);
         assert_eq!(ladder.last_rung(), 0);
         assert!(ladder.deadline_pending());
-        // Next decision runs a rung lower even though health is Healthy…
+        // Next decision runs a chain position lower even though health is
+        // Healthy…
         ladder.observe_health(&HealthSignals::default());
         ladder.resolve(&req, &mut RisingEval);
         assert_eq!(ladder.last_rung(), 1);
@@ -346,14 +633,11 @@ mod tests {
                 EvalVerdict::Partial
             }
         }
-        // Force deadline_pending while already in Survival.
-        // Rung 2 never evaluates, so use a direct field path: resolve once
-        // with a Partial evaluator is not possible on rung 2 (no evals).
-        // Instead check the arithmetic cap via two steps: Survival rung 2,
-        // bump -> 3.
+        // Force deadline_pending while already in Survival: the chain
+        // position caps at its last entry, the static rung.
         ladder.deadline_pending = true;
         let pick = ladder.resolve(&req, &mut PartialEval);
-        assert_eq!(ladder.last_rung(), 3);
+        assert_eq!(ladder.last_rung(), 5);
         assert_eq!(pick, 0, "static rung takes the first option");
     }
 
@@ -387,5 +671,221 @@ mod tests {
         // Rung 0 evaluated 3 options; rung 1's miss evaluated 3 more.
         assert_eq!(reg.counter(keys::CORE_LOOKAHEAD_EVALUATIONS), 6);
         assert_eq!(reg.counter(keys::CORE_CACHE_MISSES), 1);
+        assert_eq!(reg.counter(keys::CORE_POLICY_HITS), 0);
+    }
+
+    /// Trains a store by resolving through a recording ladder, then
+    /// replays through a warm ladder.
+    fn train_store(req: &ChoiceRequest<'_>, decisions: usize) -> PolicyStore {
+        let rec = Arc::new(Mutex::new(PolicyStore::new("test")));
+        let mut trainer = LadderResolver::new().recording_into(rec.clone());
+        for _ in 0..decisions {
+            trainer.observe_health(&HealthSignals::default());
+            trainer.resolve(req, &mut RisingEval);
+        }
+        assert!(trainer.policy_counters().3 >= 1, "inserts recorded");
+        let store = rec.lock().unwrap().clone();
+        assert!(!store.is_empty());
+        store
+    }
+
+    #[test]
+    fn warm_hit_serves_store_answer_with_zero_states() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        let store = Arc::new(train_store(&req, 1));
+        let mut warm = LadderResolver::new().with_policy(store);
+        let mut cold = LookaheadResolver::new();
+        // 15 decisions stay under the refresh cadence (16): all pure hits.
+        for _ in 0..15 {
+            warm.observe_health(&HealthSignals::default());
+            let mut panicking = crate::choice::FnEvaluator(|_| {
+                panic!("warm hit must not evaluate");
+            });
+            let w = warm.resolve(&req, &mut panicking);
+            let c = cold.resolve(&req, &mut RisingEval);
+            assert_eq!(w, c, "warm ≡ cold resolved index");
+            assert_eq!(warm.last_rung(), 2);
+            assert_eq!(warm.last_policy(), PolicyDisposition::Hit);
+            let p = warm.last_prediction().expect("stored prediction");
+            assert_eq!(p.states_explored, 0, "warm decisions cost ~0 states");
+        }
+        let (hits, misses, stale, _) = warm.policy_counters();
+        assert_eq!((hits, misses, stale), (15, 0, 0));
+        assert_eq!(warm.rung_hits()[2], 15);
+    }
+
+    #[test]
+    fn refresh_cadence_reruns_lookahead_and_detects_agreement() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        let store = Arc::new(train_store(&req, 1));
+        let mut warm = LadderResolver::new().with_policy(store);
+        let mut refreshes = 0;
+        for _ in 0..32 {
+            warm.observe_health(&HealthSignals::default());
+            warm.resolve(&req, &mut RisingEval);
+            if warm.last_policy() == PolicyDisposition::Refreshed {
+                refreshes += 1;
+                assert_eq!(warm.last_rung(), 0, "refresh runs real lookahead");
+            }
+        }
+        assert_eq!(refreshes, 2, "every 16th hit re-checks the store");
+        let (_, _, stale, _) = warm.policy_counters();
+        assert_eq!(stale, 0, "deterministic evaluator never goes stale");
+    }
+
+    #[test]
+    fn stale_entry_is_caught_by_refresh_and_fresh_answer_served() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        // A store whose entry claims key 0 is best; the live evaluator
+        // disagrees (RisingEval prefers the last option).
+        let mut store = PolicyStore::new("test");
+        store.insert(policy_key(&req), PolicyEntry::new(0, 99.0, 0, 5));
+        let mut warm = LadderResolver::new().with_policy(Arc::new(store));
+        let mut served_stale = None;
+        for _ in 0..16 {
+            warm.observe_health(&HealthSignals::default());
+            let idx = warm.resolve(&req, &mut RisingEval);
+            if warm.last_policy() == PolicyDisposition::Stale {
+                served_stale = Some(idx);
+            }
+        }
+        assert_eq!(
+            served_stale,
+            Some(3),
+            "refresh must catch the stale entry and serve the fresh answer"
+        );
+        let (_, _, stale, _) = warm.policy_counters();
+        assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn missing_option_key_is_a_safe_miss() {
+        let o = opts(3);
+        let req = ChoiceRequest::new("t", &o);
+        let mut store = PolicyStore::new("test");
+        // Entry addresses this exact option set but names a departed key.
+        store.insert(policy_key(&req), PolicyEntry::new(77, 1.0, 0, 5));
+        let mut warm = LadderResolver::new().with_policy(Arc::new(store));
+        warm.observe_health(&HealthSignals::default());
+        let idx = warm.resolve(&req, &mut RisingEval);
+        assert_eq!(warm.last_policy(), PolicyDisposition::Miss);
+        assert_eq!(warm.last_rung(), 0, "miss falls through to lookahead");
+        assert_eq!(idx, 2, "lookahead answer, not the departed key");
+        let (hits, misses, _, _) = warm.policy_counters();
+        assert_eq!((hits, misses), (0, 1));
+    }
+
+    #[test]
+    fn store_hit_survives_degradation() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        let store = Arc::new(train_store(&req, 1));
+        let mut warm = LadderResolver::new().with_policy(store);
+        for _ in 0..4 {
+            warm.observe_health(&survival_signals());
+        }
+        assert_eq!(warm.health(), Health::Survival);
+        let mut panicking = crate::choice::FnEvaluator(|_| {
+            panic!("survival store hit must not evaluate");
+        });
+        let idx = warm.resolve(&req, &mut panicking);
+        assert_eq!(warm.last_rung(), 2, "store answers even in survival");
+        assert_eq!(warm.last_policy(), PolicyDisposition::Hit);
+        assert_eq!(idx, 3, "the memoized healthy-lookahead answer");
+    }
+
+    #[test]
+    fn warm_resolution_is_rotation_invariant() {
+        let o = opts(5);
+        let req = ChoiceRequest::new("t", &o);
+        let store = Arc::new(train_store(&req, 1));
+        let chosen_key = {
+            let mut cold = LookaheadResolver::new();
+            let i = cold.resolve(&req, &mut RisingEval);
+            o[i].key
+        };
+        for rot in 0..o.len() {
+            let mut rotated = o.clone();
+            rotated.rotate_left(rot);
+            // RisingEval scores by *index*, so re-rank per rotation to keep
+            // the cold reference honest: the warm path must return the same
+            // *key* regardless of option order.
+            let req_rot = ChoiceRequest::new("t", &rotated);
+            let mut warm = LadderResolver::new().with_policy(store.clone());
+            warm.observe_health(&HealthSignals::default());
+            let mut panicking = crate::choice::FnEvaluator(|_| {
+                panic!("rotation hit must not evaluate");
+            });
+            let idx = warm.resolve(&req_rot, &mut panicking);
+            assert_eq!(warm.last_policy(), PolicyDisposition::Hit);
+            assert_eq!(
+                rotated[idx].key, chosen_key,
+                "rotation {rot} must resolve the same option key"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// Differential transparency: for arbitrary option sets, a warm
+        /// ladder serving from a store trained by cold lookahead resolves
+        /// the same option *key* as cold lookahead itself — across every
+        /// rotation of the option order.
+        #[test]
+        fn prop_warm_equals_cold_across_rotations(
+            n in 2usize..8,
+            salt in 0u64..1_000,
+            rot in 0usize..8,
+        ) {
+            use proptest::prop_assert_eq;
+            // Deterministic per-key objective: evaluator scores an option
+            // by a hash of its key, independent of position.
+            let objective_of = move |key: u64| {
+                (cb_policy::mix64(key ^ salt) % 1_000) as f64
+            };
+            let options: Vec<OptionDesc> = (0..n as u64)
+                .map(|k| OptionDesc::key(k * 3 + 1))
+                .collect();
+            let req = ChoiceRequest::new("prop", &options).with_state_fp(salt);
+
+            // Cold reference: pure lookahead with the key-keyed evaluator.
+            let keys: Vec<u64> = options.iter().map(|o| o.key).collect();
+            let keys_for_cold = keys.clone();
+            let mut cold_eval = crate::choice::FnEvaluator(move |i: usize| Prediction {
+                objective: objective_of(keys_for_cold[i]),
+                violations: 0,
+                states_explored: 3,
+            });
+            let mut cold = LookaheadResolver::new();
+            let cold_key = options[cold.resolve(&req, &mut cold_eval)].key;
+
+            // Train a store through a recording ladder.
+            let rec = Arc::new(Mutex::new(PolicyStore::new("prop")));
+            let mut trainer = LadderResolver::new().recording_into(rec.clone());
+            trainer.observe_health(&HealthSignals::default());
+            let keys_for_train = keys.clone();
+            let mut train_eval = crate::choice::FnEvaluator(move |i: usize| Prediction {
+                objective: objective_of(keys_for_train[i]),
+                violations: 0,
+                states_explored: 3,
+            });
+            trainer.resolve(&req, &mut train_eval);
+            let store = Arc::new(rec.lock().unwrap().clone());
+
+            // Warm replay over a rotated option order.
+            let mut rotated = options.clone();
+            rotated.rotate_left(rot % n);
+            let req_rot = ChoiceRequest::new("prop", &rotated).with_state_fp(salt);
+            let mut warm = LadderResolver::new().with_policy(store);
+            warm.observe_health(&HealthSignals::default());
+            let mut panicking = crate::choice::FnEvaluator(|_| {
+                panic!("warm hit must not evaluate")
+            });
+            let idx = warm.resolve(&req_rot, &mut panicking);
+            prop_assert_eq!(warm.last_policy(), PolicyDisposition::Hit);
+            prop_assert_eq!(rotated[idx].key, cold_key);
+        }
     }
 }

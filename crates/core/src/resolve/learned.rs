@@ -150,6 +150,17 @@ impl LearnedResolver {
         self.totals.get(&(id, context)).copied().unwrap_or(0)
     }
 
+    /// True when any arm statistics exist for `(id, context)` — i.e. the
+    /// bandit has been trained there, by live feedback or a warm-start
+    /// prior, and exploiting it beats a blind heuristic. The ladder uses
+    /// this to gate its learned rung.
+    pub fn has_arms(&self, id: ChoiceId, context: ContextKey) -> bool {
+        self.arms
+            .range((id, context, u64::MIN)..=(id, context, u64::MAX))
+            .next()
+            .is_some()
+    }
+
     fn select_epsilon_greedy(&mut self, req: &ChoiceRequest<'_>, epsilon: f64) -> usize {
         if self.rng.gen_bool(epsilon) {
             return self.rng.gen_index(req.len());

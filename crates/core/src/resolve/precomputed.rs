@@ -72,19 +72,41 @@ impl<R: Resolver> PrecomputedResolver<R> {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// Table lookup without fallback: the index of the precomputed option,
+    /// or `None` when there is no entry or the precomputed key is not among
+    /// the offered options. Counts hits/misses either way — this is the
+    /// "answer only if you actually know" entry point ladder rungs use.
+    pub fn try_resolve(&mut self, request: &ChoiceRequest<'_>) -> Option<usize> {
+        if let Some(&key) = self.table.get(&(request.id, request.context)) {
+            if let Some(idx) = request.options.iter().position(|o| o.key == key) {
+                self.hits += 1;
+                return Some(idx);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// A deterministic snapshot of the table in sorted `(choice, context)`
+    /// order — the only iteration order this resolver exposes, so store
+    /// persistence and artifact sections can't inherit map-order
+    /// nondeterminism.
+    pub fn snapshot(&self) -> Vec<(ChoiceId, ContextKey, u64)> {
+        self.table
+            .iter()
+            .map(|(&(id, ctx), &key)| (id, ctx, key))
+            .collect()
+    }
 }
 
 impl<R: Resolver> Resolver for PrecomputedResolver<R> {
     fn resolve(&mut self, request: &ChoiceRequest<'_>, eval: &mut dyn OptionEvaluator) -> usize {
         assert!(!request.is_empty(), "cannot resolve an empty choice");
-        if let Some(&key) = self.table.get(&(request.id, request.context)) {
-            if let Some(idx) = request.options.iter().position(|o| o.key == key) {
-                self.hits += 1;
-                return idx;
-            }
+        match self.try_resolve(request) {
+            Some(idx) => idx,
+            None => self.fallback.resolve(request, eval),
         }
-        self.misses += 1;
-        self.fallback.resolve(request, eval)
     }
 
     fn feedback(&mut self, id: ChoiceId, context: ContextKey, option_key: u64, reward: f64) {
@@ -208,5 +230,39 @@ mod tests {
         r.insert("a", ContextKey(0), 2); // overwrite
         assert_eq!(r.len(), 1);
         assert_eq!(r.name(), "precomputed");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_regardless_of_insertion_order() {
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.insert("z", ContextKey(9), 3);
+        r.insert("a", ContextKey(2), 1);
+        r.insert("a", ContextKey(1), 2);
+        r.insert("m", ContextKey(0), 7);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("a", ContextKey(1), 2),
+                ("a", ContextKey(2), 1),
+                ("m", ContextKey(0), 7),
+                ("z", ContextKey(9), 3),
+            ]
+        );
+        let mut sorted = snap.clone();
+        sorted.sort();
+        assert_eq!(snap, sorted, "snapshot iterates in sorted order");
+    }
+
+    #[test]
+    fn try_resolve_counts_without_falling_back() {
+        let mut r = PrecomputedResolver::new(RandomResolver::new(1));
+        r.insert("x", ContextKey(1), 20);
+        let o = opts();
+        let hit = ChoiceRequest::new("x", &o).in_context(ContextKey(1));
+        let miss = ChoiceRequest::new("x", &o).in_context(ContextKey(2));
+        assert_eq!(r.try_resolve(&hit), Some(1));
+        assert_eq!(r.try_resolve(&miss), None);
+        assert_eq!((r.hits, r.misses), (1, 1));
     }
 }

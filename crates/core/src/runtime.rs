@@ -740,6 +740,7 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             id,
             options,
             context,
+            state_fp: 0,
         };
         // Model-health snapshot for this decision: snapshot staleness,
         // worst network confidence among the peers the options name, and

@@ -105,6 +105,10 @@ pub struct CampaignOutcome {
     /// keep peaks, histograms merge) — the per-scenario aggregate that
     /// `cb-bench` summarizes.
     pub telemetry: cb_telemetry::Registry,
+    /// Policy stores recorded by the seeds' runs, merged in seed order.
+    /// The merge rule is commutative, associative, and idempotent, so the
+    /// result is invariant under worker count and determinism re-runs.
+    pub policy: Option<cb_policy::PolicyStore>,
 }
 
 impl CampaignOutcome {
@@ -170,6 +174,12 @@ pub fn run_campaign(scenario: &dyn Scenario, config: &CampaignConfig) -> Campaig
     for (seed, report, deterministic) in rows {
         outcome.total_events += report.events_processed;
         outcome.telemetry.merge(&report.telemetry);
+        if let Some(recorded) = &report.policy {
+            match &mut outcome.policy {
+                Some(merged) => merged.merge(recorded),
+                None => outcome.policy = Some(recorded.clone()),
+            }
+        }
         if !deterministic {
             outcome.nondeterministic_seeds.push(seed);
         }

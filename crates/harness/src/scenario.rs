@@ -61,6 +61,10 @@ pub struct RunReport {
     /// `net.*` filled from the sim summary; runtime scenarios replace it
     /// with a fleet-wide registry via [`RunReport::with_telemetry`]).
     pub telemetry: Registry,
+    /// The policy store this run recorded (scenarios running with
+    /// `--record-policy` attach it via [`RunReport::with_policy`]); the
+    /// campaign runner merges per-seed stores deterministically.
+    pub policy: Option<cb_policy::PolicyStore>,
 }
 
 impl RunReport {
@@ -157,6 +161,7 @@ impl RunReport {
             spans_recorded,
             spans_evicted,
             telemetry,
+            policy: None,
         }
     }
 
@@ -166,6 +171,12 @@ impl RunReport {
     /// not merge, so network counters are not double-counted).
     pub fn with_telemetry(mut self, telemetry: Registry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches the policy store the run recorded into.
+    pub fn with_policy(mut self, policy: cb_policy::PolicyStore) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -185,7 +196,7 @@ impl RunReport {
 
     /// Serializes the report (used inside failure artifacts).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let mut json = Json::obj()
             .with("scenario", self.scenario.as_str())
             // Decimal strings: u64 values survive the f64-backed JSON
             // number type only up to 2^53.
@@ -227,7 +238,11 @@ impl RunReport {
                     self.spans_evicted,
                     false,
                 ),
-            )
+            );
+        if let Some(policy) = &self.policy {
+            json = json.with("policy", policy_json(policy));
+        }
+        json
     }
 
     /// The `provenance` section with every span's wall clock blanked —
@@ -260,6 +275,22 @@ pub trait Scenario: Sync + Send {
 
     /// Runs the scenario once under `plan` and reports.
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport;
+}
+
+/// Schema tag of the `policy` section inside reports and artifacts.
+pub const POLICY_SCHEMA: &str = "cb-policy/v1";
+
+/// Serializes a recorded policy store's summary: scenario, entry count, and
+/// the content id that doubles as the on-disk checksum — enough for CI to
+/// assert cross-worker determinism without embedding every entry.
+pub fn policy_json(store: &cb_policy::PolicyStore) -> Json {
+    Json::obj()
+        .with("schema", POLICY_SCHEMA)
+        .with("scenario", store.scenario())
+        .with("entries", store.len() as u64)
+        // Decimal string: content ids use the full u64 range, beyond the
+        // f64-backed JSON number type's 2^53.
+        .with("content_id", store.content_id().to_string())
 }
 
 /// Helper: capture the last trace lines of a sim (used by scenarios that

@@ -41,6 +41,14 @@ pub struct KvCampaign {
     /// round — the deliberately unsound arm that the linearizability
     /// oracle exists to catch.
     pub unsafe_reads: bool,
+    /// Warm-start every node's resolver from this cross-run policy store
+    /// (switches the fleet from `RandomResolver` to the ladder). Loaded by
+    /// `campaign --policy`.
+    pub policy: Option<std::sync::Arc<cb_policy::PolicyStore>>,
+    /// Record fresh-lookahead decisions into a policy store attached to
+    /// the report (switches to the ladder). Driven by
+    /// `campaign --record-policy`.
+    pub record_policy: bool,
 }
 
 impl Default for KvCampaign {
@@ -53,6 +61,8 @@ impl Default for KvCampaign {
             horizon: SimTime::from_secs(180),
             storm: false,
             unsafe_reads: false,
+            policy: None,
+            record_policy: false,
         }
     }
 }
@@ -121,6 +131,14 @@ impl Scenario for KvCampaign {
         let keys = self.keys;
         let unsafe_reads = self.unsafe_reads;
         let group_clone = group.clone();
+        let ladder = self.policy.is_some() || self.record_policy;
+        let policy = self.policy.clone();
+        let recorder = self.record_policy.then(|| {
+            std::sync::Arc::new(std::sync::Mutex::new(cb_policy::PolicyStore::new(
+                self.name(),
+            )))
+        });
+        let rec_for_nodes = recorder.clone();
         let mut sim: Sim<RuntimeNode<KvNode>> = Sim::new(topo, seed, move |id| {
             let svc = if (id.0 as usize) < replicas {
                 KvNode::Replica(Replica::new(id, group_clone.clone(), unsafe_reads))
@@ -129,10 +147,21 @@ impl Scenario for KvCampaign {
             } else {
                 KvNode::Idle
             };
+            let resolver: Box<dyn cb_core::choice::Resolver> = if ladder {
+                let mut l = cb_core::resolve::ladder::LadderResolver::new();
+                if let Some(store) = &policy {
+                    l = l.with_policy(store.clone());
+                }
+                if let Some(rec) = &rec_for_nodes {
+                    l = l.recording_into(rec.clone());
+                }
+                Box::new(l)
+            } else {
+                Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 24)))
+            };
             RuntimeNode::new(
                 svc,
-                RuntimeConfig::new(Box::new(RandomResolver::new(seed ^ ((id.0 as u64) << 24))))
-                    .controller_every(SimDuration::from_secs(5)),
+                RuntimeConfig::new(resolver).controller_every(SimDuration::from_secs(5)),
             )
         });
         for i in 0..self.node_count() as u32 {
@@ -167,8 +196,20 @@ impl Scenario for KvCampaign {
         ];
         // Replica ticks and session sweeps re-arm forever; skip the
         // quiescence oracle.
-        RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
-            .with_telemetry(fleet_telemetry(&sim))
+        let mut report = RunReport::from_sim_quiescence(
+            self.name(),
+            seed,
+            plan,
+            &sim,
+            self.horizon,
+            verdicts,
+            false,
+        )
+        .with_telemetry(fleet_telemetry(&sim));
+        if let Some(rec) = recorder {
+            report = report.with_policy(rec.lock().expect("policy recorder poisoned").clone());
+        }
+        report
     }
 }
 

@@ -1,0 +1,163 @@
+//! Cross-run policy store contracts on the replicated KV.
+//!
+//! Three pins:
+//!
+//! * **Training determinism** — a `--record-policy` sweep merges per-seed
+//!   stores with a commutative, associative, idempotent rule, so the
+//!   recorded pile is byte-identical whether 1, 2, 4, or 8 workers claim
+//!   the seeds.
+//! * **Warm transparency** — a run warm-started from a store trained on
+//!   the same seed resolves every decision to the same option key, so the
+//!   whole-system trace fingerprint is *identical* to the recording run's,
+//!   while `core.policy.hits` shows the lookaheads that were skipped.
+//! * **Provenance** — a store-served decision is visible in the flight
+//!   recorder: its `decide:kv.read_replica` span carries the
+//!   `policy = hit` attribute, and when the unsafe-read arm turns that
+//!   memoized routing into a stale read, `blame` walks from the
+//!   linearizability violation back to exactly that store-served span.
+
+use cb_harness::prelude::*;
+use cb_kv::KvCampaign;
+use cb_trace::{blame, SpanKind};
+use std::sync::Arc;
+
+#[test]
+fn recorded_policy_store_is_worker_invariant() {
+    let mut ids = Vec::new();
+    let mut bytes = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let scenario = KvCampaign {
+            record_policy: true,
+            ..KvCampaign::default()
+        };
+        let cfg = CampaignConfig {
+            seeds: 4,
+            workers,
+            check_determinism: false,
+            shrink: false,
+            artifact_dir: None,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&scenario, &cfg);
+        assert!(out.all_passed(), "{}", out.summary_line());
+        let store = out.policy.expect("recording sweep attaches a store");
+        assert!(!store.is_empty(), "nothing recorded");
+        ids.push(store.content_id());
+        bytes.push(store.to_bytes());
+    }
+    assert!(
+        ids.windows(2).all(|w| w[0] == w[1]),
+        "content ids diverged across worker counts: {ids:?}"
+    );
+    assert!(
+        bytes.windows(2).all(|w| w[0] == w[1]),
+        "serialized stores diverged across worker counts"
+    );
+}
+
+#[test]
+fn warm_run_is_decision_identical_to_the_recording_run() {
+    // Fault-free on purpose: under fault-degraded health the cold ladder
+    // answers from its heuristic rungs (which are never recorded), while a
+    // warm store hit keeps serving the healthy-lookahead answer — so exact
+    // decision equivalence is a healthy-path contract.
+    const SEED: u64 = 3;
+    let cold = KvCampaign {
+        record_policy: true,
+        ..KvCampaign::default()
+    };
+    let plan = FaultPlan::none();
+    let cold_report = cold.run(SEED, &plan);
+    assert!(!cold_report.violated(), "{:?}", cold_report.verdicts);
+    let store = Arc::new(cold_report.policy.clone().expect("store recorded"));
+
+    let warm = KvCampaign {
+        policy: Some(store),
+        ..KvCampaign::default()
+    };
+    let warm_report = warm.run(SEED, &plan);
+    assert!(!warm_report.violated(), "{:?}", warm_report.verdicts);
+    // Warm ≡ cold resolved keys ⇒ the same messages flow at the same sim
+    // times ⇒ the whole-system fingerprints agree exactly.
+    assert_eq!(
+        cold_report.fingerprint, warm_report.fingerprint,
+        "store-backed resolution changed a decision"
+    );
+    let t = &warm_report.telemetry;
+    assert!(
+        t.counter("core.policy.hits") > 0,
+        "store never served a hit"
+    );
+    assert_eq!(
+        t.counter("core.policy.stale"),
+        0,
+        "deterministic run went stale"
+    );
+
+    // Replay contract on the warm arm itself: byte-identical masked
+    // provenance across reruns with the store loaded.
+    let warm_again = warm.run(SEED, &plan);
+    assert_eq!(warm_report.fingerprint, warm_again.fingerprint);
+    assert_eq!(
+        warm_report.provenance_masked_json().to_string_pretty(),
+        warm_again.provenance_masked_json().to_string_pretty()
+    );
+}
+
+/// Seed-exact regression: the fault-free-trained store memoizes both the
+/// leader nomination and the read routing onto replica 0. Crash-restarting
+/// replica 0 mid-run leaves it a recovering amnesiac with an empty store —
+/// and with the memoized nomination pointing at a replica that cannot vote,
+/// no new leader seats to sync it. The unsafe-read arm keeps answering from
+/// that empty local store, so reads of committed pre-crash writes return
+/// the initial value: the linearizability oracle fires, and `blame` walks
+/// the violation back to a `decide:kv.read_replica` span whose provenance
+/// says the policy store served it.
+#[test]
+fn warm_blame_walk_reaches_a_store_served_read_decision() {
+    const SEED: u64 = 2;
+    let trainer = KvCampaign {
+        record_policy: true,
+        ..KvCampaign::default()
+    };
+    let train_report = trainer.run(SEED, &FaultPlan::none());
+    assert!(!train_report.violated(), "{:?}", train_report.verdicts);
+    let store = Arc::new(train_report.policy.clone().expect("store recorded"));
+
+    let warm = KvCampaign {
+        policy: Some(store),
+        unsafe_reads: true,
+        ..KvCampaign::default()
+    };
+    let plan = FaultPlan::none().crash(0, 6_000).restart(0, 8_000);
+    let r = warm.run(SEED, &plan);
+    assert!(
+        r.failing_oracles().contains(&"kv.linearizable"),
+        "expected the memoized unguarded read to go stale: {:?}",
+        r.verdicts
+    );
+    assert!(
+        r.telemetry.counter("core.policy.hits") > 0,
+        "store never served a hit"
+    );
+
+    let violation = r
+        .provenance
+        .iter()
+        .find(|sp| sp.kind == SpanKind::Violation && sp.name == "kv.linearizable")
+        .expect("violation span present");
+    let chain = blame(&r.provenance, violation.id).expect("violation resolvable");
+    let read_pick = chain
+        .chain
+        .iter()
+        .find(|sp| sp.kind == SpanKind::Decision && sp.name == "decide:kv.read_replica")
+        .expect("blame chain contains a kv.read_replica decision");
+    assert!(
+        read_pick
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "policy" && v == "hit"),
+        "decision span lacks the store-served provenance attribute: {:?}",
+        read_pick.attrs
+    );
+}

@@ -69,6 +69,13 @@ pub struct RandTreeCampaign {
     /// the crash/restart churn. Everything still heals well before the
     /// horizon, so the oracles must hold.
     pub storm: bool,
+    /// Warm-start every node's ladder from this cross-run policy store
+    /// (forces the [`LadderResolver`] arm). Loaded by `campaign --policy`.
+    pub policy: Option<std::sync::Arc<cb_policy::PolicyStore>>,
+    /// Record every fresh-lookahead decision into a policy store attached
+    /// to the report (forces the [`LadderResolver`] arm). Driven by
+    /// `campaign --record-policy`.
+    pub record_policy: bool,
 }
 
 impl Default for RandTreeCampaign {
@@ -81,6 +88,8 @@ impl Default for RandTreeCampaign {
             ladder: false,
             deadline_states: 0,
             storm: false,
+            policy: None,
+            record_policy: false,
         }
     }
 }
@@ -138,12 +147,26 @@ impl Scenario for RandTreeCampaign {
         let nodes = self.nodes;
         let lookahead = self.lookahead;
         let evalcache = self.evalcache;
-        let ladder = self.ladder;
+        let ladder = self.ladder || self.policy.is_some() || self.record_policy;
         let deadline = self.deadline_states;
+        let policy = self.policy.clone();
+        let recorder = self.record_policy.then(|| {
+            std::sync::Arc::new(std::sync::Mutex::new(cb_policy::PolicyStore::new(
+                self.name(),
+            )))
+        });
+        let rec_for_nodes = recorder.clone();
         let mut sim: Sim<RuntimeNode<ChoiceRandTree>> = Sim::new(topo, seed, move |id| {
             let delay = SimDuration::from_millis(400) * (id.0 as u64 + 1);
             let resolver: Box<dyn Resolver> = if ladder {
-                Box::new(LadderResolver::new())
+                let mut l = LadderResolver::new();
+                if let Some(store) = &policy {
+                    l = l.with_policy(store.clone());
+                }
+                if let Some(rec) = &rec_for_nodes {
+                    l = l.recording_into(rec.clone());
+                }
+                Box::new(l)
             } else if lookahead {
                 Box::new(LookaheadResolver::new())
             } else {
@@ -192,8 +215,20 @@ impl Scenario for RandTreeCampaign {
         ];
         // The runtime's controller timer re-arms forever, so RuntimeNode
         // scenarios never quiesce; skip the generic quiescence oracle.
-        RunReport::from_sim_quiescence(self.name(), seed, plan, &sim, self.horizon, verdicts, false)
-            .with_telemetry(fleet_telemetry(&sim))
+        let mut report = RunReport::from_sim_quiescence(
+            self.name(),
+            seed,
+            plan,
+            &sim,
+            self.horizon,
+            verdicts,
+            false,
+        )
+        .with_telemetry(fleet_telemetry(&sim));
+        if let Some(rec) = recorder {
+            report = report.with_policy(rec.lock().expect("policy recorder poisoned").clone());
+        }
+        report
     }
 }
 

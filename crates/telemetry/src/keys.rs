@@ -94,10 +94,25 @@ pub const CORE_GOVERNOR_CAUSE_DEADLINE: &str = "core.governor.cause_deadline";
 pub const CORE_LADDER_RUNG_LOOKAHEAD: &str = "core.ladder.rung_lookahead";
 /// Decisions the ladder resolved on the cached-lookahead rung (rung 1).
 pub const CORE_LADDER_RUNG_CACHED: &str = "core.ladder.rung_cached";
-/// Decisions the ladder resolved on the feature-heuristic rung (rung 2).
+/// Decisions the ladder resolved on the precomputed-table rung (rung 2) —
+/// store-served warm hits.
+pub const CORE_LADDER_RUNG_PRECOMPUTED: &str = "core.ladder.rung_precomputed";
+/// Decisions the ladder resolved on the learned-bandit rung (rung 3).
+pub const CORE_LADDER_RUNG_LEARNED: &str = "core.ladder.rung_learned";
+/// Decisions the ladder resolved on the feature-heuristic rung (rung 4).
 pub const CORE_LADDER_RUNG_HEURISTIC: &str = "core.ladder.rung_heuristic";
-/// Decisions the ladder resolved on the static-safe-default rung (rung 3).
+/// Decisions the ladder resolved on the static-safe-default rung (rung 5).
 pub const CORE_LADDER_RUNG_STATIC: &str = "core.ladder.rung_static";
+/// Decisions answered from the cross-run policy store.
+pub const CORE_POLICY_HITS: &str = "core.policy.hits";
+/// Decisions a loaded policy store could not answer (no entry, or the
+/// stored option key was not among the offered options).
+pub const CORE_POLICY_MISSES: &str = "core.policy.misses";
+/// Governor-gated refresh checks whose fresh lookahead disagreed with the
+/// stored entry — staleness caught and the fresh answer served.
+pub const CORE_POLICY_STALE: &str = "core.policy.stale";
+/// Decisions recorded into a policy store being trained this run.
+pub const CORE_POLICY_INSERTS: &str = "core.policy.inserts";
 /// Controller (background prediction) cycles executed.
 pub const CORE_CONTROLLER_CYCLES: &str = "core.controller.cycles";
 /// Checkpoints sent to neighbors.
@@ -194,8 +209,14 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_GOVERNOR_CAUSE_DEADLINE,
         CORE_LADDER_RUNG_LOOKAHEAD,
         CORE_LADDER_RUNG_CACHED,
+        CORE_LADDER_RUNG_PRECOMPUTED,
+        CORE_LADDER_RUNG_LEARNED,
         CORE_LADDER_RUNG_HEURISTIC,
         CORE_LADDER_RUNG_STATIC,
+        CORE_POLICY_HITS,
+        CORE_POLICY_MISSES,
+        CORE_POLICY_STALE,
+        CORE_POLICY_INSERTS,
         CORE_CONTROLLER_CYCLES,
         CORE_CHECKPOINTS_SENT,
         CORE_CHECKPOINTS_RECEIVED,

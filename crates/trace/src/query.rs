@@ -122,6 +122,7 @@ pub fn explain(spans: &[Span], id: SpanId) -> Option<String> {
         "governor.cause",
         "ladder.rung",
         "ladder.rungs_skipped",
+        "policy",
         "verdict",
         "evalcache.hits",
         "evalcache.misses",
