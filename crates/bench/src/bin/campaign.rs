@@ -5,7 +5,7 @@
 //!          [--workers N] [--no-shrink] [--no-determinism] [--out DIR]
 //!          [--telemetry] [--lookahead] [--no-evalcache]
 //!          [--storm] [--ladder] [--deadline STATES] [--chrome]
-//!          [--nodes N] [--unsafe-reads]
+//!          [--nodes N] [--unsafe-reads] [--workload PROFILE]
 //!          [--record-policy PILE.cbp] [--policy PILE.cbp]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
@@ -48,6 +48,16 @@
 //! ladders from it, so store-hits skip lookahead entirely (watch
 //! `core.policy.hits` in `--telemetry` artifacts). The two flags compose:
 //! load-and-re-record refreshes a pile in place.
+//! `--workload PROFILE` drives the sweep with an open-loop aggregate
+//! client population (`steady`, `flash`, `flash-off`, `million`): the kv
+//! scenario gains a generator node, profile-driven admission control and
+//! bounded retries, and the goodput-floor + metastability oracles; mencius
+//! is driven through its consensus entry point; the remaining protocols
+//! run harder via the profile's scale hint. Composes with `--storm` /
+//! `--unsafe-reads` / the policy flags on the KV family (other arm flags
+//! still apply to their own scenarios). The `flash-off` profile is the
+//! deliberately unprotected arm — a sweep with it is *expected* to exit 1
+//! with a metastability detection.
 //! `--chrome` additionally writes `<artifact>.chrome.json` next to every
 //! failure artifact — Chrome trace-event JSON of the run's provenance tail,
 //! loadable at `ui.perfetto.dev` (use the `trace` binary for ad-hoc
@@ -67,12 +77,14 @@ fn usage() -> ! {
          \x20               [--workers N] [--no-shrink] [--no-determinism] [--out DIR]\n\
          \x20               [--telemetry] [--lookahead] [--no-evalcache]\n\
          \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
-         \x20               [--nodes N] [--unsafe-reads]\n\
+         \x20               [--nodes N] [--unsafe-reads] [--workload PROFILE]\n\
          \x20               [--record-policy PILE.cbp] [--policy PILE.cbp]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
-         scenarios: {}",
-        scenario_names().join(", ")
+         scenarios: {}\n\
+         workload profiles: {}",
+        scenario_names().join(", "),
+        cb_workload::WorkloadProfile::names().join(", ")
     );
     std::process::exit(2);
 }
@@ -92,6 +104,7 @@ fn main() {
     let mut nodes: Option<usize> = None;
     let mut record_policy: Option<PathBuf> = None;
     let mut policy_path: Option<PathBuf> = None;
+    let mut workload: Option<cb_workload::WorkloadProfile> = None;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -160,6 +173,18 @@ fn main() {
                 record_policy = Some(PathBuf::from(need(&args, &mut i, "--record-policy")))
             }
             "--policy" => policy_path = Some(PathBuf::from(need(&args, &mut i, "--policy"))),
+            "--workload" => {
+                let name = need(&args, &mut i, "--workload");
+                workload = Some(cb_workload::WorkloadProfile::by_name(&name).unwrap_or_else(
+                    || {
+                        eprintln!(
+                            "unknown workload profile '{name}' (profiles: {})",
+                            cb_workload::WorkloadProfile::names().join(", ")
+                        );
+                        usage();
+                    },
+                ));
+            }
             "--nodes" => {
                 nodes = Some(need(&args, &mut i, "--nodes").parse().unwrap_or_else(|_| {
                     eprintln!("--nodes wants a fleet size");
@@ -213,13 +238,28 @@ fn main() {
         // sweep used and the same overrides are applied here, so arm
         // artifacts round-trip: `--replay ART --unsafe-reads`.
         match artifact.scenario.as_str() {
-            "kv" if unsafe_reads || storm || policy_on => {
+            "kv" if unsafe_reads || storm || policy_on || workload.is_some() => {
                 scenario = Box::new(cb_kv::KvCampaign {
                     storm,
                     unsafe_reads,
                     policy: store_for("kv"),
+                    workload: workload.clone(),
                     ..Default::default()
                 })
+            }
+            "mencius" if storm || workload.is_some() => {
+                scenario = Box::new(cb_paxos::MenciusCampaign {
+                    storm,
+                    workload: workload.clone(),
+                    ..Default::default()
+                })
+            }
+            name if workload.is_some() => {
+                if let Some(armed) =
+                    cb_bench::registry::workload_arm(name, workload.as_ref().unwrap())
+                {
+                    scenario = armed;
+                }
             }
             "randtree"
                 if lookahead || !evalcache || storm || ladder || deadline > 0 || policy_on =>
@@ -361,6 +401,70 @@ fn main() {
         if !touched {
             eprintln!("--nodes applies to the gossip and dissem scenarios");
             usage();
+        }
+    }
+    if let Some(p) = &workload {
+        // The open-loop workload arm. The KV family composes with the arm
+        // flags above (storm/unsafe-reads/policy); the scale-driven
+        // scenarios take the registry's workload arm, with --nodes
+        // re-applied where it overlaps.
+        for slot in scenarios.iter_mut() {
+            match slot.name() {
+                "kv" => {
+                    *slot = Box::new(cb_kv::KvCampaign {
+                        storm,
+                        unsafe_reads,
+                        policy: store_for("kv"),
+                        record_policy: record_policy.is_some(),
+                        workload: Some(p.clone()),
+                        ..Default::default()
+                    });
+                }
+                "mencius" => {
+                    *slot = Box::new(cb_paxos::MenciusCampaign {
+                        storm,
+                        workload: Some(p.clone()),
+                        ..Default::default()
+                    });
+                }
+                "gossip" => {
+                    let d = cb_gossip::GossipCampaign::default();
+                    *slot = Box::new(cb_gossip::GossipCampaign {
+                        nodes: nodes.unwrap_or(d.nodes),
+                        rumors: d.rumors * p.scale_hint(),
+                        ladder,
+                        storm,
+                        ..d
+                    });
+                }
+                "dissem" => {
+                    let d = cb_dissem::SwarmCampaign::default();
+                    *slot = Box::new(cb_dissem::SwarmCampaign {
+                        peers: nodes.unwrap_or(d.peers),
+                        blocks: d.blocks * p.scale_hint(),
+                        ..d
+                    });
+                }
+                "randtree" => {
+                    let d = cb_randtree::RandTreeCampaign::default();
+                    *slot = Box::new(cb_randtree::RandTreeCampaign {
+                        nodes: d.nodes * p.scale_hint() as usize,
+                        lookahead,
+                        evalcache,
+                        ladder,
+                        deadline_states: deadline,
+                        storm,
+                        policy: store_for("randtree"),
+                        record_policy: record_policy.is_some(),
+                        ..d
+                    });
+                }
+                name => {
+                    if let Some(armed) = cb_bench::registry::workload_arm(name, p) {
+                        *slot = armed;
+                    }
+                }
+            }
         }
     }
 

@@ -1,0 +1,115 @@
+//! The overload-survival throughput benchmark. Usage:
+//!
+//! ```text
+//! throughput [--quick] [--out PATH] [--seed N]
+//! ```
+//!
+//! Runs the open-loop workload arms — `steady`, `flash`, `flash-off` —
+//! over the replicated KV scenario and writes the offered/served/shed
+//! trajectory plus the governor's step-down/recovery record to `PATH`
+//! (default: `BENCH_throughput.json` at the current directory). The
+//! `flash-off` arm always runs its pinned metastability seed; `--seed`
+//! moves the surviving arms only. Keys suffixed `_wall` are machine-
+//! dependent; mask them before comparing artifacts.
+//!
+//! Exit status: 0 when the flash arm sheds, steps down, and recovers to
+//! rung 0, both protected arms clear their goodput floors, and the
+//! `flash-off` arm is flagged metastable (gates skipped under `--quick`,
+//! which also shortens the horizon — smoke coverage, not measurement);
+//! 1 on a gate failure, 2 on usage error.
+
+use cb_bench::throughput::{arm_plan, gate_failures, run_arm, to_json, WorkloadArmResult};
+use cb_simnet::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut seed = 11u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: throughput [--quick] [--out PATH] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // The full horizon matches the campaign default (offered load ends at
+    // 2/3, leaving a drain tail); quick keeps the flash window [40s, 70s)
+    // plus its 30s recovery window inside the run.
+    let horizon = if quick {
+        SimTime::from_secs(120)
+    } else {
+        SimTime::from_secs(180)
+    };
+
+    println!("overload survival: open-loop workload arms over the replicated KV");
+    println!(
+        "{:>10} {:>10} {:>10} {:>9} {:>8} {:>7} {:>6} {:>5} {:>11} {:>8}",
+        "profile",
+        "offered",
+        "served",
+        "goodput",
+        "shed",
+        "stepdn",
+        "recov",
+        "rung",
+        "metastable",
+        "secs"
+    );
+    let mut arms: Vec<WorkloadArmResult> = Vec::new();
+    for (profile, arm_seed) in arm_plan(seed) {
+        let a = run_arm(profile, arm_seed, horizon);
+        println!(
+            "{:>10} {:>10} {:>10} {:>9.3} {:>8} {:>7} {:>6} {:>5} {:>11} {:>8.2}",
+            a.profile,
+            a.offered,
+            a.served,
+            a.goodput(),
+            a.shed,
+            a.cause_load,
+            a.recoveries,
+            a.rung_final,
+            a.metastable,
+            a.wall_secs,
+        );
+        arms.push(a);
+    }
+
+    let json = to_json(&arms, seed, horizon, quick);
+    std::fs::write(&out, json.to_string_pretty() + "\n").expect("write bench artifact");
+    println!("wrote {out}");
+
+    if quick {
+        return;
+    }
+    let fails = gate_failures(&arms);
+    for f in &fails {
+        eprintln!("gate: {f}");
+    }
+    if !fails.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@ pub mod registry;
 pub mod simnet;
 pub mod steeringlab;
 pub mod table;
+pub mod throughput;
 
 pub use experiments::{all, Scale};
 pub use table::Table;

@@ -6,6 +6,7 @@
 
 use cb_harness::prelude::Scenario;
 use cb_harness::toy::RingScenario;
+use cb_workload::WorkloadProfile;
 
 /// All registered scenarios, in CLI listing order.
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
@@ -30,6 +31,57 @@ pub fn scenario_names() -> Vec<&'static str> {
     all_scenarios().iter().map(|s| s.name()).collect()
 }
 
+/// The named scenario configured for an open-loop workload arm
+/// (`campaign --workload`, the conformance sweeps). The replicated-KV
+/// family carries the full aggregate engine — kv with admission control
+/// and bounded retries, mencius through its consensus entry point — while
+/// the remaining protocols are driven harder through their existing entry
+/// points by the profile's scale hint (more rumors, blocks, commands, or
+/// participants). The ring toy has no load knob and runs stock.
+pub fn workload_arm(name: &str, profile: &WorkloadProfile) -> Option<Box<dyn Scenario>> {
+    let hint = profile.scale_hint();
+    match name {
+        "kv" => Some(Box::new(cb_kv::KvCampaign {
+            workload: Some(profile.clone()),
+            ..Default::default()
+        })),
+        "mencius" => Some(Box::new(cb_paxos::MenciusCampaign {
+            workload: Some(profile.clone()),
+            ..Default::default()
+        })),
+        "gossip" => {
+            let d = cb_gossip::GossipCampaign::default();
+            Some(Box::new(cb_gossip::GossipCampaign {
+                rumors: d.rumors * hint,
+                ..d
+            }))
+        }
+        "dissem" => {
+            let d = cb_dissem::SwarmCampaign::default();
+            Some(Box::new(cb_dissem::SwarmCampaign {
+                blocks: d.blocks * hint,
+                ..d
+            }))
+        }
+        "paxos" => {
+            let d = cb_paxos::PaxosCampaign::default();
+            Some(Box::new(cb_paxos::PaxosCampaign {
+                commands_per_client: d.commands_per_client * hint,
+                ..d
+            }))
+        }
+        "randtree" => {
+            let d = cb_randtree::RandTreeCampaign::default();
+            Some(Box::new(cb_randtree::RandTreeCampaign {
+                nodes: d.nodes * hint as usize,
+                ..d
+            }))
+        }
+        "ring" => Some(Box::new(RingScenario::default())),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +104,16 @@ mod tests {
             assert!(scenario_by_name(n).is_some(), "{n} not resolvable");
         }
         assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_a_workload_arm() {
+        let p = WorkloadProfile::by_name("steady").expect("steady profile");
+        for n in scenario_names() {
+            let arm = workload_arm(n, &p);
+            assert!(arm.is_some(), "{n} has no workload arm");
+            assert_eq!(arm.unwrap().name(), n, "workload arm renamed {n}");
+        }
+        assert!(workload_arm("nope", &p).is_none());
     }
 }

@@ -1,0 +1,358 @@
+//! The overload-survival throughput benchmark (`throughput` binary,
+//! `BENCH_throughput.json`).
+//!
+//! Drives the replicated KV scenario with the open-loop workload arms —
+//! `steady`, `flash`, and the deliberately unprotected `flash-off` — and
+//! records each arm's offered/served/shed trajectory together with the
+//! governor's response: load-cause step-downs, recoveries, the final
+//! fleet rung, and per-state dwell (sim-ns in Healthy/Degraded/Survival).
+//!
+//! Three properties are gated on every full run, not just reported:
+//!
+//! * **Step-down and recovery** — the flash arm must shed load, step the
+//!   governor down on the load signal at least once, recover at least
+//!   once, and end with every node back at rung 0 (Healthy).
+//! * **Goodput floor** — the admission-controlled arms must serve at
+//!   least their profile's floor fraction of offered requests.
+//! * **Metastability detection** — the `flash-off` arm (admission off,
+//!   unbounded retries) must be flagged metastable by the harness oracle
+//!   on its pinned seed; a silent pass means the detector broke.
+//!
+//! Wall-clock seconds are real measurements and vary by machine; every
+//! such key carries a `_wall` suffix so the determinism harness can mask
+//! them. Everything else in `BENCH_throughput.json` (counts, goodput,
+//! governor dwell, fingerprints) is a pure function of the seed and must
+//! be byte-identical across runs.
+
+use cb_harness::json::Json;
+use cb_harness::prelude::*;
+use cb_kv::KvCampaign;
+use cb_simnet::prelude::*;
+use cb_telemetry::keys;
+use cb_workload::WorkloadProfile;
+
+/// Per-state governor dwell across the fleet (from the merged single-
+/// sample-per-node histograms).
+#[derive(Clone, Debug, Default)]
+pub struct StateDwell {
+    /// Nodes that reported a dwell sample for this state.
+    pub nodes: u64,
+    /// Mean sim-ns per node.
+    pub mean_ns: f64,
+    /// Worst node's sim-ns.
+    pub max_ns: u64,
+}
+
+/// One measured workload arm.
+#[derive(Clone, Debug)]
+pub struct WorkloadArmResult {
+    /// Profile name (`steady`, `flash`, `flash-off`).
+    pub profile: &'static str,
+    /// Campaign seed for this arm.
+    pub seed: u64,
+    /// User requests offered by the generator.
+    pub offered: u64,
+    /// Send attempts, retries included.
+    pub attempts: u64,
+    /// Requests confirmed served within the deadline.
+    pub served: u64,
+    /// Requests admitted by the replicas.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests that expired in queue (wasted capacity).
+    pub expired: u64,
+    /// Requests scheduled for another attempt.
+    pub retries: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// Governor step-downs attributed to the load signal.
+    pub cause_load: u64,
+    /// Governor recoveries (any upward transition).
+    pub recoveries: u64,
+    /// Worst node's rung at the horizon (0 = whole fleet Healthy).
+    pub rung_final: i64,
+    /// Fleet dwell in each governor state.
+    pub healthy: StateDwell,
+    /// Fleet dwell in Degraded.
+    pub degraded: StateDwell,
+    /// Fleet dwell in Survival.
+    pub survival: StateDwell,
+    /// Whether the metastability oracle flagged the run.
+    pub metastable: bool,
+    /// Every failing oracle name (empty on a clean run).
+    pub failing: Vec<String>,
+    /// Engine events dispatched (the aggregate-flow cost of the run).
+    pub events: u64,
+    /// Run fingerprint (seed-exact).
+    pub fingerprint: u64,
+    /// Wall-clock seconds (machine-dependent).
+    pub wall_secs: f64,
+}
+
+impl WorkloadArmResult {
+    /// Served over offered (0 when nothing was offered).
+    pub fn goodput(&self) -> f64 {
+        if self.offered > 0 {
+            self.served as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Attempts per offered request — retry amplification.
+    pub fn amplification(&self) -> f64 {
+        if self.offered > 0 {
+            self.attempts as f64 / self.offered as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+fn dwell(reg: &cb_telemetry::Registry, key: &str) -> StateDwell {
+    reg.hist(key)
+        .map(|h| StateDwell {
+            nodes: h.count(),
+            mean_ns: h.mean(),
+            max_ns: h.max(),
+        })
+        .unwrap_or_default()
+}
+
+/// Runs one workload arm of the KV scenario, fault-free, and extracts its
+/// overload trajectory from the merged fleet telemetry.
+pub fn run_arm(profile: &'static str, seed: u64, horizon: SimTime) -> WorkloadArmResult {
+    let p = WorkloadProfile::by_name(profile).expect("registered workload profile");
+    let s = KvCampaign {
+        workload: Some(p),
+        horizon,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let r = s.run(seed, &FaultPlan::none());
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let t = &r.telemetry;
+    WorkloadArmResult {
+        profile,
+        seed,
+        offered: t.counter(keys::WORKLOAD_OFFERED),
+        attempts: t.counter(keys::WORKLOAD_ATTEMPTS),
+        served: t.counter(keys::WORKLOAD_SERVED),
+        admitted: t.counter(keys::WORKLOAD_ADMITTED),
+        shed: t.counter(keys::WORKLOAD_SHED),
+        expired: t.counter(keys::WORKLOAD_EXPIRED),
+        retries: t.counter(keys::WORKLOAD_RETRIES),
+        failed: t.counter(keys::WORKLOAD_FAILED),
+        cause_load: t.counter(keys::CORE_GOVERNOR_CAUSE_LOAD),
+        recoveries: t.counter(keys::CORE_GOVERNOR_RECOVERIES),
+        rung_final: t.gauge(keys::CORE_GOVERNOR_RUNG),
+        healthy: dwell(t, keys::CORE_GOVERNOR_HEALTHY_NS),
+        degraded: dwell(t, keys::CORE_GOVERNOR_DEGRADED_NS),
+        survival: dwell(t, keys::CORE_GOVERNOR_SURVIVAL_NS),
+        metastable: r
+            .failing_oracles()
+            .contains(&cb_harness::overload::METASTABLE_ORACLE),
+        failing: r
+            .failing_oracles()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        events: r.events_processed,
+        fingerprint: r.fingerprint,
+        wall_secs,
+    }
+}
+
+/// The three benchmark arms with their pinned seeds: the surviving arms
+/// run `base_seed`; the metastable arm runs the seed its detection is
+/// regression-pinned to (the same one `cb-kv`'s storm test uses).
+pub fn arm_plan(base_seed: u64) -> Vec<(&'static str, u64)> {
+    vec![
+        ("steady", base_seed),
+        ("flash", base_seed),
+        ("flash-off", 33),
+    ]
+}
+
+/// Gate failures over a full (non-quick) run; empty means all gates hold.
+pub fn gate_failures(arms: &[WorkloadArmResult]) -> Vec<String> {
+    let mut fails = Vec::new();
+    let arm = |name: &str| arms.iter().find(|a| a.profile == name);
+    if let Some(a) = arm("steady") {
+        if a.goodput() < 0.5 {
+            fails.push(format!(
+                "steady: goodput {:.2} under the 0.5 floor",
+                a.goodput()
+            ));
+        }
+        if a.rung_final != 0 {
+            fails.push(format!(
+                "steady: fleet at rung {} at the horizon",
+                a.rung_final
+            ));
+        }
+    }
+    if let Some(a) = arm("flash") {
+        if a.shed == 0 {
+            fails.push("flash: admission shed nothing under a 6x crowd".into());
+        }
+        if a.cause_load == 0 {
+            fails.push("flash: governor never stepped down on the load signal".into());
+        }
+        if a.recoveries == 0 {
+            fails.push("flash: governor never recovered after the crowd".into());
+        }
+        if a.rung_final != 0 {
+            fails.push(format!(
+                "flash: fleet stuck at rung {} at the horizon",
+                a.rung_final
+            ));
+        }
+        if a.goodput() < 0.33 {
+            fails.push(format!(
+                "flash: goodput {:.2} under the 0.33 floor",
+                a.goodput()
+            ));
+        }
+        if a.metastable {
+            fails.push("flash: protected arm flagged metastable".into());
+        }
+    }
+    if let Some(a) = arm("flash-off") {
+        if !a.metastable {
+            fails
+                .push("flash-off: unprotected arm not flagged metastable (detector broke?)".into());
+        }
+    }
+    fails
+}
+
+/// Serializes the benchmark into the `cb-bench-throughput/v1` schema (see
+/// EXPERIMENTS.md §E13 and README "Reading BENCH_throughput.json"). Keys
+/// with a `_wall` suffix are machine-dependent; everything else is
+/// seed-deterministic.
+pub fn to_json(arms: &[WorkloadArmResult], base_seed: u64, horizon: SimTime, quick: bool) -> Json {
+    let dwell_json = |d: &StateDwell| {
+        Json::obj()
+            .with("nodes", d.nodes)
+            .with("mean_sim_ns", d.mean_ns)
+            .with("max_sim_ns", d.max_ns)
+    };
+    let rows: Vec<Json> = arms
+        .iter()
+        .map(|a| {
+            Json::obj()
+                .with("profile", a.profile)
+                .with("seed", a.seed)
+                .with("offered", a.offered)
+                .with("attempts", a.attempts)
+                .with("served", a.served)
+                .with("admitted", a.admitted)
+                .with("shed", a.shed)
+                .with("expired", a.expired)
+                .with("retries", a.retries)
+                .with("failed", a.failed)
+                .with("goodput", a.goodput())
+                .with("amplification", a.amplification())
+                .with(
+                    "governor",
+                    Json::obj()
+                        .with("cause_load", a.cause_load)
+                        .with("recoveries", a.recoveries)
+                        .with("rung_final", a.rung_final.max(0) as u64)
+                        .with("in_healthy", dwell_json(&a.healthy))
+                        .with("in_degraded", dwell_json(&a.degraded))
+                        .with("in_survival", dwell_json(&a.survival)),
+                )
+                .with("metastable", a.metastable)
+                .with(
+                    "failing_oracles",
+                    a.failing.to_vec(),
+                )
+                .with("events", a.events)
+                .with("fingerprint", format!("{:#018x}", a.fingerprint))
+                .with("secs_wall", a.wall_secs)
+        })
+        .collect();
+    Json::obj()
+        .with("bench", "throughput")
+        .with("schema", "cb-bench-throughput/v1")
+        .with(
+            "unit",
+            "aggregate user requests per arm; governor dwell in sim-ns; \
+             fingerprints are seed-exact",
+        )
+        .with(
+            "config",
+            Json::obj()
+                .with("seed", base_seed)
+                .with("horizon_ms", horizon.as_nanos() / 1_000_000)
+                .with("quick", quick),
+        )
+        .with("arms", rows)
+        .with(
+            "summary",
+            Json::obj()
+                .with(
+                    "flash_recovered",
+                    arms.iter()
+                        .any(|a| a.profile == "flash" && a.recoveries >= 1 && a.rung_final == 0),
+                )
+                .with(
+                    "metastable_detected",
+                    arms.iter()
+                        .any(|a| a.profile == "flash-off" && a.metastable),
+                )
+                .with("goodput_gate_steady", 0.5)
+                .with("goodput_gate_flash", 0.33),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_arm_is_deterministic_and_json_is_well_formed() {
+        // Short horizon keeps this debug-mode cheap; the full horizons run
+        // in the binary (and in CI's perf smoke).
+        let horizon = SimTime::from_secs(120);
+        let a = run_arm("steady", 7, horizon);
+        let b = run_arm("steady", 7, horizon);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.served, b.served);
+        assert!(a.offered > 0, "open loop offered nothing");
+        let json = to_json(&[a], 7, horizon, true);
+        let text = json.to_string_pretty();
+        let back = Json::parse(&text).expect("bench artifact parses");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("cb-bench-throughput/v1")
+        );
+        let rows = back.get("arms").and_then(Json::as_array).expect("arms");
+        for row in rows {
+            for key in [
+                "profile",
+                "offered",
+                "served",
+                "goodput",
+                "governor",
+                "metastable",
+                "fingerprint",
+                "secs_wall",
+            ] {
+                assert!(row.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn gates_read_the_arm_fields() {
+        let mut a = run_arm("steady", 7, SimTime::from_secs(120));
+        assert!(gate_failures(std::slice::from_ref(&a)).is_empty(), "{a:?}");
+        a.served = 0;
+        assert!(!gate_failures(std::slice::from_ref(&a)).is_empty());
+    }
+}

@@ -23,8 +23,8 @@
 //! deliberately slower than degradation: stepping down late costs wasted
 //! prediction, stepping up early costs wrong predictions.
 
-use cb_simnet::time::SimDuration;
-use cb_telemetry::{keys, Registry};
+use cb_simnet::time::{SimDuration, SimTime};
+use cb_telemetry::{keys, Histogram, Registry};
 
 /// Coarse model-health level. Ordered: `Healthy < Degraded < Survival`
 /// (greater = worse), so `max` composes "worst of several signals".
@@ -82,9 +82,9 @@ impl Health {
 /// that it did.
 ///
 /// When several signals demand the same (worst) level the tie is broken by
-/// a fixed priority — staleness, then confidence, then steering, then
-/// deadline — matching the order [`DegradationGovernor::classify`] folds
-/// them in.
+/// a fixed priority — staleness, then confidence, then load, then
+/// steering, then deadline — matching the order
+/// [`DegradationGovernor::classify`] folds them in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PressureCause {
     /// No signal demanded worse than `Healthy`.
@@ -93,6 +93,8 @@ pub enum PressureCause {
     Staleness,
     /// Network-model peer confidence collapsed.
     Confidence,
+    /// Service-load backlog crossed a threshold.
+    Load,
     /// Steering-filter pressure crossed the threshold.
     Steering,
     /// The previous decision's prediction deadline fired.
@@ -106,6 +108,7 @@ impl PressureCause {
             PressureCause::None => "none",
             PressureCause::Staleness => "staleness",
             PressureCause::Confidence => "confidence",
+            PressureCause::Load => "load",
             PressureCause::Steering => "steering",
             PressureCause::Deadline => "deadline",
         }
@@ -130,6 +133,13 @@ pub struct HealthSignals {
     /// Whether the previous decision's prediction hit its deadline
     /// ([`EvalVerdict::Partial`](crate::choice::EvalVerdict::Partial)).
     pub deadline_fired: bool,
+    /// Normalized service-load backlog the node reported before this
+    /// decision (units of one drain interval's capacity: 1 means "one
+    /// interval behind"). 0 when the service reports no load.
+    pub load: u64,
+    /// Sim time of the observation; drives the time-in-state accounting.
+    /// `SimTime::ZERO` (the default) contributes no dwell time.
+    pub now: SimTime,
 }
 
 impl Default for HealthSignals {
@@ -139,6 +149,8 @@ impl Default for HealthSignals {
             min_peer_confidence: 1.0,
             steering_pressure: 0,
             deadline_fired: false,
+            load: 0,
+            now: SimTime::ZERO,
         }
     }
 }
@@ -157,6 +169,10 @@ pub struct GovernorConfig {
     /// Installed steering filters at/above which the node counts as
     /// `Degraded` (steering pressure alone never forces `Survival`).
     pub pressure_degraded: u64,
+    /// Normalized backlog at/above which the node counts as `Degraded`.
+    pub load_degraded: u64,
+    /// Normalized backlog at/above which the node counts as `Survival`.
+    pub load_survival: u64,
     /// Consecutive worse-pointing observations before stepping down one
     /// level.
     pub down_patience: u32,
@@ -173,6 +189,8 @@ impl Default for GovernorConfig {
             conf_degraded: 0.5,
             conf_survival: 0.1,
             pressure_degraded: 4,
+            load_degraded: 4,
+            load_survival: 16,
             down_patience: 2,
             up_patience: 8,
         }
@@ -205,8 +223,15 @@ pub struct DegradationGovernor {
     last_step_down_cause: PressureCause,
     step_downs_staleness: u64,
     step_downs_confidence: u64,
+    step_downs_load: u64,
     step_downs_steering: u64,
     step_downs_deadline: u64,
+    /// Sim time of the most recent observation (time-in-state clock).
+    last_observed: SimTime,
+    /// Sim-ns spent in each state, indexed by `Health::rung()`. The span
+    /// between two observations is charged to the state in force when it
+    /// started, so a node that never observes accrues nothing.
+    ns_in_state: [u64; 3],
 }
 
 impl DegradationGovernor {
@@ -227,8 +252,11 @@ impl DegradationGovernor {
             last_step_down_cause: PressureCause::None,
             step_downs_staleness: 0,
             step_downs_confidence: 0,
+            step_downs_load: 0,
             step_downs_steering: 0,
             step_downs_deadline: 0,
+            last_observed: SimTime::ZERO,
+            ns_in_state: [0; 3],
         }
     }
 
@@ -288,6 +316,11 @@ impl DegradationGovernor {
                 &mut cause,
             );
         }
+        if s.load >= self.cfg.load_survival {
+            fold(Health::Survival, PressureCause::Load, &mut h, &mut cause);
+        } else if s.load >= self.cfg.load_degraded {
+            fold(Health::Degraded, PressureCause::Load, &mut h, &mut cause);
+        }
         if s.steering_pressure >= self.cfg.pressure_degraded {
             fold(
                 Health::Degraded,
@@ -312,6 +345,11 @@ impl DegradationGovernor {
     /// a time, only after the classification has pointed the same way for
     /// `down_patience` / `up_patience` consecutive observations.
     pub fn observe(&mut self, signals: &HealthSignals) -> Health {
+        // Charge the span since the previous observation to the state that
+        // was in force across it, *before* any transition below.
+        let dwell = signals.now.saturating_since(self.last_observed);
+        self.ns_in_state[self.state.rung()] += dwell.as_nanos();
+        self.last_observed = self.last_observed.max(signals.now);
         let (target, cause) = self.classify_with_cause(signals);
         self.last_cause = cause;
         match target.cmp(&self.state) {
@@ -327,6 +365,7 @@ impl DegradationGovernor {
                     match cause {
                         PressureCause::Staleness => self.step_downs_staleness += 1,
                         PressureCause::Confidence => self.step_downs_confidence += 1,
+                        PressureCause::Load => self.step_downs_load += 1,
                         PressureCause::Steering => self.step_downs_steering += 1,
                         PressureCause::Deadline => self.step_downs_deadline += 1,
                         PressureCause::None => {}
@@ -383,6 +422,14 @@ impl DegradationGovernor {
         self.last_step_down_cause
     }
 
+    /// Sim-ns this node has spent in each health state, indexed by
+    /// [`Health::rung`]: `[healthy, degraded, survival]`. Only spans
+    /// between observations are charged; the tail after the last
+    /// observation is not.
+    pub fn sim_ns_in_state(&self) -> [u64; 3] {
+        self.ns_in_state
+    }
+
     /// Exports the governor counters under the `core.governor.*` keys
     /// (snapshot semantics: absolute sets, idempotent).
     pub fn export_metrics(&self, reg: &mut Registry) {
@@ -409,8 +456,25 @@ impl DegradationGovernor {
             keys::CORE_GOVERNOR_CAUSE_CONFIDENCE,
             self.step_downs_confidence,
         );
+        reg.set_counter(keys::CORE_GOVERNOR_CAUSE_LOAD, self.step_downs_load);
         reg.set_counter(keys::CORE_GOVERNOR_CAUSE_STEERING, self.step_downs_steering);
         reg.set_counter(keys::CORE_GOVERNOR_CAUSE_DEADLINE, self.step_downs_deadline);
+        // Current rung as a gauge: fleet merges keep the max, so a merged
+        // registry reports the worst node's health — what the
+        // metastability oracle reads.
+        reg.gauge_set(keys::CORE_GOVERNOR_RUNG, self.state.rung() as i64);
+        // Time-in-state: one single-sample histogram per state, replaced
+        // (not merged) on every export so repeated exports stay idempotent;
+        // fleet merges across nodes then yield the per-node distribution.
+        for (key, ns) in [
+            (keys::CORE_GOVERNOR_HEALTHY_NS, self.ns_in_state[0]),
+            (keys::CORE_GOVERNOR_DEGRADED_NS, self.ns_in_state[1]),
+            (keys::CORE_GOVERNOR_SURVIVAL_NS, self.ns_in_state[2]),
+        ] {
+            let mut h = Histogram::new();
+            h.record(ns);
+            reg.set_hist(key, &h);
+        }
     }
 }
 
@@ -590,6 +654,66 @@ mod tests {
             (Health::Degraded, PressureCause::Steering)
         );
         assert_eq!(PressureCause::Deadline.label(), "deadline");
+    }
+
+    #[test]
+    fn load_signal_classifies_and_trips_step_downs() {
+        let mut g = DegradationGovernor::default();
+        let backlog = |load: u64| HealthSignals {
+            load,
+            ..HealthSignals::default()
+        };
+        assert_eq!(g.classify(&backlog(3)), Health::Healthy);
+        assert_eq!(g.classify(&backlog(4)), Health::Degraded);
+        assert_eq!(g.classify(&backlog(16)), Health::Survival);
+        assert_eq!(
+            g.classify_with_cause(&backlog(20)),
+            (Health::Survival, PressureCause::Load)
+        );
+        // Confidence outranks load in the tie-break at equal severity.
+        let both = HealthSignals {
+            min_peer_confidence: 0.05,
+            load: 20,
+            ..HealthSignals::default()
+        };
+        assert_eq!(
+            g.classify_with_cause(&both),
+            (Health::Survival, PressureCause::Confidence)
+        );
+        g.observe(&backlog(8));
+        g.observe(&backlog(8));
+        assert_eq!(g.health(), Health::Degraded);
+        assert_eq!(g.last_step_down_cause(), PressureCause::Load);
+        let mut reg = Registry::new();
+        g.export_metrics(&mut reg);
+        assert_eq!(reg.counter(keys::CORE_GOVERNOR_CAUSE_LOAD), 1);
+        assert_eq!(PressureCause::Load.label(), "load");
+    }
+
+    #[test]
+    fn time_in_state_charges_dwell_to_the_state_in_force() {
+        let mut g = DegradationGovernor::default();
+        let at = |secs: u64, load: u64| HealthSignals {
+            load,
+            now: SimTime::from_secs(secs),
+            ..HealthSignals::default()
+        };
+        g.observe(&at(10, 0)); // 0..10 healthy
+        g.observe(&at(20, 99)); // 10..20 healthy; down streak 1
+        g.observe(&at(30, 99)); // 20..30 healthy; step to Degraded
+        g.observe(&at(45, 99)); // 30..45 degraded; down streak 1
+        g.observe(&at(50, 99)); // 45..50 degraded; step to Survival
+        g.observe(&at(60, 99)); // 50..60 survival
+        let ns = g.sim_ns_in_state();
+        assert_eq!(ns[0], SimDuration::from_secs(30).as_nanos());
+        assert_eq!(ns[1], SimDuration::from_secs(20).as_nanos());
+        assert_eq!(ns[2], SimDuration::from_secs(10).as_nanos());
+        let mut reg = Registry::new();
+        g.export_metrics(&mut reg);
+        g.export_metrics(&mut reg); // set_hist keeps this idempotent
+        let h = reg.hist(keys::CORE_GOVERNOR_DEGRADED_NS).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(reg.gauge(keys::CORE_GOVERNOR_RUNG), 2);
     }
 
     #[test]

@@ -161,6 +161,10 @@ pub struct LadderResolver {
     policy_misses: u64,
     policy_stale: u64,
     policy_inserts: u64,
+    /// Refresh lookaheads actually performed. Diverges from
+    /// `policy_hits / policy_refresh_every` exactly when the governor
+    /// suppressed refreshes under degradation.
+    policy_refreshes: u64,
     last_policy: PolicyDisposition,
 }
 
@@ -195,6 +199,7 @@ impl LadderResolver {
             policy_misses: 0,
             policy_stale: 0,
             policy_inserts: 0,
+            policy_refreshes: 0,
             last_policy: PolicyDisposition::Off,
         }
     }
@@ -246,6 +251,12 @@ impl LadderResolver {
             self.policy_stale,
             self.policy_inserts,
         )
+    }
+
+    /// Refresh lookaheads actually performed (suppressed while the
+    /// governor reports worse than `Healthy`).
+    pub fn policy_refreshes(&self) -> u64 {
+        self.policy_refreshes
     }
 
     /// Whether the next decision will be bumped a rung down because the
@@ -311,12 +322,18 @@ impl LadderResolver {
             return None;
         }
         self.policy_hits += 1;
+        // Governor-gated honesty check: only while Healthy is fresh
+        // lookahead trustworthy enough to arbitrate staleness — and under
+        // Degraded/Survival overload, refresh work is exactly the load we
+        // shed first. `base == 0` already implies Healthy with no deadline
+        // bump; the health check makes the gate explicit and keeps it if
+        // the chain mapping ever changes.
         let refresh_due = base == 0
+            && self.governor.health() == Health::Healthy
             && self.policy_refresh_every > 0
             && self.policy_hits.is_multiple_of(self.policy_refresh_every);
         if refresh_due {
-            // Governor-gated honesty check: only while Healthy is fresh
-            // lookahead trustworthy enough to arbitrate staleness.
+            self.policy_refreshes += 1;
             let fresh = self.lookahead.resolve(request, eval);
             self.last_prediction = self.lookahead.last_prediction();
             self.last_policy = if request.options[fresh].key != entry.chosen_key {
@@ -477,6 +494,7 @@ impl Resolver for LadderResolver {
         reg.set_counter(keys::CORE_POLICY_MISSES, self.policy_misses);
         reg.set_counter(keys::CORE_POLICY_STALE, self.policy_stale);
         reg.set_counter(keys::CORE_POLICY_INSERTS, self.policy_inserts);
+        reg.set_counter(keys::CORE_POLICY_REFRESH, self.policy_refreshes);
         self.governor.export_metrics(reg);
         // Both rungs 0 and 1 run lookahead evaluations; export the sum
         // rather than delegating (delegation would overwrite the shared
@@ -733,6 +751,48 @@ mod tests {
         assert_eq!(refreshes, 2, "every 16th hit re-checks the store");
         let (_, _, stale, _) = warm.policy_counters();
         assert_eq!(stale, 0, "deterministic evaluator never goes stale");
+    }
+
+    #[test]
+    fn refresh_is_suppressed_during_a_storm_and_resumes_on_recovery() {
+        let o = opts(4);
+        let req = ChoiceRequest::new("t", &o);
+        let store = Arc::new(train_store(&req, 1));
+        let mut warm = LadderResolver::new().with_policy(store);
+        // Storm: two bad observations step the governor to Degraded.
+        for _ in 0..2 {
+            warm.observe_health(&survival_signals());
+        }
+        assert_eq!(warm.health(), Health::Degraded);
+        // 20 hits cross the 16-hit cadence, but a panicking evaluator
+        // proves no refresh lookahead runs while degraded.
+        for _ in 0..20 {
+            warm.observe_health(&survival_signals());
+            let mut panicking = crate::choice::FnEvaluator(|_| {
+                panic!("degraded refresh must be suppressed");
+            });
+            warm.resolve(&req, &mut panicking);
+            assert_eq!(warm.last_policy(), PolicyDisposition::Hit);
+        }
+        assert_eq!(warm.policy_refreshes(), 0, "core.policy.refresh flat");
+        // Recovery: the storm pushed the governor all the way to Survival,
+        // so two up_patience streaks (Survival→Degraded→Healthy) are needed
+        // before the next cadence multiple refreshes again.
+        for _ in 0..16 {
+            warm.observe_health(&HealthSignals::default());
+        }
+        assert_eq!(warm.health(), Health::Healthy);
+        for _ in 0..16 {
+            warm.observe_health(&HealthSignals::default());
+            warm.resolve(&req, &mut RisingEval);
+        }
+        assert!(warm.policy_refreshes() >= 1, "refresh resumes on recovery");
+        let mut reg = Registry::new();
+        warm.export_metrics(&mut reg);
+        assert_eq!(
+            reg.counter(keys::CORE_POLICY_REFRESH),
+            warm.policy_refreshes()
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
 use cb_telemetry::{keys, Registry, Stopwatch};
 use cb_trace::{Span, SpanId, SpanKind};
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -246,6 +247,19 @@ struct RuntimeCore<M, C> {
     controller_cycles: u64,
     checkpoints_sent: u64,
     checkpoints_received: u64,
+    /// Latest service-reported load (normalized backlog, in units of
+    /// work-per-drain-interval). Folded into every decision's
+    /// [`crate::governor::HealthSignals`] so overload can step the
+    /// governor down even when models stay fresh.
+    reported_load: u64,
+    /// Service-owned counters ([`ServiceCtx::count`]): absolute totals
+    /// keyed by pre-registered telemetry names, exported idempotently in
+    /// [`RuntimeNode::telemetry`].
+    service_counters: BTreeMap<&'static str, u64>,
+    /// Attrs queued by the service ([`ServiceCtx::decision_attr`]) for the
+    /// *next* decision span — lets handlers label the decision they are
+    /// about to expose (e.g. `workload=flash`).
+    pending_attrs: Vec<(String, String)>,
     /// Hot-path telemetry: every standard key (and the resolver-arm
     /// counter below) is pre-registered in [`RuntimeNode::new`], so
     /// per-decision updates never allocate.
@@ -288,6 +302,9 @@ impl<S: Service> RuntimeNode<S> {
                 controller_cycles: 0,
                 checkpoints_sent: 0,
                 checkpoints_received: 0,
+                reported_load: 0,
+                service_counters: BTreeMap::new(),
+                pending_attrs: Vec::new(),
                 telemetry,
                 arm_key,
             },
@@ -354,6 +371,9 @@ impl<S: Service> RuntimeNode<S> {
         reg.set_counter(keys::CORE_STEERING_FIRED, self.core.steering.fired);
         reg.set_counter(keys::CORE_STEERING_EXPIRED, self.core.steering.expired);
         reg.set_counter(keys::CORE_STEERING_REMOVED, self.core.steering.removed);
+        for (key, total) in &self.core.service_counters {
+            reg.set_counter(key, *total);
+        }
         self.core.resolver.export_metrics(&mut reg);
         reg
     }
@@ -361,6 +381,20 @@ impl<S: Service> RuntimeNode<S> {
     fn run_controller(&mut self, ctx: &mut SimCtx<'_, Envelope<S::Msg, S::Checkpoint>>) {
         self.core.controller_cycles += 1;
         let now = ctx.now();
+        // Keep the resolver's degradation governor observing between
+        // decisions: a node that stops choosing while overloaded (or
+        // after load vanishes) must still step down — and, crucially,
+        // climb back to Healthy — on the controller cadence.
+        self.core
+            .resolver
+            .observe_health(&crate::governor::HealthSignals {
+                snapshot_staleness: self.core.state_model.oldest_age(now),
+                min_peer_confidence: 1.0,
+                steering_pressure: self.core.steering.active() as u64,
+                deadline_fired: false,
+                load: self.core.reported_load,
+                now,
+            });
         // 1. Ship a fresh checkpoint to the neighborhood.
         let cp = self.service.checkpoint(&self.core.state_model);
         for peer in self.service.neighbors() {
@@ -762,6 +796,8 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             min_peer_confidence: min_conf,
             steering_pressure: self.core.steering.active() as u64,
             deadline_fired: false,
+            load: self.core.reported_load,
+            now,
         };
         self.core.resolver.observe_health(&signals);
         // Tap per-option predictions for the decision's provenance span.
@@ -843,6 +879,7 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
         ));
         attrs.push(("evalcache.hits".into(), cache_hits.to_string()));
         attrs.push(("evalcache.misses".into(), cache_misses.to_string()));
+        attrs.append(&mut self.core.pending_attrs);
         self.core.resolver.decision_attrs(&mut attrs);
         let at_ns = self.net.now_ns();
         let cause: Vec<SpanId> = self.net.cause().into_iter().collect();
@@ -866,6 +903,43 @@ impl<'a, 'b, M: Clone + Debug + 'static, C: Clone + Debug + 'static> ServiceCtx<
             prediction,
         });
         chosen
+    }
+
+    /// Reports the service's current load to the runtime as a normalized
+    /// backlog (units of work-per-drain-interval; 0 = idle). The value is
+    /// folded into every subsequent decision's
+    /// [`crate::governor::HealthSignals`], so sustained overload steps a
+    /// health-aware resolver's governor down even while the models stay
+    /// fresh — and its removal lets the governor climb back up.
+    pub fn report_load(&mut self, normalized_backlog: u64) {
+        self.core.reported_load = normalized_backlog;
+    }
+
+    /// The most recently reported service load (see [`Self::report_load`]).
+    pub fn reported_load(&self) -> u64 {
+        self.core.reported_load
+    }
+
+    /// Adds `delta` to a service-owned telemetry counter. Totals are
+    /// exported idempotently by [`RuntimeNode::telemetry`] and therefore
+    /// sum across the fleet under [`Registry::merge`]. `key` should be a
+    /// pre-registered standard key (e.g. the `workload.*` family) so
+    /// masked-telemetry digests keep a stable key set.
+    pub fn count(&mut self, key: &'static str, delta: u64) {
+        *self.core.service_counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Reads back a service-owned counter total (see [`Self::count`]).
+    pub fn counted(&self, key: &'static str) -> u64 {
+        self.core.service_counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Queues an attribute for the *next* decision span this handler
+    /// opens via [`Self::choose`] / [`Self::choose_with`] — e.g.
+    /// `workload=flash` on an admission decision, so blame walks can
+    /// filter decisions by the traffic regime that forced them.
+    pub fn decision_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.core.pending_attrs.push((key.into(), value.into()));
     }
 
     /// Reports the realized reward of a past decision (learned resolvers

@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod json;
 pub mod linearizability;
 pub mod oracle;
+pub mod overload;
 pub mod plan;
 pub mod provenance;
 pub mod scenario;

@@ -1,0 +1,107 @@
+//! Overload-survival oracles for open-loop workload arms.
+//!
+//! Both read the run's merged fleet telemetry (the registry a campaign
+//! embeds in its artifact), so they apply to any scenario that counts the
+//! `workload.*` family and runs health-aware resolvers:
+//!
+//! * [`goodput_floor`] — shedding load is only acceptable if the fleet
+//!   keeps *serving*: successful throughput must not collapse below a
+//!   configured fraction of offered load.
+//! * [`metastability`] — the retry-storm / congestion-collapse detector:
+//!   once offered load is gone, the fleet must return to Healthy within a
+//!   bounded window. A governor still degraded at the horizon means the
+//!   system sustains its own overload (classic metastable failure).
+
+use crate::oracle::OracleVerdict;
+use cb_simnet::time::{SimDuration, SimTime};
+use cb_telemetry::{keys, Registry};
+
+/// Name of the goodput-floor oracle.
+pub const GOODPUT_ORACLE: &str = "workload.goodput_floor";
+/// Name of the metastability oracle.
+pub const METASTABLE_ORACLE: &str = "workload.metastable";
+
+/// Served throughput must stay at or above `floor * offered`. Reads the
+/// fleet-summed `workload.served` / `workload.offered` counters.
+pub fn goodput_floor(fleet: &Registry, floor: f64) -> OracleVerdict {
+    let offered = fleet.counter(keys::WORKLOAD_OFFERED);
+    let served = fleet.counter(keys::WORKLOAD_SERVED);
+    if offered == 0 {
+        return OracleVerdict::pass(GOODPUT_ORACLE, "no offered load");
+    }
+    let frac = served as f64 / offered as f64;
+    OracleVerdict::check(
+        GOODPUT_ORACLE,
+        frac >= floor,
+        format!("served {served}/{offered} offered = {frac:.3} (floor {floor:.2})"),
+    )
+}
+
+/// After the overload source ends at `quiet_after`, the fleet must be back
+/// to Healthy within `recovery_window`. The check reads the merged
+/// `core.governor.rung` gauge — fleet merge keeps the *max*, i.e. the
+/// worst node's final health — plus the time-in-state histograms for the
+/// failure detail. `horizon` is the run's end time; the run must extend
+/// past the recovery deadline for the verdict to be meaningful.
+pub fn metastability(
+    fleet: &Registry,
+    quiet_after: SimTime,
+    recovery_window: SimDuration,
+    horizon: SimTime,
+) -> OracleVerdict {
+    let deadline = quiet_after.saturating_add(recovery_window);
+    if horizon < deadline {
+        return OracleVerdict::pass(
+            METASTABLE_ORACLE,
+            format!("horizon {horizon} ends before recovery deadline {deadline}; not judged"),
+        );
+    }
+    let rung = fleet.gauge(keys::CORE_GOVERNOR_RUNG);
+    let survival_ns = fleet
+        .hist(keys::CORE_GOVERNOR_SURVIVAL_NS)
+        .map(|h| h.max())
+        .unwrap_or(0);
+    OracleVerdict::check(
+        METASTABLE_ORACLE,
+        rung == 0,
+        format!(
+            "fleet governor rung {rung} at horizon {horizon} \
+             ({recovery_window} after load removal at {quiet_after}; \
+             worst node spent {survival_ns} sim-ns in Survival)"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(offered: u64, served: u64, rung: i64) -> Registry {
+        let mut reg = Registry::new();
+        keys::preregister_standard(&mut reg);
+        reg.set_counter(keys::WORKLOAD_OFFERED, offered);
+        reg.set_counter(keys::WORKLOAD_SERVED, served);
+        reg.gauge_set(keys::CORE_GOVERNOR_RUNG, rung);
+        reg
+    }
+
+    #[test]
+    fn goodput_floor_passes_above_and_fails_below() {
+        assert!(goodput_floor(&reg_with(1000, 600, 0), 0.5).passed);
+        assert!(!goodput_floor(&reg_with(1000, 100, 0), 0.5).passed);
+        assert!(goodput_floor(&reg_with(0, 0, 0), 0.5).passed, "vacuous");
+    }
+
+    #[test]
+    fn metastability_fires_only_when_the_fleet_stays_degraded() {
+        let quiet = SimTime::from_secs(70);
+        let window = SimDuration::from_secs(30);
+        let horizon = SimTime::from_secs(180);
+        assert!(metastability(&reg_with(1, 1, 0), quiet, window, horizon).passed);
+        let v = metastability(&reg_with(1, 1, 2), quiet, window, horizon);
+        assert!(!v.passed);
+        assert!(v.detail.contains("rung 2"), "{}", v.detail);
+        // Too-short runs refuse to judge.
+        assert!(metastability(&reg_with(1, 1, 2), quiet, window, SimTime::from_secs(80)).passed);
+    }
+}

@@ -13,15 +13,18 @@
 //!   majority is back, every session finishes its operation budget before
 //!   the horizon (sessions resubmit on timeout).
 
+use crate::loadgen::LoadGen;
 use crate::node::KvNode;
-use crate::replica::Replica;
+use crate::replica::{OverloadConfig, Replica};
 use crate::session::Session;
 use cb_core::resolve::random::RandomResolver;
 use cb_core::runtime::{fleet_telemetry, RuntimeConfig, RuntimeNode};
 use cb_harness::linearizability::{check_history, Op};
+use cb_harness::overload;
 use cb_harness::prelude::*;
 use cb_harness::scenario::RunReport;
 use cb_simnet::prelude::*;
+use cb_workload::WorkloadProfile;
 
 /// The campaign-facing replicated-KV scenario.
 pub struct KvCampaign {
@@ -49,6 +52,12 @@ pub struct KvCampaign {
     /// the report (switches to the ladder). Driven by
     /// `campaign --record-policy`.
     pub record_policy: bool,
+    /// Drive the fleet with an open-loop aggregate workload (switches to
+    /// the ladder so the governor sees the load signal): one extra
+    /// generator node, replica-side admission control per the profile,
+    /// and the goodput-floor + metastability oracles. Driven by
+    /// `campaign --workload <profile>`.
+    pub workload: Option<WorkloadProfile>,
 }
 
 impl Default for KvCampaign {
@@ -63,6 +72,7 @@ impl Default for KvCampaign {
             unsafe_reads: false,
             policy: None,
             record_policy: false,
+            workload: None,
         }
     }
 }
@@ -91,7 +101,8 @@ impl Scenario for KvCampaign {
     }
 
     fn node_count(&self) -> usize {
-        self.replicas + self.clients
+        // The workload generator, when present, is the last node.
+        self.replicas + self.clients + usize::from(self.workload.is_some())
     }
 
     fn default_plan(&self, seed: u64) -> FaultPlan {
@@ -131,8 +142,25 @@ impl Scenario for KvCampaign {
         let keys = self.keys;
         let unsafe_reads = self.unsafe_reads;
         let group_clone = group.clone();
-        let ladder = self.policy.is_some() || self.record_policy;
+        // Workload arms always run the ladder: only a health-aware
+        // resolver owns the governor the load signal is wired into.
+        let ladder = self.policy.is_some() || self.record_policy || self.workload.is_some();
         let policy = self.policy.clone();
+        let workload = self.workload.clone();
+        // Offered load ends at two-thirds of the horizon, leaving a tail
+        // in which a healthy fleet must drain and recover (what the
+        // metastability oracle judges).
+        let windows = workload.as_ref().map_or(0, |p| {
+            (self.horizon.as_nanos() * 2 / 3) / p.window.as_nanos().max(1)
+        });
+        // Under a workload the controller runs faster: governor recovery
+        // takes `up_patience` observations, and those must fit inside the
+        // profile's recovery window even on nodes that stop deciding.
+        let controller_every = if workload.is_some() {
+            SimDuration::from_secs(1)
+        } else {
+            SimDuration::from_secs(5)
+        };
         let recorder = self.record_policy.then(|| {
             std::sync::Arc::new(std::sync::Mutex::new(cb_policy::PolicyStore::new(
                 self.name(),
@@ -141,9 +169,18 @@ impl Scenario for KvCampaign {
         let rec_for_nodes = recorder.clone();
         let mut sim: Sim<RuntimeNode<KvNode>> = Sim::new(topo, seed, move |id| {
             let svc = if (id.0 as usize) < replicas {
-                KvNode::Replica(Replica::new(id, group_clone.clone(), unsafe_reads))
+                let mut r = Replica::new(id, group_clone.clone(), unsafe_reads);
+                if let Some(p) = &workload {
+                    r = r.with_overload(OverloadConfig::from_profile(p));
+                }
+                KvNode::Replica(r)
             } else if (id.0 as usize) < replicas + clients {
                 KvNode::Client(Session::new(id, group_clone.clone(), keys, per_client))
+            } else if let Some(p) = workload
+                .clone()
+                .filter(|_| id.0 as usize == replicas + clients)
+            {
+                KvNode::Load(LoadGen::new(id, group_clone.clone(), p, seed, windows))
             } else {
                 KvNode::Idle
             };
@@ -161,7 +198,7 @@ impl Scenario for KvCampaign {
             };
             RuntimeNode::new(
                 svc,
-                RuntimeConfig::new(resolver).controller_every(SimDuration::from_secs(5)),
+                RuntimeConfig::new(resolver).controller_every(controller_every),
             )
         });
         for i in 0..self.node_count() as u32 {
@@ -186,7 +223,8 @@ impl Scenario for KvCampaign {
             }
         }
         let target = clients * per_client as usize;
-        let verdicts = vec![
+        let fleet = fleet_telemetry(&sim);
+        let mut verdicts = vec![
             lin,
             OracleVerdict::check(
                 "kv.progress",
@@ -194,6 +232,23 @@ impl Scenario for KvCampaign {
                 format!("{completed}/{target} ops completed"),
             ),
         ];
+        if let Some(p) = &self.workload {
+            verdicts.push(overload::goodput_floor(&fleet, p.goodput_floor));
+            // The overload source is the flash crowd when there is one,
+            // otherwise the end of offered load altogether.
+            let windows_end = SimTime::from_nanos(windows * p.window.as_nanos());
+            let quiet_after = if p.flash_mult > 1.0 {
+                p.flash_end.min(windows_end)
+            } else {
+                windows_end
+            };
+            verdicts.push(overload::metastability(
+                &fleet,
+                quiet_after,
+                p.recovery_window,
+                self.horizon,
+            ));
+        }
         // Replica ticks and session sweeps re-arm forever; skip the
         // quiescence oracle.
         let mut report = RunReport::from_sim_quiescence(
@@ -205,7 +260,7 @@ impl Scenario for KvCampaign {
             verdicts,
             false,
         )
-        .with_telemetry(fleet_telemetry(&sim));
+        .with_telemetry(fleet);
         if let Some(rec) = recorder {
             report = report.with_policy(rec.lock().expect("policy recorder poisoned").clone());
         }
@@ -242,6 +297,84 @@ mod tests {
         let r = s.run(5, &plan);
         let failing = r.failing_oracles();
         assert!(!failing.contains(&"kv.linearizable"), "{:?}", r.verdicts);
+    }
+
+    #[test]
+    fn flash_crowd_sheds_steps_down_and_recovers() {
+        let s = KvCampaign {
+            workload: WorkloadProfile::by_name("flash"),
+            ..KvCampaign::default()
+        };
+        let r = s.run(11, &FaultPlan::none());
+        assert!(!r.violated(), "{:?}", r.verdicts);
+        let t = &r.telemetry;
+        use cb_telemetry::keys;
+        assert!(
+            t.counter(keys::WORKLOAD_SHED) > 0,
+            "admission must shed under a 6x flash"
+        );
+        assert!(
+            t.counter(keys::CORE_GOVERNOR_CAUSE_LOAD) >= 1,
+            "the load signal must step the governor down"
+        );
+        assert!(
+            t.counter(keys::CORE_GOVERNOR_RECOVERIES) >= 1,
+            "the fleet must recover after the flash"
+        );
+        assert_eq!(
+            t.gauge(keys::CORE_GOVERNOR_RUNG),
+            0,
+            "every node Healthy at the horizon"
+        );
+    }
+
+    #[test]
+    fn retry_storm_seed_goes_metastable_without_protection() {
+        // Seed-exact regression for the unprotected arm: admission off +
+        // unbounded retries turn a finite flash crowd into self-sustaining
+        // overload, and the metastability oracle must say so.
+        let s = KvCampaign {
+            workload: WorkloadProfile::by_name("flash-off"),
+            ..KvCampaign::default()
+        };
+        let r = s.run(33, &FaultPlan::none());
+        assert!(r.violated(), "{:?}", r.verdicts);
+        assert!(
+            r.failing_oracles().contains(&"workload.metastable"),
+            "{:?}",
+            r.verdicts
+        );
+        use cb_telemetry::keys;
+        let offered = r.telemetry.counter(keys::WORKLOAD_OFFERED);
+        let attempts = r.telemetry.counter(keys::WORKLOAD_ATTEMPTS);
+        assert!(
+            attempts > offered * 2,
+            "retry amplification drives the storm: {attempts} attempts vs {offered} offered"
+        );
+        // The storm is deterministic: the same seed reproduces it exactly.
+        let r2 = s.run(33, &FaultPlan::none());
+        assert_eq!(r.fingerprint, r2.fingerprint);
+        assert_eq!(attempts, r2.telemetry.counter(keys::WORKLOAD_ATTEMPTS));
+    }
+
+    #[test]
+    fn a_million_users_cost_thousands_of_events_not_millions() {
+        let s = KvCampaign {
+            workload: WorkloadProfile::by_name("million"),
+            ..KvCampaign::default()
+        };
+        let r = s.run(2, &FaultPlan::none());
+        assert!(!r.violated(), "{:?}", r.verdicts);
+        use cb_telemetry::keys;
+        let offered = r.telemetry.counter(keys::WORKLOAD_OFFERED);
+        assert!(offered >= 1_000_000, "offered only {offered}");
+        // Aggregate-flow modeling: the whole population costs orders of
+        // magnitude fewer sim events than users served.
+        assert!(
+            r.events_processed < offered / 10,
+            "{} events for {offered} offered ops",
+            r.events_processed
+        );
     }
 
     #[test]

@@ -20,13 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod loadgen;
 pub mod node;
 pub mod proto;
 pub mod replica;
 pub mod session;
 
 pub use campaign::KvCampaign;
+pub use loadgen::LoadGen;
 pub use node::KvNode;
 pub use proto::{Entry, KvMsg, Version};
-pub use replica::{KvCheckpoint, Replica, Role};
+pub use replica::{KvCheckpoint, OverloadConfig, Replica, Role};
 pub use session::Session;

@@ -1,0 +1,220 @@
+//! The open-loop workload generator node.
+//!
+//! One [`LoadGen`] drives the whole simulated user population: each
+//! window it asks the [`ArrivalEngine`] how many requests arrived, splits
+//! them into one aggregate [`KvMsg::Batch`] per region, and rotates the
+//! region→replica mapping so regional skew spreads over the group. Open
+//! loop means arrivals never wait for service: the next window fires on
+//! sim time regardless of how far behind the fleet is — exactly the
+//! property that makes overload (and metastable collapse) reachable.
+//!
+//! Shed and expired work comes back as [`KvMsg::BatchAck`] /
+//! [`KvMsg::BatchDone`]; the generator retries those buckets with
+//! exponential backoff + deterministic jitter, each bucket capped at the
+//! profile's retry budget (unbounded when the budget is `None` — the
+//! retry-storm arm).
+
+use crate::proto::KvMsg;
+use crate::replica::KvCheckpoint;
+use cb_core::runtime::ServiceCtx;
+use cb_simnet::time::SimTime;
+use cb_simnet::topology::NodeId;
+use cb_telemetry::keys;
+use cb_workload::{ArrivalEngine, WorkloadProfile};
+
+/// Window-emission timer tag.
+pub const GEN_WINDOW: u64 = 20;
+/// Retry-sweep timer tag.
+pub const GEN_RETRY: u64 = 21;
+
+type Cx<'a, 'b> = ServiceCtx<'a, 'b, KvMsg, KvCheckpoint>;
+
+/// A shed/expired bucket scheduled for another attempt.
+struct PendingRetry {
+    due: SimTime,
+    bucket: u64,
+    attempt: u32,
+    count: u64,
+}
+
+/// The aggregate client-population node.
+pub struct LoadGen {
+    me: NodeId,
+    /// The replica group the batches target.
+    pub group: Vec<NodeId>,
+    engine: ArrivalEngine,
+    /// Windows to emit before the offered load ends.
+    windows: u64,
+    emitted: u64,
+    pending: Vec<PendingRetry>,
+    /// Total user requests offered (report color).
+    pub offered: u64,
+    /// Total per-request send attempts, retries included.
+    pub attempts: u64,
+    /// Requests that exhausted their retry budget.
+    pub failed: u64,
+    /// Requests confirmed served in time.
+    pub served: u64,
+}
+
+impl LoadGen {
+    /// A generator emitting `windows` windows of `profile` traffic at the
+    /// replica `group`.
+    pub fn new(
+        me: NodeId,
+        group: Vec<NodeId>,
+        profile: WorkloadProfile,
+        seed: u64,
+        windows: u64,
+    ) -> Self {
+        LoadGen {
+            me,
+            group,
+            engine: ArrivalEngine::new(profile, seed),
+            windows,
+            emitted: 0,
+            pending: Vec::new(),
+            offered: 0,
+            attempts: 0,
+            failed: 0,
+            served: 0,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        self.engine.profile()
+    }
+
+    /// Startup: emit window 0 immediately, then run on the window clock;
+    /// the retry sweep runs on the profile's drain interval.
+    pub fn on_start(&mut self, ctx: &mut Cx<'_, '_>) {
+        self.emit_window(ctx);
+        let p = self.engine.profile();
+        let (window, sweep) = (p.window, p.drain_every);
+        if self.emitted < self.windows {
+            ctx.set_timer(window, GEN_WINDOW);
+        }
+        ctx.set_timer(sweep, GEN_RETRY);
+    }
+
+    /// The window timer: one engine step, one batch per loaded region.
+    pub fn on_window(&mut self, ctx: &mut Cx<'_, '_>) {
+        self.emit_window(ctx);
+        if self.emitted < self.windows {
+            let window = self.engine.profile().window;
+            ctx.set_timer(window, GEN_WINDOW);
+        }
+    }
+
+    fn emit_window(&mut self, ctx: &mut Cx<'_, '_>) {
+        if self.emitted >= self.windows {
+            return;
+        }
+        let w = self.engine.window(self.emitted);
+        self.emitted += 1;
+        self.offered += w.total;
+        ctx.count(keys::WORKLOAD_OFFERED, w.total);
+        for (region, &count) in w.per_region.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let bucket = (w.index << 8) | region as u64;
+            self.send_batch(ctx, bucket, 1, count);
+        }
+    }
+
+    fn send_batch(&mut self, ctx: &mut Cx<'_, '_>, bucket: u64, attempt: u32, count: u64) {
+        // Rotate region → replica per window so the Zipf-heavy region does
+        // not pin one replica forever; retries rotate further by attempt.
+        let region = bucket & 0xff;
+        let window = bucket >> 8;
+        let idx = (region + window + attempt as u64 - 1) % self.group.len() as u64;
+        let target = self.group[idx as usize];
+        self.attempts += count;
+        ctx.count(keys::WORKLOAD_ATTEMPTS, count);
+        ctx.send(
+            target,
+            KvMsg::Batch {
+                origin: self.me,
+                bucket,
+                attempt,
+                count,
+            },
+        );
+    }
+
+    /// Admission outcome: retry the shed portion within budget.
+    pub fn on_batch_ack(&mut self, ctx: &mut Cx<'_, '_>, bucket: u64, attempt: u32, shed: u64) {
+        if shed > 0 {
+            self.maybe_retry(ctx, bucket, attempt, shed);
+        }
+    }
+
+    /// Service outcome: count goodput, retry the expired portion. Expired
+    /// work is the retry-storm fuel — those users timed out and press
+    /// reload.
+    pub fn on_batch_done(
+        &mut self,
+        ctx: &mut Cx<'_, '_>,
+        bucket: u64,
+        attempt: u32,
+        served: u64,
+        expired: u64,
+    ) {
+        self.served += served;
+        if expired > 0 {
+            self.maybe_retry(ctx, bucket, attempt, expired);
+        }
+    }
+
+    fn maybe_retry(&mut self, ctx: &mut Cx<'_, '_>, bucket: u64, attempt: u32, count: u64) {
+        let p = self.engine.profile();
+        if let Some(budget) = p.retry_budget {
+            if attempt >= budget {
+                self.failed += count;
+                ctx.count(keys::WORKLOAD_FAILED, count);
+                return;
+            }
+        }
+        ctx.count(keys::WORKLOAD_RETRIES, count);
+        // Exponential backoff, capped at 16x, plus deterministic jitter of
+        // up to half the base — desynchronizes retry waves.
+        let base = p.retry_base;
+        let backoff = base.mul_f64((1u64 << (attempt - 1).min(4)) as f64);
+        let jitter_ns = ctx.rng().gen_below(base.as_nanos().max(2) / 2);
+        let due = ctx
+            .now()
+            .saturating_add(backoff)
+            .saturating_add(cb_simnet::time::SimDuration::from_nanos(jitter_ns));
+        self.pending.push(PendingRetry {
+            due,
+            bucket,
+            attempt: attempt + 1,
+            count,
+        });
+    }
+
+    /// The retry sweep: send every due retry, keep the rest pending.
+    pub fn on_retry_sweep(&mut self, ctx: &mut Cx<'_, '_>) {
+        let now = ctx.now();
+        let due: Vec<PendingRetry> = {
+            let mut kept = Vec::new();
+            let mut due = Vec::new();
+            for r in self.pending.drain(..) {
+                if r.due <= now {
+                    due.push(r);
+                } else {
+                    kept.push(r);
+                }
+            }
+            self.pending = kept;
+            due
+        };
+        for r in due {
+            self.send_batch(ctx, r.bucket, r.attempt, r.count);
+        }
+        let sweep = self.engine.profile().drain_every;
+        ctx.set_timer(sweep, GEN_RETRY);
+    }
+}

@@ -1,7 +1,8 @@
 //! The unified KV node: replica or client session, one [`Service`] type.
 
+use crate::loadgen::{LoadGen, GEN_RETRY, GEN_WINDOW};
 use crate::proto::KvMsg;
-use crate::replica::{KvCheckpoint, Replica, REPLICA_TICK};
+use crate::replica::{KvCheckpoint, Replica, REPLICA_TICK, WORK_TICK};
 use crate::session::{Session, OP_TIMER, SWEEP_TIMER};
 use cb_core::model::state::StateModel;
 use cb_core::runtime::{Service, ServiceCtx};
@@ -13,6 +14,8 @@ pub enum KvNode {
     Replica(Replica),
     /// A client session.
     Client(Session),
+    /// The aggregate open-loop workload generator.
+    Load(LoadGen),
     /// A host that takes no part (topology filler).
     Idle,
 }
@@ -33,6 +36,14 @@ impl KvNode {
             _ => None,
         }
     }
+
+    /// The workload generator inside, if this is one.
+    pub fn as_loadgen(&self) -> Option<&LoadGen> {
+        match self {
+            KvNode::Load(g) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl Service for KvNode {
@@ -50,20 +61,26 @@ impl Service for KvNode {
                 }
                 s.on_start(ctx);
             }
+            KvNode::Load(g) => g.on_start(ctx),
             KvNode::Idle => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut ServiceCtx<'_, '_, KvMsg, KvCheckpoint>, tag: u64) {
         match self {
-            KvNode::Replica(r) => {
-                if tag == REPLICA_TICK {
-                    r.tick(ctx);
-                }
-            }
+            KvNode::Replica(r) => match tag {
+                REPLICA_TICK => r.tick(ctx),
+                WORK_TICK => r.drain_work(ctx),
+                _ => {}
+            },
             KvNode::Client(s) => match tag {
                 OP_TIMER => s.next_op(ctx),
                 SWEEP_TIMER if !s.done() => s.sweep(ctx),
+                _ => {}
+            },
+            KvNode::Load(g) => match tag {
+                GEN_WINDOW => g.on_window(ctx),
+                GEN_RETRY => g.on_retry_sweep(ctx),
                 _ => {}
             },
             KvNode::Idle => {}
@@ -82,6 +99,21 @@ impl Service for KvNode {
                 KvMsg::PutAck { client_seq } => s.on_put_ack(ctx, client_seq),
                 KvMsg::GetAck { read_id, value } => s.on_get_ack(ctx, read_id, value),
                 KvMsg::Redirect { leader } => s.on_redirect(leader),
+                _ => {}
+            },
+            KvNode::Load(g) => match msg {
+                KvMsg::BatchAck {
+                    bucket,
+                    attempt,
+                    shed,
+                    ..
+                } => g.on_batch_ack(ctx, bucket, attempt, shed),
+                KvMsg::BatchDone {
+                    bucket,
+                    attempt,
+                    served,
+                    expired,
+                } => g.on_batch_done(ctx, bucket, attempt, served, expired),
                 _ => {}
             },
             KvNode::Idle => {}

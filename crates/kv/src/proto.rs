@@ -144,6 +144,45 @@ pub enum KvMsg {
         /// The voter's per-client dedup state.
         last_seq: SeqSnapshot,
     },
+    /// Open-loop workload generator → replica: an aggregate bucket of
+    /// `count` user requests arriving in one window/region (cb-workload's
+    /// millions-of-users-for-thousands-of-events representation).
+    Batch {
+        /// The generator node to notify (admission and service outcomes).
+        origin: NodeId,
+        /// Bucket identity: `window << 8 | region`.
+        bucket: u64,
+        /// Send attempt, starting at 1 (retries increment).
+        attempt: u32,
+        /// Aggregated request count in this bucket.
+        count: u64,
+    },
+    /// Replica → generator: admission outcome for a batch. `shed > 0`
+    /// means the `kv.admission` choice trimmed or rejected the bucket;
+    /// the generator may retry the shed portion within its budget.
+    BatchAck {
+        /// Echo of the bucket id.
+        bucket: u64,
+        /// Echo of the attempt.
+        attempt: u32,
+        /// Requests enqueued for service.
+        admitted: u64,
+        /// Requests shed at admission.
+        shed: u64,
+    },
+    /// Replica → generator: terminal service outcome for the admitted part
+    /// of a bucket. `expired` requests waited past the deadline before
+    /// reaching the server — wasted capacity their users will retry.
+    BatchDone {
+        /// Echo of the bucket id.
+        bucket: u64,
+        /// Echo of the attempt.
+        attempt: u32,
+        /// Requests served within the deadline (goodput).
+        served: u64,
+        /// Requests served too late to count.
+        expired: u64,
+    },
     /// A restarted (amnesiac) replica asking the leader for a full sync.
     SyncReq,
     /// Leader → recovering replica: full state transfer.

@@ -39,10 +39,14 @@ use cb_core::runtime::ServiceCtx;
 use cb_harness::linearizability::INIT_VALUE;
 use cb_simnet::time::{SimDuration, SimTime};
 use cb_simnet::topology::NodeId;
-use std::collections::BTreeMap;
+use cb_telemetry::keys;
+use cb_workload::WorkloadProfile;
+use std::collections::{BTreeMap, VecDeque};
 
 /// The replica's periodic timer tag (heartbeat / election check / repair).
 pub const REPLICA_TICK: u64 = 1;
+/// The aggregate work-queue drain timer (workload arms only).
+pub const WORK_TICK: u64 = 2;
 
 const TICK_BASE_MS: u64 = 400;
 const TICK_JITTER_MS: u64 = 250;
@@ -62,6 +66,61 @@ pub enum Role {
     Leader,
     /// Freshly restarted amnesiac: no votes, no write acks, until synced.
     Recovering,
+}
+
+/// Front-end overload knobs, lifted from a [`WorkloadProfile`]: how fast
+/// the replica drains aggregate work, when queued work is too old to be
+/// worth serving, and whether admission control guards the queue at all.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Profile name, stamped as the `workload` attr on admission decisions.
+    pub workload: &'static str,
+    /// Admission control + load shedding on (off = the metastable arm).
+    pub admission: bool,
+    /// Requests served per drain interval.
+    pub service_rate: u64,
+    /// Drain interval.
+    pub drain_every: SimDuration,
+    /// Queue wait beyond which a request is served too late to count.
+    pub deadline: SimDuration,
+    /// Admission limit: max backlog in drain-interval units.
+    pub admit_limit: u64,
+}
+
+impl OverloadConfig {
+    /// The overload knobs of `profile`.
+    pub fn from_profile(profile: &WorkloadProfile) -> Self {
+        OverloadConfig {
+            workload: profile.name,
+            admission: profile.admission,
+            service_rate: profile.service_rate.max(1),
+            drain_every: profile.drain_every,
+            deadline: profile.deadline,
+            admit_limit: profile.admit_limit,
+        }
+    }
+}
+
+/// An admitted aggregate bucket waiting in the front-end queue.
+struct WorkBucket {
+    enqueued: SimTime,
+    origin: NodeId,
+    bucket: u64,
+    attempt: u32,
+    /// Requests still unserved in this bucket.
+    remaining: u64,
+    /// Served-in-time so far (partial drains across ticks).
+    served: u64,
+    /// Served-too-late so far.
+    expired: u64,
+}
+
+/// The aggregate front-end work queue (workload arms only).
+struct WorkQueue {
+    cfg: OverloadConfig,
+    queue: VecDeque<WorkBucket>,
+    /// Total requests queued (sum of `remaining`).
+    depth: u64,
 }
 
 /// A write the leader has accepted but not yet committed.
@@ -145,6 +204,8 @@ pub struct Replica {
     pub elections_started: u64,
     /// Terms this replica won (report color).
     pub terms_led: u64,
+    /// Aggregate front-end work queue; present only in workload arms.
+    work: Option<WorkQueue>,
 }
 
 impl Replica {
@@ -171,7 +232,25 @@ impl Replica {
             was_restarted: false,
             elections_started: 0,
             terms_led: 0,
+            work: None,
         }
+    }
+
+    /// Enables the aggregate front-end work queue (open-loop workload
+    /// arms): [`KvMsg::Batch`] buckets pass the `kv.admission` choice,
+    /// queue, and drain at `cfg.service_rate` per [`WORK_TICK`].
+    pub fn with_overload(mut self, cfg: OverloadConfig) -> Self {
+        self.work = Some(WorkQueue {
+            cfg,
+            queue: VecDeque::new(),
+            depth: 0,
+        });
+        self
+    }
+
+    /// Current front-end backlog in requests (0 without a workload arm).
+    pub fn backlog(&self) -> u64 {
+        self.work.as_ref().map_or(0, |w| w.depth)
     }
 
     fn quorum(&self) -> usize {
@@ -220,6 +299,144 @@ impl Replica {
         }
         let first = SimDuration::from_millis(50 + ctx.rng().gen_below(TICK_JITTER_MS));
         ctx.set_timer(first, REPLICA_TICK);
+        if let Some(w) = &self.work {
+            ctx.set_timer(w.cfg.drain_every, WORK_TICK);
+        }
+    }
+
+    /// Admission: the front door of the aggregate work queue. Below the
+    /// limit the whole bucket is admitted outright; above it, the exposed
+    /// `kv.admission` choice picks between two *safe* dispositions —
+    /// trim-to-limit or shed-the-bucket — so any resolver arm (random,
+    /// ladder, policy-warmed) keeps the queue bounded. With admission off,
+    /// everything is admitted and only the deadline protects capacity
+    /// (it does not: that arm is the metastable one).
+    pub fn on_batch(
+        &mut self,
+        ctx: &mut Cx<'_, '_>,
+        origin: NodeId,
+        bucket: u64,
+        attempt: u32,
+        count: u64,
+    ) {
+        let now = ctx.now();
+        let Some(w) = &mut self.work else {
+            // Not a workload arm: shed everything, deterministically.
+            ctx.send(
+                origin,
+                KvMsg::BatchAck {
+                    bucket,
+                    attempt,
+                    admitted: 0,
+                    shed: count,
+                },
+            );
+            return;
+        };
+        let cfg = w.cfg.clone();
+        let limit = cfg.admit_limit * cfg.service_rate;
+        let backlog_units = w.depth / cfg.service_rate;
+        let admitted = if !cfg.admission || w.depth + count <= limit {
+            count
+        } else {
+            // Overload: both options keep the queue bounded; the choice is
+            // how much of this bucket survives. Features feed heuristic /
+            // learned rungs: current backlog (in drain units) and the
+            // incoming bucket, in the same units.
+            let headroom = limit.saturating_sub(w.depth);
+            let opts = [
+                OptionDesc::with_features(
+                    0,
+                    vec![backlog_units as f64, (count / cfg.service_rate) as f64],
+                ),
+                OptionDesc::with_features(
+                    1,
+                    vec![backlog_units as f64, (count / cfg.service_rate) as f64],
+                ),
+            ];
+            ctx.decision_attr("workload", cfg.workload);
+            let chosen = ctx.choose("kv.admission", ContextKey(backlog_units), &opts);
+            if chosen == 0 {
+                headroom
+            } else {
+                0
+            }
+        };
+        let shed = count - admitted;
+        ctx.count(keys::WORKLOAD_ADMITTED, admitted);
+        ctx.count(keys::WORKLOAD_SHED, shed);
+        let w = self.work.as_mut().expect("work queue present");
+        if admitted > 0 {
+            w.depth += admitted;
+            w.queue.push_back(WorkBucket {
+                enqueued: now,
+                origin,
+                bucket,
+                attempt,
+                remaining: admitted,
+                served: 0,
+                expired: 0,
+            });
+        }
+        ctx.send(
+            origin,
+            KvMsg::BatchAck {
+                bucket,
+                attempt,
+                admitted,
+                shed,
+            },
+        );
+        ctx.report_load(w.depth / w.cfg.service_rate);
+    }
+
+    /// One drain interval: serve up to `service_rate` queued requests in
+    /// FIFO order. Work that waited past the deadline is "served" into the
+    /// void — the capacity is spent, but its users already gave up — and
+    /// reported as expired so the generator can model their retries. Also
+    /// refreshes the runtime's load signal, which is what steps the
+    /// governor down under sustained overload.
+    pub fn drain_work(&mut self, ctx: &mut Cx<'_, '_>) {
+        let Some(w) = &mut self.work else { return };
+        let now = ctx.now();
+        let mut budget = w.cfg.service_rate;
+        let mut done: Vec<(NodeId, u64, u32, u64, u64)> = Vec::new();
+        while budget > 0 {
+            let Some(front) = w.queue.front_mut() else {
+                break;
+            };
+            let late = now.saturating_since(front.enqueued) > w.cfg.deadline;
+            let take = budget.min(front.remaining);
+            front.remaining -= take;
+            if late {
+                front.expired += take;
+            } else {
+                front.served += take;
+            }
+            budget -= take;
+            w.depth -= take;
+            if front.remaining == 0 {
+                let b = w.queue.pop_front().expect("front exists");
+                done.push((b.origin, b.bucket, b.attempt, b.served, b.expired));
+            }
+        }
+        let load = w.depth / w.cfg.service_rate;
+        let interval = w.cfg.drain_every;
+        for (origin, bucket, attempt, served, expired) in done {
+            ctx.count(keys::WORKLOAD_SERVED, served);
+            ctx.count(keys::WORKLOAD_EXPIRED, expired);
+            ctx.send(
+                origin,
+                KvMsg::BatchDone {
+                    bucket,
+                    attempt,
+                    served,
+                    expired,
+                },
+            );
+        }
+        ctx.report_load(load);
+        ctx.set_timer(interval, WORK_TICK);
     }
 
     /// The periodic tick: heartbeats + repair (leader), election check
@@ -813,7 +1030,17 @@ impl Replica {
                 store,
                 last_seq,
             } => self.on_sync(ctx, from, term, store, last_seq),
-            KvMsg::PutAck { .. } | KvMsg::GetAck { .. } | KvMsg::Redirect { .. } => {}
+            KvMsg::Batch {
+                origin,
+                bucket,
+                attempt,
+                count,
+            } => self.on_batch(ctx, origin, bucket, attempt, count),
+            KvMsg::PutAck { .. }
+            | KvMsg::GetAck { .. }
+            | KvMsg::Redirect { .. }
+            | KvMsg::BatchAck { .. }
+            | KvMsg::BatchDone { .. } => {}
         }
     }
 

@@ -26,7 +26,7 @@ pub mod scenario;
 
 pub use campaign::PaxosCampaign;
 pub use client::{Client, ProposerRegime};
-pub use mencius::{MenciusCampaign, MenciusNode, MenciusReplica, MenciusSession};
+pub use mencius::{MenciusCampaign, MenciusLoadGen, MenciusNode, MenciusReplica, MenciusSession};
 pub use node::PaxosNode;
 pub use proto::{Ballot, Command, PaxosMsg, MAX_REPLICAS};
 pub use replica::{Replica, ReplicaCheckpoint, SlotOwnership};

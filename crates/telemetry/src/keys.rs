@@ -90,6 +90,19 @@ pub const CORE_GOVERNOR_CAUSE_STEERING: &str = "core.governor.cause_steering";
 /// Step-downs whose dominant pressure input was a prediction-deadline
 /// firing.
 pub const CORE_GOVERNOR_CAUSE_DEADLINE: &str = "core.governor.cause_deadline";
+/// Step-downs whose dominant pressure input was service-load backlog.
+pub const CORE_GOVERNOR_CAUSE_LOAD: &str = "core.governor.cause_load";
+/// Current governor rung (0 Healthy, 1 Degraded, 2 Survival). Gauge:
+/// fleet merges keep the worst node, so a campaign artifact's value is
+/// the fleet's worst health at end of run.
+pub const CORE_GOVERNOR_RUNG: &str = "core.governor.rung";
+/// Sim-ns spent in `Healthy`, one histogram sample per node — a fleet
+/// merge yields the cross-node time-in-state distribution.
+pub const CORE_GOVERNOR_HEALTHY_NS: &str = "core.governor.in_healthy_sim_ns";
+/// Sim-ns spent in `Degraded`, one histogram sample per node.
+pub const CORE_GOVERNOR_DEGRADED_NS: &str = "core.governor.in_degraded_sim_ns";
+/// Sim-ns spent in `Survival`, one histogram sample per node.
+pub const CORE_GOVERNOR_SURVIVAL_NS: &str = "core.governor.in_survival_sim_ns";
 /// Decisions the ladder resolved on the full-lookahead rung (rung 0).
 pub const CORE_LADDER_RUNG_LOOKAHEAD: &str = "core.ladder.rung_lookahead";
 /// Decisions the ladder resolved on the cached-lookahead rung (rung 1).
@@ -113,6 +126,10 @@ pub const CORE_POLICY_MISSES: &str = "core.policy.misses";
 pub const CORE_POLICY_STALE: &str = "core.policy.stale";
 /// Decisions recorded into a policy store being trained this run.
 pub const CORE_POLICY_INSERTS: &str = "core.policy.inserts";
+/// Governor-gated refresh lookaheads actually performed (the every-Nth-hit
+/// re-run). Suppressed outside `Healthy`: refresh work is the first thing
+/// shed under overload.
+pub const CORE_POLICY_REFRESH: &str = "core.policy.refresh";
 /// Controller (background prediction) cycles executed.
 pub const CORE_CONTROLLER_CYCLES: &str = "core.controller.cycles";
 /// Checkpoints sent to neighbors.
@@ -123,6 +140,25 @@ pub const CORE_CHECKPOINTS_RECEIVED: &str = "core.checkpoints.received";
 /// `core.resolver_arm.<arm>` where `<arm>` is [`crate::keys`]-free text
 /// supplied by the resolver (e.g. `random`, `first`, `lookahead`, `cached`).
 pub const CORE_RESOLVER_ARM_PREFIX: &str = "core.resolver_arm.";
+
+// ---- cb-workload: open-loop aggregate client load ----
+
+/// First-attempt aggregate user operations offered by load generators.
+pub const WORKLOAD_OFFERED: &str = "workload.offered";
+/// Total aggregate send attempts, first tries plus retries.
+pub const WORKLOAD_ATTEMPTS: &str = "workload.attempts";
+/// Retry attempts only (attempts minus offered).
+pub const WORKLOAD_RETRIES: &str = "workload.retries";
+/// Aggregate operations admitted into service queues.
+pub const WORKLOAD_ADMITTED: &str = "workload.admitted";
+/// Aggregate operations shed at admission.
+pub const WORKLOAD_SHED: &str = "workload.shed";
+/// Admitted operations dropped in queue past their service deadline.
+pub const WORKLOAD_EXPIRED: &str = "workload.expired";
+/// Admitted operations drained within deadline — the goodput numerator.
+pub const WORKLOAD_SERVED: &str = "workload.served";
+/// Operations abandoned after exhausting their retry budget.
+pub const WORKLOAD_FAILED: &str = "workload.failed";
 
 // ---- cb-simnet: network-level counters ----
 
@@ -207,6 +243,7 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_GOVERNOR_CAUSE_CONFIDENCE,
         CORE_GOVERNOR_CAUSE_STEERING,
         CORE_GOVERNOR_CAUSE_DEADLINE,
+        CORE_GOVERNOR_CAUSE_LOAD,
         CORE_LADDER_RUNG_LOOKAHEAD,
         CORE_LADDER_RUNG_CACHED,
         CORE_LADDER_RUNG_PRECOMPUTED,
@@ -217,6 +254,15 @@ pub fn preregister_standard(reg: &mut Registry) {
         CORE_POLICY_MISSES,
         CORE_POLICY_STALE,
         CORE_POLICY_INSERTS,
+        CORE_POLICY_REFRESH,
+        WORKLOAD_OFFERED,
+        WORKLOAD_ATTEMPTS,
+        WORKLOAD_RETRIES,
+        WORKLOAD_ADMITTED,
+        WORKLOAD_SHED,
+        WORKLOAD_EXPIRED,
+        WORKLOAD_SERVED,
+        WORKLOAD_FAILED,
         CORE_CONTROLLER_CYCLES,
         CORE_CHECKPOINTS_SENT,
         CORE_CHECKPOINTS_RECEIVED,
@@ -237,13 +283,16 @@ pub fn preregister_standard(reg: &mut Registry) {
     ] {
         reg.register_counter(c);
     }
-    for g in [MCK_FRONTIER_PEAK, MCK_MAX_DEPTH] {
+    for g in [MCK_FRONTIER_PEAK, MCK_MAX_DEPTH, CORE_GOVERNOR_RUNG] {
         reg.register_gauge(g);
     }
     for h in [
         CORE_DECISION_LATENCY_SIM_US,
         CORE_DECISION_LATENCY_WALL_NS,
         NET_DELIVERY_LATENCY_US,
+        CORE_GOVERNOR_HEALTHY_NS,
+        CORE_GOVERNOR_DEGRADED_NS,
+        CORE_GOVERNOR_SURVIVAL_NS,
     ] {
         reg.register_hist(h);
     }

@@ -117,6 +117,7 @@ pub fn explain(spans: &[Span], id: SpanId) -> Option<String> {
     for key in [
         "choice",
         "context",
+        "workload",
         "resolver",
         "governor.level",
         "governor.cause",

@@ -19,9 +19,10 @@
 //! New scenarios get these checks for free by registering; a scenario that
 //! can't pass them has no business in the campaign runner.
 
-use cb_bench::registry::all_scenarios;
+use cb_bench::registry::{all_scenarios, scenario_names, workload_arm};
 use cb_harness::prelude::*;
 use cb_trace::{is_acyclic, SpanIndex, SpanKind};
+use cb_workload::WorkloadProfile;
 
 /// Telemetry digest with the wall-clock metrics masked out: histograms
 /// keyed `*_wall_ns` time the host machine, not the simulation, and are
@@ -120,6 +121,75 @@ fn replay_is_deterministic_and_provenance_well_formed() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Contracts 1 and 2 under the open-loop workload arm: every registered
+/// scenario must keep its promises when driven by the aggregate client
+/// population too (`campaign --workload`). Replay must be byte-identical
+/// (fingerprint, masked provenance, telemetry — which now carries the
+/// `workload.*` counters and governor dwell histograms), and the campaign
+/// outcome must stay invariant across 1/2/4/8 workers.
+#[test]
+fn workload_arm_keeps_replay_determinism_and_worker_invariance() {
+    let profile = WorkloadProfile::by_name("steady").expect("steady profile");
+    for name in scenario_names() {
+        let scenario =
+            workload_arm(name, &profile).unwrap_or_else(|| panic!("{name} has no workload arm"));
+        let tag = format!("{name} (workload arm)");
+
+        // Contract 1: two direct runs agree byte-for-byte.
+        let seed = BASE_SEED;
+        let plan = scenario.default_plan(seed);
+        let a = scenario.run(seed, &plan);
+        let b = scenario.run(seed, &plan);
+        assert_eq!(a.fingerprint, b.fingerprint, "{tag}: fingerprint drift");
+        assert_eq!(
+            a.provenance_masked_json().to_string_pretty(),
+            b.provenance_masked_json().to_string_pretty(),
+            "{tag}: masked provenance not byte-identical on replay"
+        );
+        assert_eq!(
+            masked_telemetry_digest(&a.telemetry),
+            masked_telemetry_digest(&b.telemetry),
+            "{tag}: telemetry drift on replay"
+        );
+
+        // Contract 2: outcome invariant across worker counts (2 seeds
+        // keep the sweep debug-mode cheap; the stock-scenario test above
+        // already covers the wider seed range).
+        let mut digests: Vec<(usize, String)> = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = CampaignConfig {
+                base_seed: BASE_SEED,
+                seeds: 2,
+                workers,
+                check_determinism: false,
+                shrink: false,
+                artifact_dir: None,
+                plan_override: None,
+            };
+            let outcome = run_campaign(scenario.as_ref(), &cfg);
+            let failures: Vec<String> = outcome
+                .failures
+                .iter()
+                .map(|f| format!("seed {} fp {}", f.report.seed, f.report.fingerprint))
+                .collect();
+            digests.push((
+                workers,
+                format!(
+                    "passed={} failures={failures:?} events={}",
+                    outcome.passed, outcome.total_events
+                ),
+            ));
+        }
+        for pair in digests.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "{tag}: campaign outcome differs between {} and {} workers",
+                pair[0].0, pair[1].0
+            );
         }
     }
 }

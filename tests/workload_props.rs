@@ -1,0 +1,82 @@
+//! Property-based tests over the open-loop workload engine and the
+//! bounded-retry contract.
+//!
+//! The retry-amplification bound is the load-shedding story's keystone:
+//! with a retry budget of `B` (attempts per bucket, first send included),
+//! the fleet-wide attempt count can never exceed `B x offered`, no matter
+//! how the admission layer sheds or how many deadlines expire. Without
+//! budgets that bound does not exist — the seed-exact retry-storm
+//! regression lives in `cb-kv`'s campaign tests
+//! (`retry_storm_seed_goes_metastable_without_protection`), where the
+//! metastability oracle flags the unbounded arm.
+
+use cb_harness::prelude::*;
+use cb_kv::KvCampaign;
+use cb_simnet::time::SimTime;
+use cb_telemetry::keys;
+use cb_workload::{ArrivalEngine, WorkloadProfile};
+use proptest::prelude::*;
+
+/// Runs the kv scenario under `profile` on a shortened horizon (the flash
+/// window [40 s, 70 s) and a drain tail still fit) and returns
+/// `(offered, attempts, failed)` from the merged fleet telemetry.
+fn run_kv(profile: WorkloadProfile, seed: u64) -> (u64, u64, u64) {
+    let s = KvCampaign {
+        workload: Some(profile),
+        horizon: SimTime::from_secs(90),
+        ..Default::default()
+    };
+    let r = s.run(seed, &FaultPlan::none());
+    let t = &r.telemetry;
+    (
+        t.counter(keys::WORKLOAD_OFFERED),
+        t.counter(keys::WORKLOAD_ATTEMPTS),
+        t.counter(keys::WORKLOAD_FAILED),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// With a budget of B attempts per bucket, total attempts are bounded
+    /// by B x offered for every seed — bounded retries cap amplification
+    /// even while admission sheds and deadlines expire under a 6x flash.
+    #[test]
+    fn budgeted_attempts_never_exceed_budget_times_offered(seed in 0u64..10_000) {
+        let profile = WorkloadProfile::flash();
+        let budget = profile.retry_budget.expect("flash profile is budgeted") as u64;
+        let (offered, attempts, failed) = run_kv(profile, seed);
+        prop_assert!(offered > 0, "open loop offered nothing");
+        prop_assert!(
+            attempts <= budget * offered,
+            "attempts {attempts} exceed budget {budget} x offered {offered}"
+        );
+        // Failures are requests, so they are bounded by offered too.
+        prop_assert!(failed <= offered, "failed {failed} > offered {offered}");
+    }
+
+    /// The steady profile has headroom: the same bound holds and the
+    /// typical case barely retries at all (amplification stays under 2x).
+    #[test]
+    fn steady_amplification_stays_low(seed in 0u64..10_000) {
+        let profile = WorkloadProfile::steady();
+        let budget = profile.retry_budget.expect("steady profile is budgeted") as u64;
+        let (offered, attempts, _) = run_kv(profile, seed);
+        prop_assert!(attempts <= budget * offered);
+        prop_assert!(
+            (attempts as f64) < 2.0 * offered as f64,
+            "steady load should rarely retry: {attempts} attempts vs {offered} offered"
+        );
+    }
+
+    /// The arrival stream itself conserves counts and stays deterministic
+    /// under region splitting for arbitrary profiles of the registry.
+    #[test]
+    fn arrival_totals_conserve_across_regions(seed in any::<u64>(), windows in 1u64..120) {
+        let mut e = ArrivalEngine::new(WorkloadProfile::flash_off(), seed);
+        for i in 0..windows {
+            let w = e.window(i);
+            prop_assert_eq!(w.per_region.iter().sum::<u64>(), w.total);
+        }
+    }
+}
