@@ -7,6 +7,7 @@
 //!          [--storm] [--ladder] [--deadline STATES] [--chrome]
 //!          [--nodes N] [--unsafe-reads] [--workload PROFILE]
 //!          [--record-policy PILE.cbp] [--policy PILE.cbp]
+//!          [--corpus DIR]
 //! campaign --replay ARTIFACT.json
 //! campaign --list
 //! ```
@@ -58,6 +59,12 @@
 //! still apply to their own scenarios). The `flash-off` profile is the
 //! deliberately unprotected arm — a sweep with it is *expected* to exit 1
 //! with a metastability detection.
+//! `--corpus DIR` ingests **every** seed's run (passing and failing) into
+//! the queryable campaign corpus at DIR — content-addressed record objects
+//! plus a deterministic `index.cbc` — creating or extending it in place.
+//! Records are wall-masked at ingestion, so the resulting index bytes are
+//! identical for any `--workers` count; query and diff it with the
+//! `corpus` binary.
 //! `--chrome` additionally writes `<artifact>.chrome.json` next to every
 //! failure artifact — Chrome trace-event JSON of the run's provenance tail,
 //! loadable at `ui.perfetto.dev` (use the `trace` binary for ad-hoc
@@ -79,6 +86,7 @@ fn usage() -> ! {
          \x20               [--storm] [--ladder] [--deadline STATES] [--chrome]\n\
          \x20               [--nodes N] [--unsafe-reads] [--workload PROFILE]\n\
          \x20               [--record-policy PILE.cbp] [--policy PILE.cbp]\n\
+         \x20               [--corpus DIR]\n\
          \x20      campaign --replay ARTIFACT.json\n\
          \x20      campaign --list\n\
          scenarios: {}\n\
@@ -105,6 +113,7 @@ fn main() {
     let mut record_policy: Option<PathBuf> = None;
     let mut policy_path: Option<PathBuf> = None;
     let mut workload: Option<cb_workload::WorkloadProfile> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
     let mut cfg = CampaignConfig::default();
     let mut i = 0;
     let need = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -173,6 +182,10 @@ fn main() {
                 record_policy = Some(PathBuf::from(need(&args, &mut i, "--record-policy")))
             }
             "--policy" => policy_path = Some(PathBuf::from(need(&args, &mut i, "--policy"))),
+            "--corpus" => {
+                corpus_dir = Some(PathBuf::from(need(&args, &mut i, "--corpus")));
+                cfg.keep_reports = true;
+            }
             "--workload" => {
                 let name = need(&args, &mut i, "--workload");
                 workload = Some(cb_workload::WorkloadProfile::by_name(&name).unwrap_or_else(
@@ -468,6 +481,19 @@ fn main() {
         }
     }
 
+    // Corpus auto-ingestion: load an existing corpus to extend in place,
+    // or start fresh. Every seed's report is retained and distilled.
+    let mut corpus = corpus_dir.as_ref().map(|dir| {
+        if dir.join(cb_corpus::INDEX_FILE).exists() {
+            cb_corpus::Corpus::load(dir).unwrap_or_else(|e| {
+                eprintln!("--corpus {}: {e}", dir.display());
+                std::process::exit(2);
+            })
+        } else {
+            cb_corpus::Corpus::new()
+        }
+    });
+
     let mut any_failed = false;
     // Starting from the loaded pile (when both flags are given) makes
     // --policy --record-policy a refresh-in-place: stale entries are
@@ -482,6 +508,9 @@ fn main() {
         let outcome = run_campaign(scenario.as_ref(), &cfg);
         if let Some(store) = &outcome.policy {
             recorded_pile.insert_store(store.clone());
+        }
+        if let Some(c) = corpus.as_mut() {
+            c.ingest_outcome(&outcome);
         }
         println!(
             "{} ({:.1}s wall)",
@@ -526,6 +555,15 @@ fn main() {
             println!("  seed {seed}: NONDETERMINISTIC (fingerprint mismatch on re-run)");
         }
         any_failed |= !outcome.all_passed();
+    }
+    if let (Some(dir), Some(c)) = (&corpus_dir, &corpus) {
+        match c.save(dir) {
+            Ok(()) => println!("corpus: {} record(s) -> {}", c.len(), dir.display()),
+            Err(e) => {
+                eprintln!("--corpus {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(path) = &record_policy {
         match recorded_pile.save(path) {

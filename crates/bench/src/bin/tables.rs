@@ -53,6 +53,8 @@ fn main() {
         ("e8", experiments::e8),
         ("e10", experiments::e10),
         ("e11", experiments::e11),
+        ("e12", experiments::e12),
+        ("e13", experiments::e13),
         ("a1", experiments::a1),
         ("a2", experiments::a2),
         ("t1", experiments::t1),

@@ -727,6 +727,10 @@ pub fn run_all(decisions: u64) -> Vec<ScenarioBench> {
     ]
 }
 
+/// Schema tag of `BENCH_decision.json` (re-exported from the shared
+/// envelope module).
+pub use crate::benchjson::DECISION_BENCH_SCHEMA;
+
 /// Serializes the benchmark into the `BENCH_decision.json` schema (see
 /// EXPERIMENTS.md, "Reading BENCH_decision.json").
 pub fn to_json(benches: &[ScenarioBench], decisions: u64, quick: bool) -> Json {
@@ -777,25 +781,21 @@ pub fn to_json(benches: &[ScenarioBench], decisions: u64, quick: bool) -> Json {
         );
     }
     let geomean = (log_sum / benches.len().max(1) as f64).exp();
-    Json::obj()
-        .with("bench", "decision")
-        .with(
-            "unit",
-            "states explored per resolved decision; sim-cost at 1 us/state",
-        )
-        .with(
-            "config",
-            Json::obj()
-                .with("decisions", decisions)
-                .with("quick", quick),
-        )
-        .with("scenarios", rows)
-        .with(
-            "summary",
-            Json::obj()
-                .with("scenarios_at_2x", at_2x)
-                .with("geomean_reduction", geomean),
-        )
+    crate::benchjson::envelope(
+        "decision",
+        DECISION_BENCH_SCHEMA,
+        "states explored per resolved decision; sim-cost at 1 us/state",
+        Json::obj()
+            .with("decisions", decisions)
+            .with("quick", quick),
+    )
+    .with("scenarios", rows)
+    .with(
+        "summary",
+        Json::obj()
+            .with("scenarios_at_2x", at_2x)
+            .with("geomean_reduction", geomean),
+    )
 }
 
 /// Schema tag of `BENCH_policy.json`.
@@ -857,27 +857,22 @@ pub fn policy_to_json(benches: &[ScenarioBench], decisions: u64, quick: bool) ->
         );
     }
     let geomean = (log_sum / benches.len().max(1) as f64).exp();
-    Json::obj()
-        .with("bench", "policy")
-        .with("schema", POLICY_BENCH_SCHEMA)
-        .with(
-            "unit",
-            "states explored per resolved decision; sim-cost at 1 us/state",
-        )
-        .with(
-            "config",
-            Json::obj()
-                .with("decisions", decisions)
-                .with("quick", quick),
-        )
-        .with("scenarios", rows)
-        .with(
-            "summary",
-            Json::obj()
-                .with("scenarios_at_5x", at_5x)
-                .with("geomean_speedup", geomean)
-                .with("agreement_all", agreement_all),
-        )
+    crate::benchjson::envelope(
+        "policy",
+        POLICY_BENCH_SCHEMA,
+        "states explored per resolved decision; sim-cost at 1 us/state",
+        Json::obj()
+            .with("decisions", decisions)
+            .with("quick", quick),
+    )
+    .with("scenarios", rows)
+    .with(
+        "summary",
+        Json::obj()
+            .with("scenarios_at_5x", at_5x)
+            .with("geomean_speedup", geomean)
+            .with("agreement_all", agreement_all),
+    )
 }
 
 #[cfg(test)]
@@ -985,11 +980,8 @@ mod tests {
     fn policy_json_schema_has_the_contract_fields() {
         let benches = run_all(1);
         let json = policy_to_json(&benches, 1, true);
-        assert_eq!(json.get("bench").and_then(|j| j.as_str()), Some("policy"));
-        assert_eq!(
-            json.get("schema").and_then(|j| j.as_str()),
-            Some(POLICY_BENCH_SCHEMA)
-        );
+        crate::benchjson::validate(&json, "policy", POLICY_BENCH_SCHEMA, "scenarios")
+            .expect("shared envelope contract");
         let rows = json
             .get("scenarios")
             .and_then(|j| j.as_array())
@@ -1015,7 +1007,8 @@ mod tests {
     fn json_schema_has_the_contract_fields() {
         let benches = run_all(1);
         let json = to_json(&benches, 1, true);
-        assert_eq!(json.get("bench").and_then(|j| j.as_str()), Some("decision"));
+        crate::benchjson::validate(&json, "decision", DECISION_BENCH_SCHEMA, "scenarios")
+            .expect("shared envelope contract");
         let rows = json
             .get("scenarios")
             .and_then(|j| j.as_array())

@@ -598,6 +598,162 @@ pub fn e11(scale: Scale) -> Table {
     t
 }
 
+/// E12 — reading a kv linearizability campaign.
+///
+/// Three sweeps read together: the kv and mencius storm arms must hold
+/// the per-key WGL linearizability oracle across every seed of
+/// crash/restart churn, loss windows, partitions, and gray-failure
+/// stalls, while the `--unsafe-reads` planted bug (reads served from the
+/// chosen replica's local store without a guard round) must be *caught*
+/// by the same oracle on most seeds — the choice `kv.read_replica` is
+/// only safe to expose because the checker is strong enough to see the
+/// failure mode it enables.
+pub fn e12(scale: Scale) -> Table {
+    use cb_harness::prelude::{run_campaign, CampaignConfig, Scenario};
+
+    let mut t = Table::new(
+        "E12",
+        "Reading a kv linearizability campaign",
+        "exposed read-placement choices are only safe under an oracle that catches stale reads (paper 3.1)",
+        &[
+            "arm",
+            "seeds",
+            "passed",
+            "failed",
+            "linearizability violations",
+            "events",
+        ],
+    );
+    let cfg = CampaignConfig {
+        seeds: if scale.full { 32 } else { 2 },
+        check_determinism: false,
+        shrink: false,
+        artifact_dir: None,
+        ..CampaignConfig::default()
+    };
+    let arms: Vec<(&str, Box<dyn Scenario>)> = vec![
+        (
+            "kv storm",
+            Box::new(cb_kv::KvCampaign {
+                storm: true,
+                ..Default::default()
+            }),
+        ),
+        (
+            "mencius storm",
+            Box::new(cb_paxos::MenciusCampaign {
+                storm: true,
+                ..Default::default()
+            }),
+        ),
+        (
+            "kv unsafe-reads (planted bug)",
+            Box::new(cb_kv::KvCampaign {
+                unsafe_reads: true,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (label, scenario) in arms {
+        let outcome = run_campaign(scenario.as_ref(), &cfg);
+        let caught = outcome
+            .failures
+            .iter()
+            .filter(|f| {
+                f.report
+                    .failing_oracles()
+                    .iter()
+                    .any(|o| o.contains("linearizable"))
+            })
+            .count();
+        t.push(vec![
+            label.to_string(),
+            cfg.seeds.to_string(),
+            outcome.passed.to_string(),
+            outcome.failures.len().to_string(),
+            caught.to_string(),
+            outcome.total_events.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E13 — overload survival: admission + bounded retries vs metastable
+/// collapse.
+///
+/// Both arms run the same seeds, fault plans, and 6× flash crowd; the
+/// only difference is `flash-off` disabling the `kv.admission` choice
+/// and lifting the retry budget. The protected arm must shed load, step
+/// the governor down, and recover on every seed; the unprotected arm
+/// enters the self-sustaining retry regime the `workload.metastable`
+/// oracle detects.
+pub fn e13(scale: Scale) -> Table {
+    use cb_harness::prelude::{run_campaign, CampaignConfig};
+    use cb_telemetry::keys;
+    use cb_workload::WorkloadProfile;
+
+    let mut t = Table::new(
+        "E13",
+        "Overload survival: admission + bounded retries vs metastable collapse",
+        "degradation machinery composes with service-level overload protection (paper 3.3)",
+        &[
+            "arm",
+            "passed",
+            "failed",
+            "metastable seeds",
+            "offered",
+            "served",
+            "shed",
+            "retries",
+            "expired",
+            "step-downs",
+            "recoveries",
+        ],
+    );
+    let cfg = CampaignConfig {
+        seeds: if scale.full { 32 } else { 2 },
+        check_determinism: false,
+        shrink: false,
+        artifact_dir: None,
+        ..CampaignConfig::default()
+    };
+    for (label, profile) in [
+        ("flash (protected)", WorkloadProfile::flash()),
+        ("flash-off (defenses removed)", WorkloadProfile::flash_off()),
+    ] {
+        let scenario = cb_kv::KvCampaign {
+            workload: Some(profile),
+            ..Default::default()
+        };
+        let outcome = run_campaign(&scenario, &cfg);
+        let metastable = outcome
+            .failures
+            .iter()
+            .filter(|f| {
+                f.report
+                    .failing_oracles()
+                    .iter()
+                    .any(|o| o.contains("metastable"))
+            })
+            .count();
+        let tl = &outcome.telemetry;
+        t.push(vec![
+            label.to_string(),
+            outcome.passed.to_string(),
+            outcome.failures.len().to_string(),
+            metastable.to_string(),
+            tl.counter(keys::WORKLOAD_OFFERED).to_string(),
+            tl.counter(keys::WORKLOAD_SERVED).to_string(),
+            tl.counter(keys::WORKLOAD_SHED).to_string(),
+            tl.counter(keys::WORKLOAD_RETRIES).to_string(),
+            tl.counter(keys::WORKLOAD_EXPIRED).to_string(),
+            tl.counter(keys::CORE_GOVERNOR_STEP_DOWNS).to_string(),
+            tl.counter(keys::CORE_GOVERNOR_RECOVERIES).to_string(),
+        ]);
+    }
+    t
+}
+
 /// A1 — ablation: lookahead depth vs rejoin tree quality.
 pub fn a1(scale: Scale) -> Table {
     use cb_core::predict::PredictConfig;
@@ -744,6 +900,8 @@ pub fn all(scale: Scale) -> Vec<Table> {
         e8(scale),
         e10(scale),
         e11(scale),
+        e12(scale),
+        e13(scale),
         a1(scale),
         a2(scale),
         t1(scale),

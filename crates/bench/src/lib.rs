@@ -9,6 +9,7 @@
 //! the repository root for the paper-vs-measured record and `DESIGN.md`
 //! for the experiment index.
 
+pub mod benchjson;
 pub mod codemetrics;
 pub mod decisions;
 pub mod experiments;

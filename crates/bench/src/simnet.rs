@@ -267,6 +267,9 @@ pub fn run_size(nodes: usize, seed: u64, horizon: SimTime, tick: SimDuration) ->
     }
 }
 
+/// Schema tag of `BENCH_simnet.json`.
+pub const SIMNET_BENCH_SCHEMA: &str = "cb-bench-simnet/v1";
+
 /// Serializes the benchmark into the `cb-bench-simnet/v1` schema (see
 /// EXPERIMENTS.md, "Reading BENCH_simnet.json"). Keys with a `_wall`
 /// suffix are machine-dependent; everything else is seed-deterministic.
@@ -305,32 +308,27 @@ pub fn to_json(sizes: &[SizeBench], seed: u64, horizon: SimTime, quick: bool) ->
         })
         .collect();
     let largest = sizes.iter().max_by_key(|s| s.nodes);
-    Json::obj()
-        .with("bench", "simnet")
-        .with("schema", "cb-bench-simnet/v1")
-        .with(
-            "unit",
-            "engine events dispatched per wall-clock second; fingerprints are seed-exact",
-        )
-        .with(
-            "config",
-            Json::obj()
-                .with("seed", seed)
-                .with("horizon_ms", horizon.as_nanos() / 1_000_000)
-                .with("quick", quick),
-        )
-        .with("sizes", rows)
-        .with(
-            "summary",
-            Json::obj()
-                .with("largest_nodes", largest.map(|s| s.nodes).unwrap_or(0))
-                .with(
-                    "speedup_largest_wall",
-                    largest.map(|s| s.speedup_vs_baseline()).unwrap_or(0.0),
-                )
-                .with("speedup_gate", 5.0)
-                .with("like_for_like_gate", 0.85),
-        )
+    crate::benchjson::envelope(
+        "simnet",
+        SIMNET_BENCH_SCHEMA,
+        "engine events dispatched per wall-clock second; fingerprints are seed-exact",
+        Json::obj()
+            .with("seed", seed)
+            .with("horizon_ms", horizon.as_nanos() / 1_000_000)
+            .with("quick", quick),
+    )
+    .with("sizes", rows)
+    .with(
+        "summary",
+        Json::obj()
+            .with("largest_nodes", largest.map(|s| s.nodes).unwrap_or(0))
+            .with(
+                "speedup_largest_wall",
+                largest.map(|s| s.speedup_vs_baseline()).unwrap_or(0.0),
+            )
+            .with("speedup_gate", 5.0)
+            .with("like_for_like_gate", 0.85),
+    )
 }
 
 #[cfg(test)]
@@ -362,10 +360,8 @@ mod tests {
         let json = to_json(&sizes, 7, SimTime::from_millis(1500), true);
         let text = json.to_string_pretty();
         let back = Json::parse(&text).expect("bench artifact parses");
-        assert_eq!(
-            back.get("schema").and_then(Json::as_str),
-            Some("cb-bench-simnet/v1")
-        );
+        crate::benchjson::validate(&back, "simnet", SIMNET_BENCH_SCHEMA, "sizes")
+            .expect("shared envelope contract");
         let rows = back.get("sizes").and_then(Json::as_array).expect("sizes");
         assert_eq!(rows.len(), 2);
         for row in rows {

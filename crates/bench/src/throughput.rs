@@ -228,6 +228,9 @@ pub fn gate_failures(arms: &[WorkloadArmResult]) -> Vec<String> {
     fails
 }
 
+/// Schema tag of `BENCH_throughput.json`.
+pub const THROUGHPUT_BENCH_SCHEMA: &str = "cb-bench-throughput/v1";
+
 /// Serializes the benchmark into the `cb-bench-throughput/v1` schema (see
 /// EXPERIMENTS.md §E13 and README "Reading BENCH_throughput.json"). Keys
 /// with a `_wall` suffix are machine-dependent; everything else is
@@ -266,47 +269,39 @@ pub fn to_json(arms: &[WorkloadArmResult], base_seed: u64, horizon: SimTime, qui
                         .with("in_survival", dwell_json(&a.survival)),
                 )
                 .with("metastable", a.metastable)
-                .with(
-                    "failing_oracles",
-                    a.failing.to_vec(),
-                )
+                .with("failing_oracles", a.failing.to_vec())
                 .with("events", a.events)
                 .with("fingerprint", format!("{:#018x}", a.fingerprint))
                 .with("secs_wall", a.wall_secs)
         })
         .collect();
-    Json::obj()
-        .with("bench", "throughput")
-        .with("schema", "cb-bench-throughput/v1")
-        .with(
-            "unit",
-            "aggregate user requests per arm; governor dwell in sim-ns; \
-             fingerprints are seed-exact",
-        )
-        .with(
-            "config",
-            Json::obj()
-                .with("seed", base_seed)
-                .with("horizon_ms", horizon.as_nanos() / 1_000_000)
-                .with("quick", quick),
-        )
-        .with("arms", rows)
-        .with(
-            "summary",
-            Json::obj()
-                .with(
-                    "flash_recovered",
-                    arms.iter()
-                        .any(|a| a.profile == "flash" && a.recoveries >= 1 && a.rung_final == 0),
-                )
-                .with(
-                    "metastable_detected",
-                    arms.iter()
-                        .any(|a| a.profile == "flash-off" && a.metastable),
-                )
-                .with("goodput_gate_steady", 0.5)
-                .with("goodput_gate_flash", 0.33),
-        )
+    crate::benchjson::envelope(
+        "throughput",
+        THROUGHPUT_BENCH_SCHEMA,
+        "aggregate user requests per arm; governor dwell in sim-ns; \
+         fingerprints are seed-exact",
+        Json::obj()
+            .with("seed", base_seed)
+            .with("horizon_ms", horizon.as_nanos() / 1_000_000)
+            .with("quick", quick),
+    )
+    .with("arms", rows)
+    .with(
+        "summary",
+        Json::obj()
+            .with(
+                "flash_recovered",
+                arms.iter()
+                    .any(|a| a.profile == "flash" && a.recoveries >= 1 && a.rung_final == 0),
+            )
+            .with(
+                "metastable_detected",
+                arms.iter()
+                    .any(|a| a.profile == "flash-off" && a.metastable),
+            )
+            .with("goodput_gate_steady", 0.5)
+            .with("goodput_gate_flash", 0.33),
+    )
 }
 
 #[cfg(test)]
@@ -327,9 +322,13 @@ mod tests {
         let json = to_json(&[a], 7, horizon, true);
         let text = json.to_string_pretty();
         let back = Json::parse(&text).expect("bench artifact parses");
+        crate::benchjson::validate(&back, "throughput", THROUGHPUT_BENCH_SCHEMA, "arms")
+            .expect("shared envelope contract");
+        // Wall keys (and only wall keys) survive masking blanked.
+        let masked = crate::benchjson::mask_wall(&back);
         assert_eq!(
-            back.get("schema").and_then(Json::as_str),
-            Some("cb-bench-throughput/v1")
+            masked.get("arms").and_then(Json::as_array).unwrap()[0].get("secs_wall"),
+            Some(&Json::Null)
         );
         let rows = back.get("arms").and_then(Json::as_array).expect("arms");
         for row in rows {

@@ -1,0 +1,482 @@
+//! Cross-campaign regression diffing.
+//!
+//! [`diff`] compares two corpora (a baseline campaign and a candidate)
+//! per scenario and emits a deterministic [`DiffReport`]:
+//!
+//! * **pass_rate** — the candidate's pass rate dropped below the
+//!   baseline's by more than the configured slack.
+//! * **new_failing_oracle** — an oracle fails in the candidate that never
+//!   failed in the baseline.
+//! * **counter** — a telemetry counter's per-seed mean moved by more than
+//!   a noise threshold (relative with an absolute floor).
+//! * **histogram** — the merged log-bucket distributions of a histogram
+//!   key diverge by total-variation distance above threshold (skipped for
+//!   thin histograms, where a few samples swing the distance).
+//! * **coverage** — a scenario present in one corpus is absent from the
+//!   other.
+//!
+//! Wall-clock keys never produce findings (they are blanked at ingestion
+//! anyway). Findings are generated in sorted scenario/kind/key order from
+//! sorted inputs, so `diff(A, B)` is a pure function of the two record
+//! sets: byte-identical reports across workers and re-ingestion orders,
+//! and `diff(A, A)` is always empty.
+
+use crate::record::SeedRecord;
+use crate::store::Corpus;
+use cb_harness::json::Json;
+use cb_telemetry::is_wall_key;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Schema tag of a serialized [`DiffReport`].
+pub const DIFF_SCHEMA: &str = "cb-corpus-diff/v1";
+
+/// Noise thresholds for [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Relative counter-mean movement tolerated, as a fraction of the
+    /// larger mean (default 10%).
+    pub rel_threshold: f64,
+    /// Absolute counter-mean movement always tolerated, masking relative
+    /// blow-ups on near-zero counters (default 4 per seed).
+    pub abs_floor: f64,
+    /// Total-variation distance tolerated between merged histogram
+    /// distributions (default 0.15).
+    pub hist_divergence: f64,
+    /// Minimum merged sample count (in both corpora) before a histogram
+    /// key is diffed at all (default 16).
+    pub hist_min_count: u64,
+    /// Pass-rate drop tolerated before flagging (default 0: any drop
+    /// flags).
+    pub pass_rate_drop: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            rel_threshold: 0.10,
+            abs_floor: 4.0,
+            hist_divergence: 0.15,
+            hist_min_count: 16,
+            pass_rate_drop: 0.0,
+        }
+    }
+}
+
+/// One flagged regression (or coverage drift).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// `pass_rate`, `new_failing_oracle`, `counter`, `histogram`, or
+    /// `coverage`.
+    pub kind: String,
+    /// Scenario the finding belongs to.
+    pub scenario: String,
+    /// Metric key or oracle name (empty for scenario-level findings).
+    pub key: String,
+    /// Baseline-side value, pre-formatted (`{:.4}` for floats).
+    pub baseline: String,
+    /// Candidate-side value, pre-formatted.
+    pub candidate: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Finding {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kind", self.kind.as_str())
+            .with("scenario", self.scenario.as_str())
+            .with("key", self.key.as_str())
+            .with("baseline", self.baseline.as_str())
+            .with("candidate", self.candidate.as_str())
+            .with("detail", self.detail.as_str())
+    }
+}
+
+/// Deterministic output of [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Flagged findings, in sorted scenario/kind/key generation order.
+    pub findings: Vec<Finding>,
+    /// Records in the baseline corpus.
+    pub baseline_seeds: usize,
+    /// Records in the candidate corpus.
+    pub candidate_seeds: usize,
+}
+
+impl DiffReport {
+    /// True when anything was flagged (the CI gate condition).
+    pub fn regressed(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Canonical JSON rendering (schema [`DIFF_SCHEMA`]). Contains no
+    /// wall-clock values, so equal inputs render byte-equal.
+    pub fn to_json(&self) -> Json {
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        for f in &self.findings {
+            *by_kind.entry(f.kind.as_str()).or_insert(0) += 1;
+        }
+        let mut kinds = Json::obj();
+        for (k, n) in by_kind {
+            kinds.set(k, n);
+        }
+        Json::obj()
+            .with("schema", DIFF_SCHEMA)
+            .with("baseline_seeds", self.baseline_seeds)
+            .with("candidate_seeds", self.candidate_seeds)
+            .with(
+                "findings",
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            )
+            .with(
+                "summary",
+                Json::obj()
+                    .with("findings", self.findings.len())
+                    .with("regressed", self.regressed())
+                    .with("by_kind", kinds),
+            )
+    }
+}
+
+/// Per-scenario aggregates of one corpus.
+#[derive(Default)]
+struct ScenarioStats {
+    seeds: u64,
+    passed: u64,
+    counter_sums: BTreeMap<String, u64>,
+    hist_merged: BTreeMap<String, BTreeMap<u32, u64>>,
+    failing_oracles: BTreeSet<String>,
+}
+
+impl ScenarioStats {
+    fn absorb(&mut self, r: &SeedRecord) {
+        self.seeds += 1;
+        self.passed += r.passed as u64;
+        for (k, v) in &r.counters {
+            *self.counter_sums.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, pairs) in &r.hists {
+            let merged = self.hist_merged.entry(k.clone()).or_default();
+            for (b, c) in pairs {
+                *merged.entry(*b).or_insert(0) += c;
+            }
+        }
+        for (name, passed) in &r.oracles {
+            if !passed {
+                self.failing_oracles.insert(name.clone());
+            }
+        }
+    }
+}
+
+fn stats_by_scenario(corpus: &Corpus) -> BTreeMap<String, ScenarioStats> {
+    let mut out: BTreeMap<String, ScenarioStats> = BTreeMap::new();
+    for r in corpus.iter() {
+        out.entry(r.scenario.clone()).or_default().absorb(r);
+    }
+    out
+}
+
+/// Total-variation distance between two bucket distributions: half the L1
+/// distance of the normalized mass, in `[0, 1]`.
+fn tv_distance(a: &BTreeMap<u32, u64>, b: &BTreeMap<u32, u64>) -> f64 {
+    let na: u64 = a.values().sum();
+    let nb: u64 = b.values().sum();
+    if na == 0 || nb == 0 {
+        return if na == nb { 0.0 } else { 1.0 };
+    }
+    let buckets: BTreeSet<u32> = a.keys().chain(b.keys()).copied().collect();
+    let mut l1 = 0.0;
+    for bucket in buckets {
+        let pa = a.get(&bucket).copied().unwrap_or(0) as f64 / na as f64;
+        let pb = b.get(&bucket).copied().unwrap_or(0) as f64 / nb as f64;
+        l1 += (pa - pb).abs();
+    }
+    l1 / 2.0
+}
+
+/// Diffs `candidate` against `baseline` under `cfg`'s noise thresholds.
+pub fn diff(baseline: &Corpus, candidate: &Corpus, cfg: &DiffConfig) -> DiffReport {
+    let base = stats_by_scenario(baseline);
+    let cand = stats_by_scenario(candidate);
+    let mut findings = Vec::new();
+
+    let scenarios: BTreeSet<&String> = base.keys().chain(cand.keys()).collect();
+    for scenario in scenarios {
+        let (a, b) = match (base.get(scenario), cand.get(scenario)) {
+            (Some(a), Some(b)) => (a, b),
+            (a, b) => {
+                let (side, seeds) = match (a, b) {
+                    (Some(a), _) => ("baseline", a.seeds),
+                    (_, Some(b)) => ("candidate", b.seeds),
+                    (None, None) => unreachable!("scenario came from one of the key sets"),
+                };
+                findings.push(Finding {
+                    kind: "coverage".to_string(),
+                    scenario: scenario.clone(),
+                    key: String::new(),
+                    baseline: if side == "baseline" {
+                        format!("{seeds} seeds")
+                    } else {
+                        "absent".to_string()
+                    },
+                    candidate: if side == "candidate" {
+                        format!("{seeds} seeds")
+                    } else {
+                        "absent".to_string()
+                    },
+                    detail: format!("scenario only present in the {side} corpus"),
+                });
+                continue;
+            }
+        };
+
+        // Pass rate.
+        let rate_a = a.passed as f64 / a.seeds as f64;
+        let rate_b = b.passed as f64 / b.seeds as f64;
+        if rate_a - rate_b > cfg.pass_rate_drop {
+            findings.push(Finding {
+                kind: "pass_rate".to_string(),
+                scenario: scenario.clone(),
+                key: String::new(),
+                baseline: format!("{rate_a:.4}"),
+                candidate: format!("{rate_b:.4}"),
+                detail: format!(
+                    "pass rate dropped {:.4} ({}/{} -> {}/{})",
+                    rate_a - rate_b,
+                    a.passed,
+                    a.seeds,
+                    b.passed,
+                    b.seeds
+                ),
+            });
+        }
+
+        // Oracles failing only in the candidate.
+        for name in b.failing_oracles.difference(&a.failing_oracles) {
+            findings.push(Finding {
+                kind: "new_failing_oracle".to_string(),
+                scenario: scenario.clone(),
+                key: name.clone(),
+                baseline: "passing".to_string(),
+                candidate: "failing".to_string(),
+                detail: format!("oracle '{name}' fails only in the candidate"),
+            });
+        }
+
+        // Counter per-seed means.
+        let counter_keys: BTreeSet<&String> =
+            a.counter_sums.keys().chain(b.counter_sums.keys()).collect();
+        for key in counter_keys {
+            if is_wall_key(key) {
+                continue;
+            }
+            let mean_a = a.counter_sums.get(key).copied().unwrap_or(0) as f64 / a.seeds as f64;
+            let mean_b = b.counter_sums.get(key).copied().unwrap_or(0) as f64 / b.seeds as f64;
+            let delta = mean_b - mean_a;
+            let tolerance = cfg
+                .abs_floor
+                .max(cfg.rel_threshold * mean_a.abs().max(mean_b.abs()).max(1.0));
+            if delta.abs() > tolerance {
+                findings.push(Finding {
+                    kind: "counter".to_string(),
+                    scenario: scenario.clone(),
+                    key: key.clone(),
+                    baseline: format!("{mean_a:.4}"),
+                    candidate: format!("{mean_b:.4}"),
+                    detail: format!("per-seed mean moved {delta:+.4} (tolerance {tolerance:.4})"),
+                });
+            }
+        }
+
+        // Histogram distribution divergence.
+        let hist_keys: BTreeSet<&String> =
+            a.hist_merged.keys().chain(b.hist_merged.keys()).collect();
+        for key in hist_keys {
+            if is_wall_key(key) {
+                continue;
+            }
+            let empty = BTreeMap::new();
+            let ha = a.hist_merged.get(key).unwrap_or(&empty);
+            let hb = b.hist_merged.get(key).unwrap_or(&empty);
+            let na: u64 = ha.values().sum();
+            let nb: u64 = hb.values().sum();
+            if na < cfg.hist_min_count || nb < cfg.hist_min_count {
+                continue;
+            }
+            let tv = tv_distance(ha, hb);
+            if tv > cfg.hist_divergence {
+                findings.push(Finding {
+                    kind: "histogram".to_string(),
+                    scenario: scenario.clone(),
+                    key: key.clone(),
+                    baseline: format!("{na} samples"),
+                    candidate: format!("{nb} samples"),
+                    detail: format!(
+                        "bucket distributions diverge: total variation {tv:.4} \
+                         (threshold {:.4})",
+                        cfg.hist_divergence
+                    ),
+                });
+            }
+        }
+    }
+
+    DiffReport {
+        findings,
+        baseline_seeds: baseline.len(),
+        candidate_seeds: candidate.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, seed: u64, passed: bool, msgs: u64) -> SeedRecord {
+        SeedRecord {
+            scenario: scenario.to_string(),
+            seed,
+            plan: "none".to_string(),
+            passed,
+            fingerprint: seed,
+            events: 1000,
+            oracles: vec![("ring.heartbeat_connectivity".to_string(), passed)],
+            counters: [
+                ("net.msgs_delivered".to_string(), msgs),
+                ("core.decision_latency_wall_ns".to_string(), 0),
+            ]
+            .into(),
+            gauges: BTreeMap::new(),
+            hists: [(
+                "net.delivery_latency_us".to_string(),
+                vec![(40, 20 + seed), (41, 10)],
+            )]
+            .into(),
+            blame: vec![],
+        }
+    }
+
+    fn corpus(msgs: u64, passed: bool) -> Corpus {
+        let mut c = Corpus::new();
+        for seed in 0..4 {
+            c.insert(record("ring", seed, passed, msgs + seed));
+        }
+        c
+    }
+
+    #[test]
+    fn diff_of_identical_corpora_is_empty() {
+        let a = corpus(500, true);
+        let report = diff(&a, &a.clone(), &DiffConfig::default());
+        assert!(!report.regressed(), "findings: {:?}", report.findings);
+        assert_eq!(report.baseline_seeds, 4);
+        // And the rendering is stable.
+        let x = report.to_json().to_string_pretty();
+        let y = diff(&a, &a, &DiffConfig::default())
+            .to_json()
+            .to_string_pretty();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn planted_counter_regression_is_flagged() {
+        let a = corpus(500, true);
+        let b = corpus(900, true); // +400 msgs/seed: way past 10% + floor
+        let report = diff(&a, &b, &DiffConfig::default());
+        assert!(report.regressed());
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == "counter")
+            .expect("counter finding");
+        assert_eq!(f.key, "net.msgs_delivered");
+        assert_eq!(f.scenario, "ring");
+    }
+
+    #[test]
+    fn small_counter_noise_is_tolerated() {
+        let a = corpus(500, true);
+        let b = corpus(503, true); // < 10% and < abs floor applies per mean
+        let report = diff(&a, &b, &DiffConfig::default());
+        assert!(!report.regressed(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn wall_keys_never_flag() {
+        let a = corpus(500, true);
+        let mut b = Corpus::new();
+        for seed in 0..4 {
+            let mut r = record("ring", seed, true, 500 + seed);
+            r.counters
+                .insert("core.decision_latency_wall_ns".to_string(), 9_999_999);
+            b.insert(r);
+        }
+        let report = diff(&a, &b, &DiffConfig::default());
+        assert!(!report.regressed(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn pass_rate_drop_and_new_oracle_flag() {
+        let a = corpus(500, true);
+        let b = corpus(500, false);
+        let report = diff(&a, &b, &DiffConfig::default());
+        let kinds: Vec<&str> = report.findings.iter().map(|f| f.kind.as_str()).collect();
+        assert!(kinds.contains(&"pass_rate"));
+        assert!(kinds.contains(&"new_failing_oracle"));
+    }
+
+    #[test]
+    fn histogram_divergence_is_flagged_only_past_threshold() {
+        let a = corpus(500, true);
+        let mut b = Corpus::new();
+        for seed in 0..4 {
+            let mut r = record("ring", seed, true, 500 + seed);
+            // Shift all delivery-latency mass into a far bucket.
+            r.hists.insert(
+                "net.delivery_latency_us".to_string(),
+                vec![(60, 20 + seed), (61, 10)],
+            );
+            b.insert(r);
+        }
+        let report = diff(&a, &b, &DiffConfig::default());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "histogram" && f.key == "net.delivery_latency_us"));
+
+        // Thin histograms are skipped entirely.
+        let cfg = DiffConfig {
+            hist_min_count: 1_000_000,
+            ..DiffConfig::default()
+        };
+        let report = diff(&a, &b, &cfg);
+        assert!(!report.findings.iter().any(|f| f.kind == "histogram"));
+    }
+
+    #[test]
+    fn coverage_drift_is_reported() {
+        let a = corpus(500, true);
+        let mut b = corpus(500, true);
+        b.insert(record("extra", 1, true, 100));
+        let report = diff(&a, &b, &DiffConfig::default());
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.kind == "coverage")
+            .expect("coverage finding");
+        assert_eq!(f.scenario, "extra");
+        assert_eq!(f.baseline, "absent");
+    }
+
+    #[test]
+    fn report_json_carries_schema_and_summary() {
+        let a = corpus(500, true);
+        let b = corpus(900, false);
+        let json = diff(&a, &b, &DiffConfig::default()).to_json();
+        assert_eq!(json.get("schema").and_then(Json::as_str), Some(DIFF_SCHEMA));
+        let summary = json.get("summary").unwrap();
+        assert_eq!(summary.get("regressed"), Some(&Json::Bool(true)));
+        assert!(summary.get("findings").and_then(Json::as_u64).unwrap() >= 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! Predicate combinators and a small text syntax over the corpus.
+//!
+//! The combinators answer the roadmap's canonical campaign questions
+//! without bespoke scripts:
+//!
+//! * "all seeds where the governor hit Survival at least twice" —
+//!   `hist_count(core.governor.in_survival_sim_ns) >= 2` (the dwell
+//!   histogram gains one sample per node that entered Survival).
+//! * "blame targets shared by at least 3 violating seeds" —
+//!   [`top_blame`] with `min_seeds = 3`.
+//!
+//! Text grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr   := or
+//! or     := and ('|' and)*
+//! and    := unary ('&' unary)*
+//! unary  := '!' unary | '(' expr ')' | term
+//! term   := 'passed' | 'failed'
+//!         | 'scenario=' NAME
+//!         | 'oracle_failed(' NAME ')'
+//!         | 'blame(' NAME ')'
+//!         | 'counter(' KEY ')' ('>=' | '<=' | '=') INT
+//!         | 'gauge(' KEY ')' ('>=' | '<=' | '=') INT
+//!         | 'hist_count(' KEY ')' ('>=' | '<=' | '=') INT
+//! ```
+
+use crate::record::SeedRecord;
+use crate::store::Corpus;
+
+/// Integer comparison used by metric terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>=`
+    AtLeast,
+    /// `<=`
+    AtMost,
+    /// `=`
+    Equal,
+}
+
+impl Cmp {
+    fn eval(self, lhs: i128, rhs: i128) -> bool {
+        match self {
+            Cmp::AtLeast => lhs >= rhs,
+            Cmp::AtMost => lhs <= rhs,
+            Cmp::Equal => lhs == rhs,
+        }
+    }
+}
+
+/// A composable filter over [`SeedRecord`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches every record.
+    True,
+    /// Scenario name equals.
+    ScenarioIs(String),
+    /// Overall verdict: `Passed(true)` = every oracle passed.
+    Passed(bool),
+    /// The named oracle ran and failed.
+    OracleFailed(String),
+    /// Counter value (0 when absent) compares against the literal.
+    Counter(String, Cmp, u64),
+    /// Gauge value (0 when absent) compares against the literal.
+    Gauge(String, Cmp, i64),
+    /// Histogram sample count (0 when absent) compares against the literal.
+    HistCount(String, Cmp, u64),
+    /// The blame column contains the named decision target.
+    BlameContains(String),
+    /// Both must hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either may hold.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Inverts the inner predicate.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates against one record.
+    pub fn matches(&self, r: &SeedRecord) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::ScenarioIs(name) => r.scenario == *name,
+            Predicate::Passed(want) => r.passed == *want,
+            Predicate::OracleFailed(name) => {
+                r.oracles.iter().any(|(n, passed)| n == name && !passed)
+            }
+            Predicate::Counter(key, cmp, rhs) => {
+                let v = r.counters.get(key).copied().unwrap_or(0);
+                cmp.eval(v as i128, *rhs as i128)
+            }
+            Predicate::Gauge(key, cmp, rhs) => {
+                let v = r.gauges.get(key).copied().unwrap_or(0);
+                cmp.eval(v as i128, *rhs as i128)
+            }
+            Predicate::HistCount(key, cmp, rhs) => {
+                let v: u64 = r
+                    .hists
+                    .get(key)
+                    .map(|pairs| pairs.iter().map(|(_, c)| c).sum())
+                    .unwrap_or(0);
+                cmp.eval(v as i128, *rhs as i128)
+            }
+            Predicate::BlameContains(target) => r.blame.iter().any(|b| b == target),
+            Predicate::And(a, b) => a.matches(r) && b.matches(r),
+            Predicate::Or(a, b) => a.matches(r) || b.matches(r),
+            Predicate::Not(inner) => !inner.matches(r),
+        }
+    }
+}
+
+/// Selects matching records in corpus (sorted) order — deterministic.
+pub fn select<'a>(corpus: &'a Corpus, predicate: &Predicate) -> Vec<&'a SeedRecord> {
+    corpus.iter().filter(|r| predicate.matches(r)).collect()
+}
+
+/// One blame target and the violating seeds that share it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlameTally {
+    /// Decision-span name, e.g. `decide:kv.read_replica`.
+    pub target: String,
+    /// `(scenario, seed)` of every violating record naming the target,
+    /// sorted.
+    pub seeds: Vec<(String, u64)>,
+}
+
+/// Blame targets shared by at least `min_seeds` **violating** records,
+/// sorted by descending seed count, then target name. `min_seeds = 3` is
+/// the roadmap's canonical cross-seed triage question.
+pub fn top_blame(corpus: &Corpus, min_seeds: usize) -> Vec<BlameTally> {
+    let mut tally: std::collections::BTreeMap<&str, Vec<(String, u64)>> = Default::default();
+    for r in corpus.iter().filter(|r| !r.passed) {
+        for target in &r.blame {
+            tally
+                .entry(target)
+                .or_default()
+                .push((r.scenario.clone(), r.seed));
+        }
+    }
+    let mut out: Vec<BlameTally> = tally
+        .into_iter()
+        .filter(|(_, seeds)| seeds.len() >= min_seeds)
+        .map(|(target, mut seeds)| {
+            seeds.sort();
+            seeds.dedup();
+            BlameTally {
+                target: target.to_string(),
+                seeds,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.seeds
+            .len()
+            .cmp(&a.seeds.len())
+            .then_with(|| a.target.cmp(&b.target))
+    });
+    out
+}
+
+/// Parses the text predicate syntax (see the module docs for the grammar).
+pub fn parse_predicate(input: &str) -> Result<Predicate, String> {
+    let mut p = Parser {
+        src: input.as_bytes(),
+        pos: 0,
+    };
+    let pred = p.or_expr()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!(
+            "trailing input at byte {}: '{}'",
+            p.pos,
+            &input[p.pos..]
+        ));
+    }
+    Ok(pred)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(b'|') {
+            let rhs = self.and_expr()?;
+            lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, String> {
+        let mut lhs = self.unary()?;
+        while self.eat(b'&') {
+            let rhs = self.unary()?;
+            lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Predicate, String> {
+        if self.eat(b'!') {
+            return Ok(Predicate::Not(Box::new(self.unary()?)));
+        }
+        if self.eat(b'(') {
+            let inner = self.or_expr()?;
+            if !self.eat(b')') {
+                return Err("expected ')'".to_string());
+            }
+            return Ok(inner);
+        }
+        self.term()
+    }
+
+    /// A bare word: letters, digits, `.`, `_`, `-`, `:`.
+    fn word(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b':'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a name at byte {start}"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_string())
+    }
+
+    /// `( NAME )` — everything up to the closing paren.
+    fn paren_arg(&mut self) -> Result<String, String> {
+        if !self.eat(b'(') {
+            return Err("expected '('".to_string());
+        }
+        let arg = self.word()?;
+        if !self.eat(b')') {
+            return Err("expected ')'".to_string());
+        }
+        Ok(arg)
+    }
+
+    fn cmp(&mut self) -> Result<Cmp, String> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(b">=") {
+            self.pos += 2;
+            Ok(Cmp::AtLeast)
+        } else if self.src[self.pos..].starts_with(b"<=") {
+            self.pos += 2;
+            Ok(Cmp::AtMost)
+        } else if self.eat(b'=') {
+            Ok(Cmp::Equal)
+        } else {
+            Err("expected '>=', '<=', or '='".to_string())
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let neg = self.eat(b'-');
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("expected an integer".to_string());
+        }
+        let digits = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let v: i64 = digits.parse().map_err(|e| format!("bad integer: {e}"))?;
+        Ok(if neg { -v } else { v })
+    }
+
+    fn term(&mut self) -> Result<Predicate, String> {
+        let word = self.word()?;
+        match word.as_str() {
+            "passed" => Ok(Predicate::Passed(true)),
+            "failed" => Ok(Predicate::Passed(false)),
+            "true" => Ok(Predicate::True),
+            "scenario" => {
+                if !self.eat(b'=') {
+                    return Err("expected '=' after 'scenario'".to_string());
+                }
+                Ok(Predicate::ScenarioIs(self.word()?))
+            }
+            "oracle_failed" => Ok(Predicate::OracleFailed(self.paren_arg()?)),
+            "blame" => Ok(Predicate::BlameContains(self.paren_arg()?)),
+            "counter" => {
+                let key = self.paren_arg()?;
+                let cmp = self.cmp()?;
+                let v = self.int()?;
+                if v < 0 {
+                    return Err("counters are unsigned".to_string());
+                }
+                Ok(Predicate::Counter(key, cmp, v as u64))
+            }
+            "gauge" => {
+                let key = self.paren_arg()?;
+                let cmp = self.cmp()?;
+                Ok(Predicate::Gauge(key, cmp, self.int()?))
+            }
+            "hist_count" => {
+                let key = self.paren_arg()?;
+                let cmp = self.cmp()?;
+                let v = self.int()?;
+                if v < 0 {
+                    return Err("histogram counts are unsigned".to_string());
+                }
+                Ok(Predicate::HistCount(key, cmp, v as u64))
+            }
+            other => Err(format!("unknown term '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, seed: u64, passed: bool) -> SeedRecord {
+        SeedRecord {
+            scenario: scenario.to_string(),
+            seed,
+            plan: "none".to_string(),
+            passed,
+            fingerprint: seed.wrapping_mul(0x9e37),
+            events: 100 + seed,
+            oracles: vec![("kv.linearizable".to_string(), passed)],
+            counters: [("core.governor.step_downs".to_string(), seed)].into(),
+            gauges: [("core.governor.rung".to_string(), if passed { 0 } else { 2 })].into(),
+            hists: [(
+                "core.governor.in_survival_sim_ns".to_string(),
+                if seed >= 2 {
+                    vec![(10, seed), (12, 1)]
+                } else {
+                    vec![]
+                },
+            )]
+            .into(),
+            blame: if passed {
+                vec![]
+            } else {
+                vec!["decide:kv.read_replica".to_string()]
+            },
+        }
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        for seed in 0..6 {
+            c.insert(record("kv", seed, seed % 2 == 0));
+        }
+        c.insert(record("mencius", 99, true));
+        c
+    }
+
+    #[test]
+    fn canonical_survival_query() {
+        let c = corpus();
+        let p = parse_predicate("hist_count(core.governor.in_survival_sim_ns) >= 2").unwrap();
+        let hits = select(&c, &p);
+        // Seeds 2..=5 (and mencius/99) have survival samples.
+        let seeds: Vec<u64> = hits.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![2, 3, 4, 5, 99]);
+        let p = parse_predicate("scenario=kv & hist_count(core.governor.in_survival_sim_ns) >= 2")
+            .unwrap();
+        let seeds: Vec<u64> = select(&c, &p).iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let c = corpus();
+        let p = parse_predicate(
+            "scenario=kv & failed & counter(core.governor.step_downs)>=3 \
+             & !oracle_failed(missing.oracle)",
+        )
+        .unwrap();
+        let seeds: Vec<u64> = select(&c, &p).iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![3, 5]);
+
+        let p = parse_predicate("(scenario=mencius | seeds_is_unknown_term)");
+        assert!(p.is_err());
+
+        let p = parse_predicate("scenario=mencius | gauge(core.governor.rung)>=2").unwrap();
+        let seeds: Vec<u64> = select(&c, &p).iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![1, 3, 5, 99]);
+    }
+
+    #[test]
+    fn blame_predicate_and_top_blame() {
+        let c = corpus();
+        let p = parse_predicate("blame(decide:kv.read_replica)").unwrap();
+        assert_eq!(select(&c, &p).len(), 3); // failing seeds 1, 3, 5
+
+        let tallies = top_blame(&c, 3);
+        assert_eq!(tallies.len(), 1);
+        assert_eq!(tallies[0].target, "decide:kv.read_replica");
+        assert_eq!(
+            tallies[0].seeds,
+            vec![
+                ("kv".to_string(), 1),
+                ("kv".to_string(), 3),
+                ("kv".to_string(), 5)
+            ]
+        );
+        // Threshold above the sharing count: nothing qualifies.
+        assert!(top_blame(&c, 4).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "counter(x) > 5",
+            "counter(x)>=",
+            "scenario",
+            "passed extra",
+            "(passed",
+            "counter(x)>=-1",
+        ] {
+            assert!(parse_predicate(bad).is_err(), "accepted: '{bad}'");
+        }
+    }
+
+    #[test]
+    fn query_is_deterministic() {
+        let c = corpus();
+        let p = parse_predicate("failed").unwrap();
+        let a: Vec<u64> = select(&c, &p).iter().map(|r| r.seed).collect();
+        let b: Vec<u64> = select(&c, &p).iter().map(|r| r.seed).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,475 @@
+//! One seed's run distilled into a typed, content-addressed record.
+
+use crate::fnv1a;
+use cb_harness::json::Json;
+use cb_harness::scenario::RunReport;
+use cb_telemetry::is_wall_key;
+use cb_trace::{blame, SpanKind};
+use std::collections::BTreeMap;
+
+/// Schema tag of a serialized [`SeedRecord`].
+pub const RECORD_SCHEMA: &str = "cb-corpus-record/v1";
+
+/// Everything the corpus keeps from one seed's run: outcome, oracle
+/// verdicts, the full (wall-masked) telemetry registry as typed columns,
+/// and the provenance blame targets of every violation.
+///
+/// A record is a pure function of `(scenario, seed, plan)` — wall-clock
+/// metrics are blanked at construction — so its content id, and any index
+/// built over records, is invariant under ingestion order and campaign
+/// worker count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed that ran.
+    pub seed: u64,
+    /// Fault-plan spec string the run used.
+    pub plan: String,
+    /// Whether every oracle passed.
+    pub passed: bool,
+    /// Trace fingerprint of the run.
+    pub fingerprint: u64,
+    /// Total simulator events processed.
+    pub events: u64,
+    /// Oracle verdicts, sorted by name.
+    pub oracles: Vec<(String, bool)>,
+    /// Telemetry counters (wall keys present but blanked to 0).
+    pub counters: BTreeMap<String, u64>,
+    /// Telemetry gauges (wall keys present but blanked to 0).
+    pub gauges: BTreeMap<String, i64>,
+    /// Telemetry histograms as `(log bucket, count)` pairs, ascending
+    /// (wall keys present but blanked to empty).
+    pub hists: BTreeMap<String, Vec<(u32, u64)>>,
+    /// Names of `Decision` spans reachable from the run's `Violation`
+    /// spans by the blame walk — the record's regression-triage hook.
+    /// Sorted, deduplicated; empty for passing seeds.
+    pub blame: Vec<String>,
+}
+
+impl SeedRecord {
+    /// Distills a campaign run report into a record. The report's
+    /// telemetry is masked ([`cb_telemetry::Registry::masked`]) so the
+    /// record is deterministic; blame targets come from walking each
+    /// synthesised `Violation` span back to the `Decision` spans on its
+    /// causal chain.
+    pub fn from_report(report: &RunReport) -> SeedRecord {
+        let masked = report.telemetry.masked();
+        let counters = masked.counters().map(|(k, v)| (k.to_string(), v)).collect();
+        let gauges = masked.gauges().map(|(k, v)| (k.to_string(), v)).collect();
+        let hists = masked
+            .hists()
+            .map(|(k, h)| (k.to_string(), h.buckets().collect()))
+            .collect();
+        let mut oracles: Vec<(String, bool)> = report
+            .verdicts
+            .iter()
+            .map(|v| (v.name.clone(), v.passed))
+            .collect();
+        oracles.sort();
+        let mut targets: std::collections::BTreeSet<String> = Default::default();
+        for violation in report
+            .provenance
+            .iter()
+            .filter(|s| s.kind == SpanKind::Violation)
+        {
+            if let Some(chain) = blame(&report.provenance, violation.id) {
+                for span in &chain.chain {
+                    if span.kind == SpanKind::Decision {
+                        targets.insert(span.name.clone());
+                    }
+                }
+            }
+        }
+        SeedRecord {
+            scenario: report.scenario.clone(),
+            seed: report.seed,
+            plan: report.plan.to_spec(),
+            passed: !report.violated(),
+            fingerprint: report.fingerprint,
+            events: report.events_processed,
+            oracles,
+            counters,
+            gauges,
+            hists,
+            blame: targets.into_iter().collect(),
+        }
+    }
+
+    /// Content id: FNV-64 of the canonical compact JSON rendering. Names
+    /// the record's object file and deduplicates re-ingestion.
+    pub fn content_id(&self) -> u64 {
+        fnv1a(self.to_json().to_string_compact().as_bytes())
+    }
+
+    /// Canonical JSON rendering (schema [`RECORD_SCHEMA`]). Key order is
+    /// fixed and maps are sorted, so equal records render byte-equal.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters.set(k.as_str(), *v);
+        }
+        let mut gauges = Json::obj();
+        for (k, v) in &self.gauges {
+            gauges.set(k.as_str(), Json::Num(*v as f64));
+        }
+        let mut hists = Json::obj();
+        for (k, pairs) in &self.hists {
+            hists.set(
+                k.as_str(),
+                Json::Arr(
+                    pairs
+                        .iter()
+                        .map(|(b, c)| Json::Arr(vec![Json::Num(*b as f64), Json::Num(*c as f64)]))
+                        .collect(),
+                ),
+            );
+        }
+        Json::obj()
+            .with("schema", RECORD_SCHEMA)
+            .with("scenario", self.scenario.as_str())
+            // Decimal strings: seeds, fingerprints, and content ids use the
+            // full u64 range, beyond the f64-backed number type's 2^53.
+            .with("seed", self.seed.to_string())
+            .with("plan", self.plan.as_str())
+            .with("passed", self.passed)
+            .with("fingerprint", self.fingerprint.to_string())
+            .with("events", self.events)
+            .with(
+                "oracles",
+                Json::Arr(
+                    self.oracles
+                        .iter()
+                        .map(|(name, passed)| {
+                            Json::obj()
+                                .with("name", name.as_str())
+                                .with("passed", *passed)
+                        })
+                        .collect(),
+                ),
+            )
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", hists)
+            .with("blame", self.blame.clone())
+    }
+
+    /// Parses a serialized record (inverse of [`SeedRecord::to_json`]).
+    pub fn from_json(json: &Json) -> Result<SeedRecord, String> {
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("record missing 'schema'")?;
+        if schema != RECORD_SCHEMA {
+            return Err(format!(
+                "unknown record schema '{schema}' (want '{RECORD_SCHEMA}')"
+            ));
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing '{key}'"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record missing '{key}'"))
+        };
+        let mut oracles = Vec::new();
+        for o in json
+            .get("oracles")
+            .and_then(Json::as_array)
+            .ok_or("record missing 'oracles'")?
+        {
+            let name = o
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("oracle missing 'name'")?;
+            let passed = matches!(o.get("passed"), Some(Json::Bool(true)));
+            oracles.push((name.to_string(), passed));
+        }
+        oracles.sort();
+        Ok(SeedRecord {
+            scenario: str_field("scenario")?,
+            seed: u64_field("seed")?,
+            plan: str_field("plan")?,
+            passed: matches!(json.get("passed"), Some(Json::Bool(true))),
+            fingerprint: u64_field("fingerprint")?,
+            events: u64_field("events")?,
+            oracles,
+            counters: parse_counters(json.get("counters"), false)?,
+            gauges: parse_gauges(json.get("gauges"))?,
+            hists: parse_hists(json.get("histograms"), false)?,
+            blame: json
+                .get("blame")
+                .and_then(Json::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// Distills a campaign **failure artifact** (`cb-campaign-failure/v1`)
+    /// into a record, applying the wall-mask to the artifact's unmasked
+    /// telemetry. This is the `corpus ingest` path for artifacts written
+    /// by sweeps that did not run with `--corpus`.
+    pub fn from_artifact_json(artifact: &Json) -> Result<SeedRecord, String> {
+        let schema = artifact
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("artifact missing 'schema'")?;
+        if schema != cb_harness::ARTIFACT_SCHEMA {
+            return Err(format!("unknown artifact schema '{schema}'"));
+        }
+        let report = artifact.get("report").ok_or("artifact missing 'report'")?;
+        let mut oracles = Vec::new();
+        let mut passed = true;
+        for o in report
+            .get("oracles")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            let name = o
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("oracle missing 'name'")?;
+            let ok = matches!(o.get("passed"), Some(Json::Bool(true)));
+            passed &= ok;
+            oracles.push((name.to_string(), ok));
+        }
+        oracles.sort();
+        let telemetry = report
+            .get("telemetry")
+            .ok_or("report missing 'telemetry'")?;
+        // Blame targets from the embedded provenance tail.
+        let spans = match report.get("provenance") {
+            Some(section) => cb_harness::parse_provenance(section)?,
+            None => Vec::new(),
+        };
+        let mut targets: std::collections::BTreeSet<String> = Default::default();
+        for violation in spans.iter().filter(|s| s.kind == SpanKind::Violation) {
+            if let Some(chain) = blame(&spans, violation.id) {
+                for span in &chain.chain {
+                    if span.kind == SpanKind::Decision {
+                        targets.insert(span.name.clone());
+                    }
+                }
+            }
+        }
+        let get_str = |key: &str| -> Result<String, String> {
+            report
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("report missing '{key}'"))
+        };
+        Ok(SeedRecord {
+            scenario: get_str("scenario")?,
+            seed: report
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("report missing 'seed'")?,
+            plan: get_str("plan")?,
+            passed,
+            fingerprint: report
+                .get("fingerprint")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            events: report
+                .get("events_processed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            oracles,
+            counters: parse_counters(telemetry.get("counters"), true)?,
+            gauges: parse_gauges_masked(telemetry.get("gauges"))?,
+            hists: parse_hists(telemetry.get("histograms"), true)?,
+            blame: targets.into_iter().collect(),
+        })
+    }
+}
+
+fn parse_counters(
+    section: Option<&Json>,
+    mask_wall: bool,
+) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(entries)) = section {
+        for (k, v) in entries {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("counter '{k}' is not a u64"))?;
+            let v = if mask_wall && is_wall_key(k) { 0 } else { v };
+            out.insert(k.clone(), v);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_gauges(section: Option<&Json>) -> Result<BTreeMap<String, i64>, String> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(entries)) = section {
+        for (k, v) in entries {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("gauge '{k}' is not a number"))?;
+            out.insert(k.clone(), v as i64);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_gauges_masked(section: Option<&Json>) -> Result<BTreeMap<String, i64>, String> {
+    let mut out = parse_gauges(section)?;
+    for (k, v) in out.iter_mut() {
+        if is_wall_key(k) {
+            *v = 0;
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_hists(
+    section: Option<&Json>,
+    from_artifact: bool,
+) -> Result<BTreeMap<String, Vec<(u32, u64)>>, String> {
+    let mut out = BTreeMap::new();
+    if let Some(Json::Obj(entries)) = section {
+        for (k, v) in entries {
+            if from_artifact && is_wall_key(k) {
+                out.insert(k.clone(), Vec::new());
+                continue;
+            }
+            // Records store the bucket array directly; artifacts nest it
+            // under the histogram summary object (absent for empty hists).
+            let buckets = if from_artifact {
+                v.get("buckets").and_then(Json::as_array).unwrap_or(&[])
+            } else {
+                v.as_array().unwrap_or(&[])
+            };
+            let mut pairs = Vec::with_capacity(buckets.len());
+            for pair in buckets {
+                let p = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("histogram '{k}': malformed bucket pair"))?;
+                let b = p[0]
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram '{k}': bad bucket index"))?;
+                let c = p[1]
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram '{k}': bad bucket count"))?;
+                pairs.push((b as u32, c));
+            }
+            out.insert(k.clone(), pairs);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_harness::prelude::*;
+    use cb_harness::toy::RingScenario;
+
+    fn failing_report() -> RunReport {
+        let s = RingScenario::default();
+        let others: Vec<u32> = (0..8u32).filter(|&i| i != 3).collect();
+        let plan = FaultPlan::none().partition(&[3], &others, 0, None);
+        s.run(40, &plan)
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let report = failing_report();
+        assert!(report.violated());
+        let record = SeedRecord::from_report(&report);
+        assert!(!record.passed);
+        assert!(!record.counters.is_empty());
+        let back = SeedRecord::from_json(&record.to_json()).expect("parse");
+        assert_eq!(back, record);
+        assert_eq!(back.content_id(), record.content_id());
+    }
+
+    #[test]
+    fn record_is_deterministic_across_reruns() {
+        let a = SeedRecord::from_report(&failing_report());
+        let b = SeedRecord::from_report(&failing_report());
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn wall_metrics_are_blanked() {
+        let record = SeedRecord::from_report(&failing_report());
+        for (k, v) in &record.counters {
+            if cb_telemetry::is_wall_key(k) {
+                assert_eq!(*v, 0, "wall counter '{k}' not masked");
+            }
+        }
+        for (k, pairs) in &record.hists {
+            if cb_telemetry::is_wall_key(k) {
+                assert!(pairs.is_empty(), "wall histogram '{k}' not masked");
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_ingestion_matches_in_process_distillation() {
+        let report = failing_report();
+        let artifact = cb_harness::artifact_json(&report, &report.plan, &report);
+        let from_artifact = SeedRecord::from_artifact_json(&artifact).expect("ingest");
+        let from_report = SeedRecord::from_report(&report);
+        assert_eq!(from_artifact, from_report);
+    }
+
+    #[test]
+    fn failing_record_names_blame_targets() {
+        use cb_trace::{Span, SpanId};
+        // The ring toy makes no runtime decisions, so plant a Decision span
+        // on the violation's causal chain and check the blame walk finds it.
+        let mut report = failing_report();
+        let d_id = SpanId {
+            at_ns: 10,
+            node: 0,
+            seq: 90_001,
+        };
+        let v_id = SpanId {
+            at_ns: 20,
+            node: u32::MAX,
+            seq: 90_002,
+        };
+        report.provenance.push(Span::new(
+            d_id,
+            SpanKind::Decision,
+            "decide:ring.next_hop",
+            vec![],
+        ));
+        report.provenance.push(Span::new(
+            v_id,
+            SpanKind::Violation,
+            "violation:planted",
+            vec![d_id],
+        ));
+        let record = SeedRecord::from_report(&report);
+        assert!(record.blame.contains(&"decide:ring.next_hop".to_string()));
+
+        let passing = {
+            let s = RingScenario::default();
+            s.run(1, &FaultPlan::none())
+        };
+        assert!(!passing.violated());
+        let record = SeedRecord::from_report(&passing);
+        assert!(record.passed);
+        assert!(record.blame.is_empty());
+    }
+}

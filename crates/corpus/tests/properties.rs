@@ -1,0 +1,187 @@
+//! Property tests for the corpus determinism contract.
+//!
+//! Invariants:
+//!
+//! 1. **Insertion-order invariance.** The saved index bytes depend only
+//!    on the record *set*, never on the order records were ingested.
+//! 2. **Worker-count invariance.** Ingesting the same campaign run at
+//!    1, 2, and 4 workers yields byte-identical indexes.
+//! 3. **Query determinism.** Evaluating a predicate twice over the same
+//!    corpus returns the same records in the same order.
+//! 4. **Self-diff is empty.** `diff(A, A)` never flags anything, for any
+//!    corpus and any threshold configuration.
+//! 5. **Planted regressions are flagged.** A counter-mean movement past
+//!    the relative threshold and absolute floor is always reported.
+
+use cb_corpus::{diff, parse_predicate, select, Corpus, DiffConfig, SeedRecord};
+use cb_harness::prelude::{run_campaign, CampaignConfig, CampaignOutcome, FaultPlan, Scenario};
+use cb_harness::toy::RingScenario;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small ring campaign whose reports are kept for ingestion.
+fn ring_outcome(base_seed: u64, seeds: u64, workers: usize) -> CampaignOutcome {
+    let scenario = RingScenario::default();
+    let cfg = CampaignConfig {
+        base_seed,
+        seeds,
+        workers,
+        check_determinism: false,
+        shrink: false,
+        artifact_dir: None,
+        plan_override: None,
+        keep_reports: true,
+    };
+    run_campaign(&scenario, &cfg)
+}
+
+/// Distills one ring run into a record, with an optional unhealed
+/// partition so some records fail their oracle.
+fn ring_record(seed: u64, partitioned: bool) -> SeedRecord {
+    let scenario = RingScenario::default();
+    let plan = if partitioned {
+        let others: Vec<u32> = (0..RingScenario::default().nodes as u32)
+            .filter(|&n| n != 3)
+            .collect();
+        FaultPlan::none().partition(&[3], &others, 0, None)
+    } else {
+        FaultPlan::none()
+    };
+    let report = Scenario::run(&scenario, seed, &plan);
+    SeedRecord::from_report(&report)
+}
+
+/// Deterministically permutes `items` in place from `seed`
+/// (Fisher–Yates over a TestRng).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = TestRng::seed_from(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Index bytes are a pure function of the record set: any insertion
+    /// order (including duplicate inserts) produces identical bytes.
+    #[test]
+    fn index_bytes_are_insertion_order_invariant(seed in 1u64..1000, order in any::<u64>()) {
+        let mut records: Vec<SeedRecord> = (seed..seed + 6)
+            .map(|s| ring_record(s, s % 2 == 0))
+            .collect();
+        let mut forward = Corpus::new();
+        for r in &records {
+            forward.insert(r.clone());
+        }
+        shuffle(&mut records, order);
+        let mut shuffled = Corpus::new();
+        for r in &records {
+            shuffled.insert(r.clone());
+            shuffled.insert(r.clone()); // duplicate inserts are no-ops
+        }
+        prop_assert_eq!(forward.index_bytes(), shuffled.index_bytes());
+    }
+
+    /// Ingesting the same campaign at different worker counts yields
+    /// byte-identical indexes — the corpus never sees scheduling order.
+    #[test]
+    fn index_bytes_are_worker_count_invariant(base in 1u64..500) {
+        let mut indexes = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let outcome = ring_outcome(base, 5, workers);
+            let mut corpus = Corpus::new();
+            corpus.ingest_outcome(&outcome);
+            prop_assert_eq!(corpus.len(), 5);
+            indexes.push(corpus.index_bytes());
+        }
+        prop_assert_eq!(&indexes[0], &indexes[1]);
+        prop_assert_eq!(&indexes[0], &indexes[2]);
+    }
+
+    /// Selecting with any well-formed predicate is deterministic and
+    /// returns records in corpus order.
+    #[test]
+    fn queries_are_deterministic(seed in 1u64..1000) {
+        let mut corpus = Corpus::new();
+        for s in seed..seed + 6 {
+            corpus.insert(ring_record(s, s % 3 == 0));
+        }
+        for pred_src in [
+            "true",
+            "failed",
+            "passed & scenario=ring",
+            "counter(net.msgs_delivered) >= 1",
+            "!passed | oracle_failed(ring.heartbeat_connectivity)",
+        ] {
+            let pred = parse_predicate(pred_src).expect("predicate parses");
+            let a: Vec<(String, u64)> = select(&corpus, &pred)
+                .iter()
+                .map(|r| (r.scenario.clone(), r.seed))
+                .collect();
+            let b: Vec<(String, u64)> = select(&corpus, &pred)
+                .iter()
+                .map(|r| (r.scenario.clone(), r.seed))
+                .collect();
+            prop_assert_eq!(&a, &b);
+            let mut sorted = a.clone();
+            sorted.sort();
+            prop_assert_eq!(a, sorted, "results out of corpus order for {}", pred_src);
+        }
+    }
+
+    /// diff(A, A) is empty for every corpus and threshold configuration.
+    #[test]
+    fn self_diff_is_always_empty(
+        seed in 1u64..1000,
+        rel in 0.0f64..0.5,
+        floor in 0.0f64..16.0,
+    ) {
+        let mut corpus = Corpus::new();
+        for s in seed..seed + 4 {
+            corpus.insert(ring_record(s, s % 2 == 0));
+        }
+        let cfg = DiffConfig {
+            rel_threshold: rel,
+            abs_floor: floor,
+            ..DiffConfig::default()
+        };
+        let report = diff(&corpus, &corpus, &cfg);
+        prop_assert!(!report.regressed(), "self-diff flagged: {:?}", report.findings);
+        prop_assert!(report.findings.is_empty());
+    }
+
+    /// A counter-mean movement past both the relative threshold and the
+    /// absolute floor is always flagged, whatever the surrounding noise.
+    #[test]
+    fn planted_counter_regression_is_always_flagged(
+        seed in 1u64..1000,
+        bump in 100u64..10_000,
+    ) {
+        let mut baseline = Corpus::new();
+        let mut candidate = Corpus::new();
+        for s in seed..seed + 4 {
+            let record = ring_record(s, false);
+            baseline.insert(record.clone());
+            let mut counters: BTreeMap<String, u64> = record.counters.clone();
+            let entry = counters.entry("ring.regressed_counter".into()).or_insert(0);
+            *entry += bump;
+            let planted = SeedRecord {
+                counters,
+                ..record
+            };
+            candidate.insert(planted);
+        }
+        let report = diff(&baseline, &candidate, &DiffConfig::default());
+        prop_assert!(report.regressed());
+        prop_assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.kind == "counter" && f.key == "ring.regressed_counter"),
+            "planted regression missing from {:?}",
+            report.findings
+        );
+    }
+}

@@ -44,6 +44,11 @@ pub struct CampaignConfig {
     pub artifact_dir: Option<PathBuf>,
     /// Override the scenario's default plan for every seed.
     pub plan_override: Option<FaultPlan>,
+    /// Keep every seed's first-run report in [`CampaignOutcome::reports`]
+    /// (passing seeds' reports are otherwise dropped after merging). Corpus
+    /// ingestion turns this on; sweeps that only need the aggregate leave
+    /// it off to avoid retaining per-seed telemetry and provenance.
+    pub keep_reports: bool,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +61,7 @@ impl Default for CampaignConfig {
             shrink: true,
             artifact_dir: Some(PathBuf::from("results/campaigns")),
             plan_override: None,
+            keep_reports: false,
         }
     }
 }
@@ -109,6 +115,11 @@ pub struct CampaignOutcome {
     /// The merge rule is commutative, associative, and idempotent, so the
     /// result is invariant under worker count and determinism re-runs.
     pub policy: Option<cb_policy::PolicyStore>,
+    /// Every seed's first-run report, in seed order — populated only when
+    /// [`CampaignConfig::keep_reports`] is set. Because each report is a
+    /// pure function of `(scenario, seed, plan)`, this vector is invariant
+    /// under worker count.
+    pub reports: Vec<RunReport>,
 }
 
 impl CampaignOutcome {
@@ -172,6 +183,9 @@ pub fn run_campaign(scenario: &dyn Scenario, config: &CampaignConfig) -> Campaig
         ..CampaignOutcome::default()
     };
     for (seed, report, deterministic) in rows {
+        if config.keep_reports {
+            outcome.reports.push(report.clone());
+        }
         outcome.total_events += report.events_processed;
         outcome.telemetry.merge(&report.telemetry);
         if let Some(recorded) = &report.policy {
@@ -492,6 +506,31 @@ mod tests {
         assert!(out.all_passed(), "{}", out.summary_line());
         assert_eq!(out.passed, 8);
         assert!(out.total_events > 0);
+    }
+
+    #[test]
+    fn keep_reports_retains_every_seed_in_order() {
+        let s = RingScenario::default();
+        let cfg = CampaignConfig {
+            seeds: 4,
+            base_seed: 9,
+            artifact_dir: None,
+            keep_reports: true,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&s, &cfg);
+        let seeds: Vec<u64> = out.reports.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![9, 10, 11, 12]);
+        // Off by default: nothing retained.
+        let out = run_campaign(
+            &s,
+            &CampaignConfig {
+                seeds: 2,
+                artifact_dir: None,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(out.reports.is_empty());
     }
 
     #[test]

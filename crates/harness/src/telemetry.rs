@@ -21,7 +21,8 @@ use cb_telemetry::{summary, Registry};
 /// {
 ///   "counters":   { "<name>": <u64>, ... },
 ///   "gauges":     { "<name>": <i64>, ... },
-///   "histograms": { "<name>": {"count":n,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..}, ... },
+///   "histograms": { "<name>": {"count":n,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+///                               "buckets":[[bucket,count],...]}, ... },
 ///   "summary":    { "decisions":.., "decision_p50_sim_us":.., "decision_p99_sim_us":..,
 ///                   "cache_hit_rate":..|null, "states_per_decision":..,
 ///                   "states_visited":.., "dedup_ratio":..|null }
@@ -46,6 +47,13 @@ pub fn telemetry_json(reg: &Registry) -> Json {
             // the schema stays parseable without sentinel values.
             Json::obj().with("count", 0u64)
         } else {
+            // Raw log-bucket distribution rides along as [bucket, count]
+            // pairs so corpus ingestion can compare whole distributions,
+            // not just the summary quantiles.
+            let buckets: Vec<Json> = h
+                .buckets()
+                .map(|(b, c)| Json::Arr(vec![Json::Num(b as f64), Json::Num(c as f64)]))
+                .collect();
             Json::obj()
                 .with("count", h.count())
                 .with("min", h.min())
@@ -54,6 +62,7 @@ pub fn telemetry_json(reg: &Registry) -> Json {
                 .with("p50", h.quantile(0.5))
                 .with("p90", h.quantile(0.9))
                 .with("p99", h.quantile(0.99))
+                .with("buckets", buckets)
         };
         hists.set(k, o);
     }
@@ -107,6 +116,19 @@ mod tests {
             .expect("latency hist");
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(4));
         assert!(hist.get("p99").and_then(Json::as_u64).unwrap() >= 3);
+        let buckets = hist
+            .get("buckets")
+            .and_then(Json::as_array)
+            .expect("raw buckets exported");
+        let total: u64 = buckets
+            .iter()
+            .map(|pair| {
+                pair.as_array()
+                    .and_then(|p| p[1].as_u64())
+                    .expect("[bucket, count] pair")
+            })
+            .sum();
+        assert_eq!(total, 4);
         let s = j.get("summary").expect("summary");
         assert_eq!(s.get("decisions").and_then(Json::as_u64), Some(4));
         assert_eq!(

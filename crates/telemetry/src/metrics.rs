@@ -183,6 +183,20 @@ impl Histogram {
         self.max
     }
 
+    /// Iterates the populated log buckets as `(bucket index, count)` pairs,
+    /// in ascending bucket order. [`Histogram::bucket_lower_bound`] maps an
+    /// index back to the smallest value it covers — together they expose
+    /// the raw distribution for exports and cross-run divergence checks.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.buckets.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// The smallest value that lands in bucket `b` (inverse of the
+    /// internal value→bucket mapping, exposed for rendering bucket edges).
+    pub fn bucket_lower_bound(b: u32) -> u64 {
+        bucket_low(b)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (&b, &c) in &other.buckets {
@@ -307,6 +321,22 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 5);
         assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn bucket_iteration_matches_recorded_samples() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 700, 90_000] {
+            h.record(v);
+        }
+        let buckets: Vec<(u32, u64)> = h.buckets().collect();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 4);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "{buckets:?}");
+        for (b, _) in &buckets {
+            assert_eq!(Histogram::bucket_lower_bound(*b), bucket_low(*b));
+        }
+        // The two equal samples share a bucket.
+        assert_eq!(buckets[0], (bucket_of(3), 2));
     }
 
     #[test]

@@ -41,6 +41,7 @@ proptest! {
                 shrink: false,
                 artifact_dir: None,
                 plan_override: Some(ring_violating_plan()),
+                keep_reports: false,
             };
             let outcome = run_campaign(&scenario, &cfg);
             prop_assert_eq!(outcome.failures.len(), 1, "plan must violate");

@@ -169,6 +169,7 @@ fn workload_arm_keeps_replay_determinism_and_worker_invariance() {
                 shrink: false,
                 artifact_dir: None,
                 plan_override: None,
+                keep_reports: false,
             };
             let outcome = run_campaign(scenario.as_ref(), &cfg);
             let failures: Vec<String> = outcome
@@ -211,6 +212,7 @@ fn campaign_outcome_is_worker_count_invariant() {
                 shrink: false,
                 artifact_dir: None,
                 plan_override: None,
+                keep_reports: false,
             };
             let outcome = run_campaign(scenario.as_ref(), &cfg);
             let failures: Vec<String> = outcome
